@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table III — register-file access power (mW) and access time (FO4)
+ * for the CPR and 16-SP organisations at 65 nm and 45 nm, from the
+ * analytical port-scaling model (substitute for the paper's SPICE
+ * evaluation — see DESIGN.md).
+ *
+ * Paper result being reproduced: the 512-entry 1R/1W 32-bank 16-SP
+ * file is both lower power and faster than the 192-entry 8R/4W banked
+ * CPR files, despite having 2.7x the registers.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "power/regfile_model.hh"
+
+int
+main()
+{
+    using namespace msp;
+
+    // Paper Table III values (write | read), mW and FO4, for reference.
+    const double paper[2][3][4] = {
+        // 65nm: {Wmw, Rmw, Wfo4, Rfo4} for cpr4, cpr8, msp
+        {{4.75, 4.50, 1.06, 5.51},
+         {2.75, 2.65, 1.06, 5.51},
+         {2.05, 2.10, 0.85, 4.44}},
+        // 45nm
+        {{3.30, 2.60, 1.29, 6.11},
+         {2.10, 2.10, 1.29, 6.11},
+         {2.00, 1.65, 1.11, 5.92}},
+    };
+
+    const RegFileOrg orgs[3] = {cpr4BankOrg(), cpr8BankOrg(),
+                                msp16SpOrg()};
+    const TechNode nodes[2] = {TechNode::Nm65, TechNode::Nm45};
+
+    Table t("Table III: register file access power and access time "
+            "(model | paper)");
+    t.header({"organisation", "tech", "write mW", "read mW",
+              "write FO4", "read FO4", "area mm2"});
+    for (int ni = 0; ni < 2; ++ni) {
+        for (int oi = 0; oi < 3; ++oi) {
+            RegFileCosts c = evaluateRegFile(orgs[oi], nodes[ni]);
+            auto cell = [&](double model, double pap) {
+                return Table::num(model, 2) + " | " + Table::num(pap, 2);
+            };
+            t.row({orgs[oi].name, techName(nodes[ni]),
+                   cell(c.writePowerMw, paper[ni][oi][0]),
+                   cell(c.readPowerMw, paper[ni][oi][1]),
+                   cell(c.writeTimeFo4, paper[ni][oi][2]),
+                   cell(c.readTimeFo4, paper[ni][oi][3]),
+                   Table::num(c.areaMm2, 3)});
+        }
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    // The claims that must hold regardless of absolute calibration.
+    RegFileCosts cpr65 = evaluateRegFile(orgs[1], TechNode::Nm65);
+    RegFileCosts msp65 = evaluateRegFile(orgs[2], TechNode::Nm65);
+    std::printf("\n16-SP vs CPR(8-bank) at 65nm: power %.2fx, "
+                "read time %.2fx\n",
+                msp65.readPowerMw / cpr65.readPowerMw,
+                msp65.readTimeFo4 / cpr65.readTimeFo4);
+    std::puts("Expected: both ratios < 1 — the larger 1R/1W banked "
+              "file is cheaper and faster.");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benchmark harnesses.
+ */
+
+#ifndef MSPLIB_BENCH_BENCH_UTIL_HH
+#define MSPLIB_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+#include "pipeline/params.hh"
+#include "sim/machine.hh"
+
+namespace msp {
+namespace bench {
+
+/**
+ * Per-run committed-instruction budget. Defaults to 200000; override
+ * with the MSP_BENCH_INSTRS environment variable to trade time for
+ * fidelity.
+ */
+std::uint64_t instBudget();
+
+/** Run @p cfg on @p prog for the standard budget. */
+RunResult runOne(const MachineConfig &cfg, const Program &prog);
+
+/** Sum of the three largest per-bank stall-cycle counts (Figs. 6-8). */
+std::uint64_t top3BankStalls(const RunResult &r);
+
+/** Geometric-mean helper for "Average" rows. */
+double geoMean(const std::vector<double> &xs);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &xs);
+
+/** The machine ladder of Figs. 6-8 for one predictor. */
+std::vector<MachineConfig> figureConfigs(PredictorKind predictor);
+
+/**
+ * Run the full IPC figure (one row per benchmark, one column per
+ * machine) and print it, followed by the 16-SP register-stall report
+ * and the summary ratios the paper quotes in the text.
+ *
+ * @param title      Figure caption.
+ * @param benchNames Workload names (spec::build is used).
+ * @param predictor  gshare or TAGE.
+ */
+void runIpcFigure(const std::string &title,
+                  const std::vector<std::string> &benchNames,
+                  PredictorKind predictor);
+
+} // namespace bench
+} // namespace msp
+
+#endif // MSPLIB_BENCH_BENCH_UTIL_HH

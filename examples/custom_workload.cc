@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Custom workload: author a program against the public ProgramBuilder
+ * API (a histogram kernel with data-dependent branches), then compare
+ * every machine on it. Demonstrates the full user-facing flow:
+ * build -> run -> inspect, plus the SynthSpec route for parameterised
+ * synthetic workloads.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "isa/builder.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workload/spec.hh"
+
+namespace {
+
+using namespace msp;
+
+/** Histogram of 4-bit values with a data-dependent overflow branch. */
+Program
+histogramKernel()
+{
+    ProgramBuilder b("histogram");
+    const std::int64_t n = 4096;
+    const std::int64_t dataW = 64;           // input words
+    const std::int64_t histW = dataW + n;    // 16 counter words
+    b.memSize(16 * 1024);
+    Rng rng(2026);
+    for (std::int64_t i = 0; i < n; ++i)
+        b.data(dataW + i, rng.below(16));
+
+    Label outer = b.newLabel();
+    Label loop = b.newLabel();
+    Label skip = b.newLabel();
+    Label done = b.newLabel();
+    b.li(10, 0);                 // outer repeat counter
+    b.bind(outer);
+    b.li(1, 0);                  // i
+    b.li(2, n);                  // n
+    b.bind(loop);
+    b.bge(1, 2, done);
+    b.slli(3, 1, 3);
+    b.ld(4, 3, dataW * 8);       // v = data[i]
+    b.slli(5, 4, 3);
+    b.ld(6, 5, histW * 8);       // hist[v]
+    b.addi(6, 6, 1);
+    b.st(6, 5, histW * 8);       // hist[v]++
+    b.slti(7, 6, 200);           // data-dependent overflow check
+    b.bne(7, 0, skip);
+    b.addi(8, 8, 1);             // overflow count
+    b.bind(skip);
+    b.addi(1, 1, 1);
+    b.j(loop);
+    b.bind(done);
+    b.addi(10, 10, 1);
+    b.slti(11, 10, 1000000);
+    b.bne(11, 0, outer);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace msp;
+
+    // Route 1: hand-written kernel through ProgramBuilder.
+    Program prog = histogramKernel();
+
+    Table t("Custom histogram kernel across machines (TAGE)");
+    t.header({"machine", "IPC", "branch misp %", "L2 misses"});
+    for (const auto &cfg :
+         {baselineConfig(PredictorKind::Tage),
+          cprConfig(PredictorKind::Tage),
+          nspConfig(16, PredictorKind::Tage),
+          nspConfig(64, PredictorKind::Tage),
+          idealMspConfig(PredictorKind::Tage)}) {
+        Machine m(cfg, prog);
+        RunResult r = m.run(150000);
+        t.row({r.config, Table::num(r.ipc(), 3),
+               Table::num(100.0 * r.mispredictRate(), 2),
+               std::to_string(r.l2Misses)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    // Route 2: a parameterised synthetic workload via SynthSpec.
+    spec::SynthSpec custom;
+    custom.name = "my-pointer-workload";
+    custom.pointerChase = true;
+    custom.chaseNodes = 1 << 15;
+    custom.wsWords = 1 << 15;
+    custom.regSpread = 8;
+    custom.randomBranchDensity = 0.3;
+    custom.randomBias = 0.2;
+    Program synth = spec::buildSynthetic(custom);
+
+    Machine m(nspConfig(16, PredictorKind::Tage), synth);
+    RunResult r = m.run(100000);
+    std::printf("\nSynthSpec workload '%s' on 16-SP: IPC %.3f, "
+                "%llu recoveries\n",
+                synth.name.c_str(), r.ipc(),
+                static_cast<unsigned long long>(r.recoveries));
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include <cstdio>
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workload/spec.hh"
+using namespace msp;
+int main() {
+    Program p = spec::build("gzip");
+    auto run = [&](MachineConfig cfg, const char *tag) {
+        Machine m(cfg, p);
+        RunResult r = m.run(300000);
+        std::printf("%-28s IPC %.3f regStall %8llu portConf %8llu iqStall %llu recov %llu\n",
+            tag, r.ipc(), (unsigned long long)r.regStallCycles,
+            (unsigned long long)m.stats().get("msp.portConflicts"),
+            (unsigned long long)r.iqStallCycles,
+            (unsigned long long)r.recoveries);
+    };
+    run(nspConfig(16, PredictorKind::Gshare, true), "16-SP arb, lcs1");
+    {
+        auto c = nspConfig(16, PredictorKind::Gshare, false);
+        run(c, "16-SP noarb, lcs1");
+    }
+    {
+        auto c = nspConfig(16, PredictorKind::Gshare, false);
+        c.core.lcsLatency = 0;
+        run(c, "16-SP noarb, lcs0");
+    }
+    {
+        auto c = nspConfig(64, PredictorKind::Gshare, true);
+        run(c, "64-SP arb");
+    }
+    {
+        auto c = nspConfig(16, PredictorKind::Gshare, true);
+        c.core.iqSize = 256;
+        run(c, "16-SP arb iq256");
+    }
+    run(cprConfig(PredictorKind::Gshare), "CPR");
+    {
+        auto c = cprConfig(PredictorKind::Gshare);
+        c.core.iqSize = 256;
+        run(c, "CPR iq256");
+    }
+    return 0;
+}

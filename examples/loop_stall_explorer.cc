@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Loop-stall explorer: the Sec. 4.3 story. A tight loop that keeps
+ * renaming the same logical register exhausts an n-SP bank after n
+ * iterations; spreading the allocation (what the paper's hand
+ * modification and Table II did) recovers the loss. This example
+ * sweeps n for the original and modified swim kernel and prints the
+ * stall attribution per logical register.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workload/kernels.hh"
+
+int
+main()
+{
+    using namespace msp;
+
+    Table t("swim calc3 kernel: IPC (and top stalling register) vs n");
+    t.header({"version", "4-SP", "8-SP", "16-SP", "32-SP", "64-SP"});
+
+    for (bool modified : {false, true}) {
+        Program prog = kernels::build("swim", modified);
+        std::vector<std::string> row = {modified ? "modified"
+                                                 : "original"};
+        for (unsigned n : {4u, 8u, 16u, 32u, 64u}) {
+            Machine m(nspConfig(n, PredictorKind::Tage), prog);
+            RunResult r = m.run(60000);
+
+            // Which register starves?
+            int worst = -1;
+            std::uint64_t worstCycles = 0;
+            for (int i = 0; i < numLogRegs; ++i) {
+                if (r.bankStallCycles[i] > worstCycles) {
+                    worstCycles = r.bankStallCycles[i];
+                    worst = i;
+                }
+            }
+            std::string cell = Table::num(r.ipc(), 2);
+            if (worst >= 0 && worstCycles > r.cycles / 20) {
+                cell += worst >= numIntRegs
+                            ? " (f" + std::to_string(worst - numIntRegs)
+                            : " (r" + std::to_string(worst);
+                cell += ")";
+            }
+            row.push_back(cell);
+        }
+        t.row(row);
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    std::puts("\nThe original kernel reuses two fp registers for every "
+              "stencil step:\nsmall banks starve (the parenthesised "
+              "register is the bottleneck).\nRe-allocating registers — "
+              "zero loops unrolled, exactly the paper's\nswim "
+              "modification — removes the stalls without touching the "
+              "algorithm.");
+    return 0;
+}

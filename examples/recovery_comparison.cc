@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Recovery comparison: run a hard-to-predict workload on the baseline,
+ * CPR and MSP machines and show where the executed instructions go —
+ * the paper's central argument (precise vs checkpoint recovery) made
+ * visible on one screen.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workload/spec.hh"
+
+int
+main()
+{
+    using namespace msp;
+
+    // bzip2-like: dense data-dependent branches, frequent recovery.
+    Program prog = spec::build("bzip2");
+
+    const MachineConfig cfgs[] = {
+        baselineConfig(PredictorKind::Gshare),
+        cprConfig(PredictorKind::Gshare),
+        nspConfig(16, PredictorKind::Gshare),
+        idealMspConfig(PredictorKind::Gshare),
+    };
+
+    Table t("Recovery behaviour on a branchy workload (bzip2-like, "
+            "gshare)");
+    t.header({"machine", "IPC", "recoveries", "re-executed",
+              "wrong-path", "executed/committed"});
+    for (const auto &cfg : cfgs) {
+        Machine m(cfg, prog);
+        RunResult r = m.run(150000);
+        t.row({r.config, Table::num(r.ipc(), 3),
+               std::to_string(r.recoveries),
+               std::to_string(r.reExecuted),
+               std::to_string(r.wrongPathExec),
+               Table::num(double(r.totalExecuted) / r.committed, 3)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    std::puts("\nReading the table:");
+    std::puts(" - CPR's 're-executed' column is correct-path work thrown"
+              " away by\n   rollback-to-checkpoint recovery; it burns"
+              " fetch bandwidth and energy.");
+    std::puts(" - Both MSP rows show zero re-execution: recovery is"
+              " precise, the\n   paper's headline property (Sec. 2).");
+    return 0;
+}

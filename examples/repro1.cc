@@ -1,0 +1,12 @@
+#include <cstdio>
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workload/spec.hh"
+using namespace msp;
+int main(int argc, char**argv) {
+    Program p = spec::build(argv[1]);
+    Machine m(cprConfig(PredictorKind::Gshare), p);
+    RunResult r = m.run(150000);
+    std::printf("%s CPR IPC %.3f\n", argv[1], r.ipc());
+    return 0;
+}

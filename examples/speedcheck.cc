@@ -1,0 +1,37 @@
+#include <chrono>
+#include <cstdio>
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workload/spec.hh"
+using namespace msp;
+int main(int argc, char **argv) {
+    const char *bench = argc > 1 ? argv[1] : "gzip";
+    Program p = spec::build(bench);
+    for (auto cfg : {baselineConfig(PredictorKind::Gshare),
+                     cprConfig(PredictorKind::Gshare),
+                     nspConfig(8, PredictorKind::Gshare),
+                     nspConfig(16, PredictorKind::Gshare),
+                     nspConfig(32, PredictorKind::Gshare),
+                     nspConfig(64, PredictorKind::Gshare),
+                     idealMspConfig(PredictorKind::Gshare)}) {
+        auto t0 = std::chrono::steady_clock::now();
+        Machine m(cfg, p);
+        RunResult r = m.run(300000);
+        auto dt = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+        std::printf("%-8s %-12s IPC %.3f  misp%% %5.2f  %5.0f KIPS  regStall %8llu  reexec %6llu wrong %6llu",
+            bench, cfg.name.c_str(), r.ipc(), 100*r.mispredictRate(),
+            r.committed/dt/1000, (unsigned long long)r.regStallCycles,
+            (unsigned long long)r.reExecuted, (unsigned long long)r.wrongPathExec);
+        // top-3 stalling banks
+        std::vector<std::pair<std::uint64_t,int>> v;
+        for (int i = 0; i < numLogRegs; ++i)
+            if (r.bankStallCycles[i]) v.push_back({r.bankStallCycles[i], i});
+        std::sort(v.rbegin(), v.rend());
+        for (size_t i = 0; i < v.size() && i < 4; ++i)
+            std::printf("  %c%d:%llu", v[i].second >= 32 ? 'f' : 'r',
+                        v[i].second % 32, (unsigned long long)v[i].first);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,156 @@
+#include "baseline/baseline_core.hh"
+
+#include "common/logging.hh"
+
+namespace msp {
+
+BaselineCore::BaselineCore(const CoreParams &p, const Program &program,
+                           PredictorKind predictor, StatGroup &statGroup)
+    : CoreBase(p, program, predictor, statGroup)
+{
+    msp_assert(p.numIntPhys > numIntRegs && p.numFpPhys > numFpRegs,
+               "physical register files too small for the RAT");
+    const unsigned total = p.numIntPhys + p.numFpPhys;
+    regVal.assign(total, 0);
+    regReady.assign(total, 0);
+
+    for (int i = 0; i < numIntRegs; ++i) {
+        rat[i] = i;
+        regReady[i] = 1;
+    }
+    for (int i = 0; i < numFpRegs; ++i) {
+        rat[numIntRegs + i] = p.numIntPhys + i;
+        regReady[p.numIntPhys + i] = 1;
+    }
+    for (unsigned i = numIntRegs; i < p.numIntPhys; ++i)
+        freeInt.push_back(i);
+    for (unsigned i = p.numIntPhys + numFpRegs; i < total; ++i)
+        freeFp.push_back(i);
+}
+
+bool
+BaselineCore::dstIsFp(const DynInst &d) const
+{
+    return d.info().dst == RegClass::Fp;
+}
+
+void
+BaselineCore::freeReg(PhysReg p)
+{
+    msp_assert(p != noReg, "freeing noReg");
+    if (p < static_cast<PhysReg>(params.numIntPhys))
+        freeInt.push_back(p);
+    else
+        freeFp.push_back(p);
+}
+
+bool
+BaselineCore::windowHasRoom() const
+{
+    return window.size() < params.robSize;
+}
+
+bool
+BaselineCore::canRename(const DynInst &d)
+{
+    if (!d.si.writesReg())
+        return true;
+    const auto &pool = dstIsFp(d) ? freeFp : freeInt;
+    if (pool.empty()) {
+        stallReason = StallReason::Registers;
+        return false;
+    }
+    return true;
+}
+
+void
+BaselineCore::renameOne(DynInst &d)
+{
+    auto takeSrc = [&](int unified, SrcInfo &src) {
+        if (unified >= 0)
+            src.phys = rat[unified];
+    };
+    takeSrc(d.si.src1Unified(), d.src1);
+    takeSrc(d.si.src2Unified(), d.src2);
+
+    if (d.si.writesReg()) {
+        auto &pool = dstIsFp(d) ? freeFp : freeInt;
+        const PhysReg p = pool.back();
+        pool.pop_back();
+        const int u = d.si.dstUnified();
+        d.oldDstPhys = rat[u];
+        d.dstPhys = p;
+        rat[u] = p;
+        regReady[p] = 0;
+    }
+}
+
+bool
+BaselineCore::operandsReady(const DynInst &d) const
+{
+    auto rdy = [&](const SrcInfo &s) {
+        return s.phys == noReg || regReady[s.phys];
+    };
+    return rdy(d.src1) && rdy(d.src2);
+}
+
+void
+BaselineCore::readOperands(DynInst &d)
+{
+    d.srcVal1 = d.src1.phys == noReg ? 0 : regVal[d.src1.phys];
+    d.srcVal2 = d.src2.phys == noReg ? 0 : regVal[d.src2.phys];
+}
+
+bool
+BaselineCore::writebackDest(DynInst &d)
+{
+    regVal[d.dstPhys] = d.result;
+    regReady[d.dstPhys] = 1;
+    return true;
+}
+
+void
+BaselineCore::doCommit()
+{
+    for (unsigned n = 0; n < params.retireWidth && !window.empty(); ++n) {
+        DynInst &h = window.front();
+        if (!h.executed || h.squashed)
+            break;
+        if (h.isTrap()) {
+            takeException();
+            break;
+        }
+        commitOne();
+        if (haltCommitted)
+            break;
+    }
+}
+
+void
+BaselineCore::onCommitted(DynInst &d)
+{
+    // Classic ROB freeing: the superseded mapping dies at retire.
+    if (d.oldDstPhys != noReg)
+        freeReg(d.oldDstPhys);
+}
+
+void
+BaselineCore::recoverBranch(DynInst &branch)
+{
+    // Shadow-map recovery: precise and immediate.
+    squashAndRedirect(branch.seq, branch.seq, branch.actualNextPc, 0,
+                      false, branch);
+}
+
+void
+BaselineCore::onSquashInst(DynInst &d)
+{
+    // Walked youngest-to-oldest: undo the RAT update and reclaim the
+    // allocated register (equivalent to restoring a shadow map).
+    if (d.dstPhys != noReg) {
+        rat[d.si.dstUnified()] = d.oldDstPhys;
+        freeReg(d.dstPhys);
+    }
+}
+
+} // namespace msp

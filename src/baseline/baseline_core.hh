@@ -1,0 +1,51 @@
+/**
+ * @file
+ * BaselineCore — the paper's "reasonably standard out-of-order,
+ * single-thread superscalar processor": 128-entry ROB, RAT + free-list
+ * renaming, precise branch recovery via shadow maps, in-order retire
+ * of up to 3 instructions per cycle, 96+96 physical registers.
+ */
+
+#ifndef MSPLIB_BASELINE_BASELINE_CORE_HH
+#define MSPLIB_BASELINE_BASELINE_CORE_HH
+
+#include <array>
+#include <vector>
+
+#include "pipeline/core_base.hh"
+
+namespace msp {
+
+/** ROB-based reference core. */
+class BaselineCore : public CoreBase
+{
+  public:
+    BaselineCore(const CoreParams &params, const Program &program,
+                 PredictorKind predictor, StatGroup &stats);
+
+  protected:
+    bool canRename(const DynInst &d) override;
+    void renameOne(DynInst &d) override;
+    bool operandsReady(const DynInst &d) const override;
+    void readOperands(DynInst &d) override;
+    bool writebackDest(DynInst &d) override;
+    void doCommit() override;
+    void recoverBranch(DynInst &branch) override;
+    void onSquashInst(DynInst &d) override;
+    void onCommitted(DynInst &d) override;
+    bool windowHasRoom() const override;
+
+  private:
+    bool dstIsFp(const DynInst &d) const;
+    void freeReg(PhysReg p);
+
+    std::vector<std::uint64_t> regVal;
+    std::vector<std::uint8_t> regReady;
+    std::array<PhysReg, numLogRegs> rat{};
+    std::vector<PhysReg> freeInt;
+    std::vector<PhysReg> freeFp;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_BASELINE_BASELINE_CORE_HH

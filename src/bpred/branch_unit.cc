@@ -1,0 +1,137 @@
+#include "bpred/branch_unit.hh"
+
+#include "bpred/gshare.hh"
+#include "bpred/tage.hh"
+#include "common/logging.hh"
+
+namespace msp {
+
+std::unique_ptr<DirectionPredictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Gshare:
+        return std::make_unique<Gshare>();
+      case PredictorKind::Tage:
+        return std::make_unique<Tage>();
+    }
+    msp_panic("unknown predictor kind");
+}
+
+BranchUnit::BranchUnit(PredictorKind kind, StatGroup &stats)
+    : dir(makePredictor(kind)), conf(), rasStack(16),
+      indirect(1024, 0),
+      condPredicted(stats.add("condPredicted",
+                              "conditional branches predicted")),
+      condMispredicted(stats.add("condMispredicted",
+                                 "conditional branches mispredicted"))
+{}
+
+BpPrediction
+BranchUnit::predictControl(Addr pc, const Instruction &in)
+{
+    const OpInfo &oi = in.info();
+    BpPrediction p;
+    p.snap.hist = specHist;
+    p.snap.ras = rasStack.snapshot();
+
+    if (oi.isCondBranch) {
+        p.taken = dir->predict(pc, specHist);
+        p.target = p.taken ? in.target() : pc + 1;
+        p.lowConfidence = !conf.highConfidence(pc, specHist);
+        specHist.push(p.taken, pc);
+        ++condPredicted;
+    } else if (oi.isUncondDirect) {
+        p.taken = true;
+        p.target = in.target();
+        if (oi.isCall)
+            rasStack.push(pc + 1);
+    } else if (oi.isReturn) {
+        p.taken = true;
+        p.target = rasStack.pop();
+    } else if (oi.isIndirect) {
+        p.taken = true;
+        p.target = indirect[indirectIndex(pc, specHist)];
+    } else {
+        msp_panic("predictControl on non-control %s", opName(in.op));
+    }
+    return p;
+}
+
+BpPrediction
+BranchUnit::forceOutcome(Addr pc, const Instruction &in, bool taken,
+                         Addr target)
+{
+    msp_assert(in.info().isCondBranch, "forceOutcome on non-branch");
+    BpPrediction p;
+    p.snap.hist = specHist;
+    p.snap.ras = rasStack.snapshot();
+    p.taken = taken;
+    p.target = taken ? target : pc + 1;
+    p.lowConfidence = false;
+    specHist.push(taken, pc);
+    ++condPredicted;
+    return p;
+}
+
+void
+BranchUnit::squashRepair(const BpSnapshot &snap, const Instruction &in,
+                         Addr pc, bool taken)
+{
+    specHist = snap.hist;
+    rasStack.restore(snap.ras);
+    const OpInfo &oi = in.info();
+    if (oi.isCondBranch)
+        specHist.push(taken, pc);
+    else if (oi.isCall)
+        rasStack.push(pc + 1);
+    else if (oi.isReturn)
+        rasStack.pop();
+}
+
+std::size_t
+BranchUnit::indirectIndex(Addr pc, const GlobalHistory &hist) const
+{
+    // History-hashed (ITTAGE-style) indexing: distinct dynamic contexts
+    // of one jump pc learn separate targets. A plain last-target table
+    // ping-pongs when two nearby instances disagree, which can turn a
+    // CPR rollback storm into a livelock.
+    const std::uint32_t h = hist.fold(24, 10);
+    return (static_cast<std::size_t>(pc) ^ h) & (indirect.size() - 1);
+}
+
+void
+BranchUnit::resolveControl(Addr pc, const Instruction &in, bool taken,
+                           Addr target, const BpSnapshot &snap)
+{
+    const OpInfo &oi = in.info();
+    if (oi.isCondBranch) {
+        const bool wasCorrect = dir->predict(pc, snap.hist) == taken;
+        dir->update(pc, snap.hist, taken);
+        // Confidence trains speculatively too: CPR's checkpoint
+        // allocation must see a branch turn low-confidence while the
+        // machine is still recovering around it, or a rollback loop
+        // can never earn the checkpoint that breaks it.
+        conf.update(pc, snap.hist, wasCorrect);
+    } else if (oi.isIndirect && !oi.isReturn) {
+        // Rollback-and-refetch recovery (CPR) re-predicts the jump:
+        // the table must learn the resolved target immediately.
+        indirect[indirectIndex(pc, snap.hist)] = target;
+    }
+}
+
+void
+BranchUnit::commitControl(Addr pc, const Instruction &in, bool taken,
+                          Addr target, const BpSnapshot &snap,
+                          bool predictionCorrect)
+{
+    const OpInfo &oi = in.info();
+    if (oi.isCondBranch) {
+        if (!predictionCorrect)
+            ++condMispredicted;
+    } else if (oi.isIndirect && !oi.isReturn) {
+        indirect[indirectIndex(pc, snap.hist)] = target;
+    }
+}
+
+} // namespace msp

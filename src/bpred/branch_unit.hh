@@ -1,0 +1,122 @@
+/**
+ * @file
+ * BranchUnit — the front end's one-stop prediction facade.
+ *
+ * Owns the direction predictor (gshare or TAGE), an indirect-target
+ * table, the return-address stack and the speculative global history.
+ * Predictor tables are trained in commit order only; all speculative
+ * state is snapshot/restored through BpSnapshot.
+ */
+
+#ifndef MSPLIB_BPRED_BRANCH_UNIT_HH
+#define MSPLIB_BPRED_BRANCH_UNIT_HH
+
+#include <memory>
+#include <vector>
+
+#include "bpred/confidence.hh"
+#include "bpred/direction_predictor.hh"
+#include "bpred/history.hh"
+#include "bpred/ras.hh"
+#include "common/stats.hh"
+#include "isa/instruction.hh"
+
+namespace msp {
+
+/** Which direction predictor to instantiate. */
+enum class PredictorKind { Gshare, Tage };
+
+/** Speculative front-end state captured per fetched control instruction. */
+struct BpSnapshot
+{
+    GlobalHistory hist;
+    Ras::Snapshot ras;
+};
+
+/** A fetch-time prediction. */
+struct BpPrediction
+{
+    bool taken = false;     ///< predicted direction (true for uncond)
+    Addr target = 0;        ///< predicted next pc if taken
+    bool lowConfidence = false; ///< JRS estimator verdict (for CPR)
+    BpSnapshot snap;        ///< state to restore if this path squashes
+};
+
+/** Front-end branch prediction state machine. */
+class BranchUnit
+{
+  public:
+    /**
+     * @param kind   Direction predictor flavour.
+     * @param stats  Stat group for prediction counters.
+     */
+    BranchUnit(PredictorKind kind, StatGroup &stats);
+
+    /**
+     * Predict the control instruction at @p pc; updates speculative
+     * history/RAS. The returned snapshot captures state *before* this
+     * branch so a squash rewinds to just-before-it.
+     */
+    BpPrediction predictControl(Addr pc, const Instruction &in);
+
+    /**
+     * Force a known outcome for a conditional branch (used by CPR's
+     * resolved-branch override after a rollback): snapshots and pushes
+     * history exactly like predictControl, but with the given direction.
+     */
+    BpPrediction forceOutcome(Addr pc, const Instruction &in, bool taken,
+                              Addr target);
+
+    /** Restore speculative state after a squash (snapshot of the
+     *  mispredicted branch), then push the now-known outcome. */
+    void squashRepair(const BpSnapshot &snap, const Instruction &in,
+                      Addr pc, bool taken);
+
+    /**
+     * Resolve-time (speculative) training of the direction tables.
+     * Updating at resolution rather than commit is what guarantees
+     * forward progress for CPR's rollback-and-refetch recovery: the
+     * re-fetched branch must eventually predict correctly.
+     */
+    void resolveControl(Addr pc, const Instruction &in, bool taken,
+                        Addr target, const BpSnapshot &snap);
+
+    /** Commit-order training of the confidence estimator and the
+     *  indirect-target table. @p predictionCorrect drives the JRS CE. */
+    void commitControl(Addr pc, const Instruction &in, bool taken,
+                       Addr target, const BpSnapshot &snap,
+                       bool predictionCorrect);
+
+    /** Current speculative history (exposed for checkpointing cores). */
+    const GlobalHistory &history() const { return specHist; }
+
+    /** Replace the speculative history (checkpoint restore). */
+    void setHistory(const GlobalHistory &h) { specHist = h; }
+
+    /** RAS access for checkpoint restore. */
+    Ras &ras() { return rasStack; }
+
+    DirectionPredictor &predictor() { return *dir; }
+    JrsConfidence &confidence() { return conf; }
+
+  private:
+    std::size_t indirectIndex(Addr pc, const GlobalHistory &hist) const;
+
+    std::unique_ptr<DirectionPredictor> dir;
+    JrsConfidence conf;
+    Ras rasStack;
+    GlobalHistory specHist;
+
+    // Simple last-target indirect predictor (for JR).
+    std::vector<Addr> indirect;
+
+    Stat &condPredicted;
+    Stat &condMispredicted;
+};
+
+/** Factory for the configured direction predictor. */
+std::unique_ptr<DirectionPredictor> makePredictor(PredictorKind kind);
+
+} // namespace msp
+
+#endif // MSPLIB_BPRED_BRANCH_UNIT_HH

@@ -1,0 +1,34 @@
+#include "bpred/confidence.hh"
+
+namespace msp {
+
+JrsConfidence::JrsConfidence(unsigned log2Entries, unsigned bits,
+                             unsigned threshold)
+    : logEntries(log2Entries), confThreshold(threshold),
+      table(std::size_t{1} << log2Entries, SatCounter(bits, 0))
+{}
+
+std::size_t
+JrsConfidence::index(Addr pc, const GlobalHistory &hist) const
+{
+    const std::uint32_t h = hist.fold(logEntries, logEntries);
+    return (static_cast<std::size_t>(pc) ^ h) & (table.size() - 1);
+}
+
+bool
+JrsConfidence::highConfidence(Addr pc, const GlobalHistory &hist) const
+{
+    return table[index(pc, hist)].value() >= confThreshold;
+}
+
+void
+JrsConfidence::update(Addr pc, const GlobalHistory &hist, bool correct)
+{
+    SatCounter &c = table[index(pc, hist)];
+    if (correct)
+        c.increment();
+    else
+        c.reset();
+}
+
+} // namespace msp

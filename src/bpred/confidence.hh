@@ -1,0 +1,48 @@
+/**
+ * @file
+ * JRS resetting-counter confidence estimator (Jacobsen, Rotenberg,
+ * Smith, MICRO-29). CPR consults it to decide where to place
+ * checkpoints: a low-confidence prediction requests a checkpoint.
+ * Table I: 64K entries, 4 bits.
+ */
+
+#ifndef MSPLIB_BPRED_CONFIDENCE_HH
+#define MSPLIB_BPRED_CONFIDENCE_HH
+
+#include <vector>
+
+#include "bpred/history.hh"
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace msp {
+
+/** Resetting-counter branch confidence estimator. */
+class JrsConfidence
+{
+  public:
+    /**
+     * @param log2Entries log2 of table size (default 16 = 64K).
+     * @param bits        Counter width (default 4).
+     * @param threshold   Values >= threshold are "high confidence".
+     */
+    explicit JrsConfidence(unsigned log2Entries = 16, unsigned bits = 4,
+                           unsigned threshold = 15);
+
+    /** True when the current prediction for @p pc is high confidence. */
+    bool highConfidence(Addr pc, const GlobalHistory &hist) const;
+
+    /** Train with the prediction outcome (commit order). */
+    void update(Addr pc, const GlobalHistory &hist, bool predictionCorrect);
+
+  private:
+    std::size_t index(Addr pc, const GlobalHistory &hist) const;
+
+    unsigned logEntries;
+    unsigned confThreshold;
+    std::vector<SatCounter> table;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_BPRED_CONFIDENCE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Interface for conditional-branch direction predictors.
+ */
+
+#ifndef MSPLIB_BPRED_DIRECTION_PREDICTOR_HH
+#define MSPLIB_BPRED_DIRECTION_PREDICTOR_HH
+
+#include <string>
+
+#include "bpred/history.hh"
+#include "common/types.hh"
+
+namespace msp {
+
+/**
+ * A direction predictor consulted at fetch and trained at commit.
+ *
+ * Predictors are stateless with respect to speculation: all speculative
+ * state (the global history) lives in the front end and is passed in,
+ * so recovery never needs to touch predictor tables.
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(Addr pc, const GlobalHistory &hist) = 0;
+
+    /** Train with the resolved direction (called in commit order). */
+    virtual void update(Addr pc, const GlobalHistory &hist, bool taken) = 0;
+
+    /** Human-readable name ("gshare", "tage"). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_BPRED_DIRECTION_PREDICTOR_HH

@@ -1,0 +1,33 @@
+#include "bpred/gshare.hh"
+
+namespace msp {
+
+Gshare::Gshare(unsigned log2Entries)
+    : logEntries(log2Entries),
+      pht(std::size_t{1} << log2Entries, SatCounter(2, 1))
+{}
+
+std::size_t
+Gshare::index(Addr pc, const GlobalHistory &hist) const
+{
+    const std::uint32_t h = hist.fold(logEntries, logEntries);
+    return (static_cast<std::size_t>(pc) ^ h) & (pht.size() - 1);
+}
+
+bool
+Gshare::predict(Addr pc, const GlobalHistory &hist)
+{
+    return pht[index(pc, hist)].taken();
+}
+
+void
+Gshare::update(Addr pc, const GlobalHistory &hist, bool taken)
+{
+    SatCounter &c = pht[index(pc, hist)];
+    if (taken)
+        c.increment();
+    else
+        c.decrement();
+}
+
+} // namespace msp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * gshare predictor — the paper's "fast and simple" configuration
+ * (64K-entry PHT of 2-bit counters, Table I).
+ */
+
+#ifndef MSPLIB_BPRED_GSHARE_HH
+#define MSPLIB_BPRED_GSHARE_HH
+
+#include <vector>
+
+#include "bpred/direction_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace msp {
+
+/** Classic gshare: PHT indexed by pc XOR global history. */
+class Gshare : public DirectionPredictor
+{
+  public:
+    /** @param log2Entries log2 of the PHT size (default 16 = 64K). */
+    explicit Gshare(unsigned log2Entries = 16);
+
+    bool predict(Addr pc, const GlobalHistory &hist) override;
+    void update(Addr pc, const GlobalHistory &hist, bool taken) override;
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::size_t index(Addr pc, const GlobalHistory &hist) const;
+
+    unsigned logEntries;
+    std::vector<SatCounter> pht;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_BPRED_GSHARE_HH

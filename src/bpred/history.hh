@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Speculative global branch history with O(1) snapshot/restore.
+ */
+
+#ifndef MSPLIB_BPRED_HISTORY_HH
+#define MSPLIB_BPRED_HISTORY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace msp {
+
+/**
+ * 128 bits of global direction history plus 16 bits of path history.
+ *
+ * Bit 0 of word 0 is the most recent outcome. The whole struct is a
+ * value type: the front end snapshots it per predicted branch and
+ * restores it wholesale on a squash.
+ */
+struct GlobalHistory
+{
+    std::uint64_t h0 = 0;  ///< youngest 64 outcomes (bit 0 = newest)
+    std::uint64_t h1 = 0;  ///< older 64 outcomes
+    std::uint16_t path = 0; ///< low pc bits of recent branches
+
+    /** Shift in one branch outcome (and a pc bit for path history). */
+    void
+    push(bool taken, Addr pc)
+    {
+        h1 = (h1 << 1) | (h0 >> 63);
+        h0 = (h0 << 1) | (taken ? 1 : 0);
+        path = static_cast<std::uint16_t>((path << 1) | (pc & 1));
+    }
+
+    /**
+     * XOR-fold the youngest @p len history bits down to @p width bits.
+     *
+     * @param len   History length to use (1..128).
+     * @param width Output width in bits (1..31).
+     */
+    std::uint32_t
+    fold(unsigned len, unsigned width) const
+    {
+        std::uint64_t lo = h0;
+        std::uint64_t hi = h1;
+        if (len < 64) {
+            lo &= (std::uint64_t{1} << len) - 1;
+            hi = 0;
+        } else if (len < 128) {
+            hi &= (std::uint64_t{1} << (len - 64)) - 1;
+        }
+        std::uint32_t out = 0;
+        const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+        while (lo || hi) {
+            out ^= static_cast<std::uint32_t>(lo & mask);
+            lo >>= width;
+            // borrow bits from the high word as the low word drains
+            lo |= (hi & ((std::uint64_t{1} << width) - 1)) << (64 - width);
+            hi >>= width;
+        }
+        return out & static_cast<std::uint32_t>(mask);
+    }
+
+    bool operator==(const GlobalHistory &) const = default;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_BPRED_HISTORY_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Speculative return-address stack with checkpointed top-of-stack.
+ */
+
+#ifndef MSPLIB_BPRED_RAS_HH
+#define MSPLIB_BPRED_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace msp {
+
+/**
+ * Circular return-address stack.
+ *
+ * Per-branch recovery uses the standard "restore TOS index plus top
+ * entry" trick: each branch snapshot carries {tos, topValue}. Coarser
+ * recovery points (CPR checkpoints) copy the whole stack — the class
+ * is a value type, so a plain copy/assign does that.
+ */
+class Ras
+{
+  public:
+    /** Snapshot restored on a pipeline squash. */
+    struct Snapshot
+    {
+        std::uint16_t tos = 0;
+        Addr top = 0;
+    };
+
+    explicit Ras(std::size_t entries = 16)
+        : stack(entries, 0), tosIdx(0)
+    {}
+
+    /** Push a return address (on a call). */
+    void
+    push(Addr ra)
+    {
+        tosIdx = (tosIdx + 1) % stack.size();
+        stack[tosIdx] = ra;
+    }
+
+    /** Pop and return the predicted return address. */
+    Addr
+    pop()
+    {
+        Addr ra = stack[tosIdx];
+        tosIdx = (tosIdx + stack.size() - 1) % stack.size();
+        return ra;
+    }
+
+    /** Capture recovery state. */
+    Snapshot
+    snapshot() const
+    {
+        return {static_cast<std::uint16_t>(tosIdx), stack[tosIdx]};
+    }
+
+    /** Restore recovery state. */
+    void
+    restore(const Snapshot &s)
+    {
+        tosIdx = s.tos % stack.size();
+        stack[tosIdx] = s.top;
+    }
+
+  private:
+    std::vector<Addr> stack;
+    std::size_t tosIdx;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_BPRED_RAS_HH

@@ -1,0 +1,154 @@
+#include "bpred/tage.hh"
+
+namespace msp {
+
+Tage::Tage()
+    : bimodal(std::size_t{1} << logBimodal, SatCounter(2, 1)),
+      useAltOnNew(4, 8)
+{
+    for (auto &t : tables)
+        t.resize(std::size_t{1} << logTagged);
+}
+
+bool
+Tage::bimodalPredict(Addr pc) const
+{
+    return bimodal[pc & ((1u << logBimodal) - 1)].taken();
+}
+
+void
+Tage::bimodalUpdate(Addr pc, bool taken)
+{
+    SatCounter &c = bimodal[pc & ((1u << logBimodal) - 1)];
+    if (taken)
+        c.increment();
+    else
+        c.decrement();
+}
+
+Tage::Lookup
+Tage::lookup(Addr pc, const GlobalHistory &hist) const
+{
+    Lookup lk;
+    for (int i = 0; i < numTagged; ++i) {
+        const unsigned len = histLens[i];
+        const std::uint32_t hidx = hist.fold(len, logTagged);
+        const std::uint32_t htag = hist.fold(len, tagBits - 1);
+        lk.idx[i] = (pc ^ (pc >> (logTagged - i)) ^ hidx ^
+                     (hist.path >> (i & 7))) &
+                    ((1u << logTagged) - 1);
+        lk.tag[i] = static_cast<std::uint16_t>(
+            (pc ^ (pc >> 5) ^ htag ^ (htag << 1)) & ((1u << tagBits) - 1));
+    }
+
+    for (int i = numTagged - 1; i >= 0; --i) {
+        const TaggedEntry &e = tables[i][lk.idx[i]];
+        if (e.tag == lk.tag[i]) {
+            if (lk.provider < 0) {
+                lk.provider = i;
+            } else if (lk.alt < 0) {
+                lk.alt = i;
+                break;
+            }
+        }
+    }
+
+    lk.altPred = lk.alt >= 0
+                     ? tables[lk.alt][lk.idx[lk.alt]].ctr >= 0
+                     : bimodalPredict(pc);
+    if (lk.provider >= 0) {
+        const TaggedEntry &e = tables[lk.provider][lk.idx[lk.provider]];
+        lk.providerPred = e.ctr >= 0;
+        lk.weak = (e.ctr == 0 || e.ctr == -1) && e.useful == 0;
+        lk.pred = lk.weak && useAltOnNew.taken() ? lk.altPred
+                                                 : lk.providerPred;
+    } else {
+        lk.providerPred = lk.altPred;
+        lk.pred = lk.altPred;
+    }
+    return lk;
+}
+
+bool
+Tage::predict(Addr pc, const GlobalHistory &hist)
+{
+    return lookup(pc, hist).pred;
+}
+
+void
+Tage::update(Addr pc, const GlobalHistory &hist, bool taken)
+{
+    Lookup lk = lookup(pc, hist);
+    const bool correct = lk.pred == taken;
+
+    // Track whether alt-on-weak-entry is the better policy.
+    if (lk.provider >= 0 && lk.weak && lk.providerPred != lk.altPred) {
+        if (lk.altPred == taken)
+            useAltOnNew.increment();
+        else
+            useAltOnNew.decrement();
+    }
+
+    if (lk.provider >= 0) {
+        TaggedEntry &e = tables[lk.provider][lk.idx[lk.provider]];
+        // Useful bit management: provider was useful if it differed from
+        // alt and was correct.
+        if (lk.providerPred != lk.altPred) {
+            if (lk.providerPred == taken) {
+                if (e.useful < 3)
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+        if (taken) {
+            if (e.ctr < 3)
+                ++e.ctr;
+        } else {
+            if (e.ctr > -4)
+                --e.ctr;
+        }
+        // The bimodal base trains when it acted as the alternate.
+        if (lk.alt < 0)
+            bimodalUpdate(pc, taken);
+    } else {
+        bimodalUpdate(pc, taken);
+    }
+
+    // Allocate a longer-history entry on a misprediction.
+    if (!correct && lk.provider < numTagged - 1) {
+        const int start = lk.provider + 1;
+        // Pseudo-random skip (deterministic LFSR) spreads allocations
+        // across components, as in the reference TAGE implementation.
+        allocSeed = allocSeed * 1664525u + 1013904223u;
+        int first = start + static_cast<int>((allocSeed >> 16) % 2);
+        if (first >= numTagged)
+            first = start;
+        bool allocated = false;
+        for (int i = first; i < numTagged && !allocated; ++i) {
+            TaggedEntry &e = tables[i][lk.idx[i]];
+            if (e.useful == 0) {
+                e.tag = lk.tag[i];
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+            }
+        }
+        if (!allocated) {
+            // Nothing free: age the candidates instead.
+            for (int i = start; i < numTagged; ++i) {
+                TaggedEntry &e = tables[i][lk.idx[i]];
+                if (e.useful > 0)
+                    --e.useful;
+            }
+        }
+    }
+
+    // Periodic graceful reset of useful counters.
+    if ((++updateCount & ((1u << 18) - 1)) == 0) {
+        for (auto &t : tables)
+            for (auto &e : t)
+                e.useful >>= 1;
+    }
+}
+
+} // namespace msp

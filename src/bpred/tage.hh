@@ -1,0 +1,71 @@
+/**
+ * @file
+ * TAGE — partially TAgged GEometric history length predictor
+ * (Seznec & Michaud), the paper's "very aggressive" configuration:
+ * a bimodal base plus 7 tagged components (8 components total).
+ */
+
+#ifndef MSPLIB_BPRED_TAGE_HH
+#define MSPLIB_BPRED_TAGE_HH
+
+#include <array>
+#include <vector>
+
+#include "bpred/direction_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace msp {
+
+/** 8-component TAGE with geometric history lengths up to 128. */
+class Tage : public DirectionPredictor
+{
+  public:
+    Tage();
+
+    bool predict(Addr pc, const GlobalHistory &hist) override;
+    void update(Addr pc, const GlobalHistory &hist, bool taken) override;
+    std::string name() const override { return "tage"; }
+
+    /** Number of tagged components (excludes the bimodal base). */
+    static constexpr int numTagged = 7;
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::int8_t ctr = 0;   ///< signed 3-bit counter, taken if >= 0
+        std::uint8_t useful = 0;
+    };
+
+    struct Lookup
+    {
+        int provider = -1;       ///< tagged component index, -1 = bimodal
+        int alt = -1;            ///< alternate component, -1 = bimodal
+        bool providerPred = false;
+        bool altPred = false;
+        bool pred = false;
+        bool weak = false;       ///< provider entry is a weak newcomer
+        std::array<std::size_t, numTagged> idx{};
+        std::array<std::uint16_t, numTagged> tag{};
+    };
+
+    Lookup lookup(Addr pc, const GlobalHistory &hist) const;
+    bool bimodalPredict(Addr pc) const;
+    void bimodalUpdate(Addr pc, bool taken);
+
+    static constexpr unsigned logBimodal = 14;      // 16K entries
+    static constexpr unsigned logTagged = 10;       // 1K entries each
+    static constexpr unsigned tagBits = 11;
+    static constexpr std::array<unsigned, numTagged> histLens =
+        {4, 7, 13, 24, 44, 81, 128};
+
+    std::vector<SatCounter> bimodal;
+    std::array<std::vector<TaggedEntry>, numTagged> tables;
+    SatCounter useAltOnNew;     ///< 4-bit: prefer altpred for weak entries
+    std::uint64_t updateCount = 0;
+    std::uint32_t allocSeed = 0x12345;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_BPRED_TAGE_HH

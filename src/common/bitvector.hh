@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A fixed-capacity dynamic bit vector with fast population count and scan.
+ *
+ * Used for the MSP RelIQ use-bit matrix (one bit per instruction-queue
+ * entry per physical register) and for assorted occupancy masks.
+ */
+
+#ifndef MSPLIB_COMMON_BITVECTOR_HH
+#define MSPLIB_COMMON_BITVECTOR_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace msp {
+
+/** Dense bit vector sized at construction time. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Create a vector of @p n bits, all cleared. */
+    explicit BitVector(std::size_t n)
+        : numBits(n), words((n + 63) / 64, 0)
+    {}
+
+    /** Number of bits in the vector. */
+    std::size_t size() const { return numBits; }
+
+    /** Set bit @p i. */
+    void
+    set(std::size_t i)
+    {
+        msp_assert(i < numBits, "BitVector::set out of range (%zu)", i);
+        words[i >> 6] |= (std::uint64_t{1} << (i & 63));
+    }
+
+    /** Clear bit @p i. */
+    void
+    clear(std::size_t i)
+    {
+        msp_assert(i < numBits, "BitVector::clear out of range (%zu)", i);
+        words[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+
+    /** Read bit @p i. */
+    bool
+    test(std::size_t i) const
+    {
+        msp_assert(i < numBits, "BitVector::test out of range (%zu)", i);
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Clear every bit. */
+    void
+    reset()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    /** True iff no bit is set. */
+    bool
+    none() const
+    {
+        for (auto w : words)
+            if (w)
+                return false;
+        return true;
+    }
+
+    /** True iff at least one bit is set. */
+    bool any() const { return !none(); }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t c = 0;
+        for (auto w : words)
+            c += std::popcount(w);
+        return c;
+    }
+
+    /**
+     * Index of the first set bit, or size() if none.
+     */
+    std::size_t
+    findFirst() const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            if (words[wi])
+                return wi * 64 + std::countr_zero(words[wi]);
+        }
+        return numBits;
+    }
+
+    /** Bitwise OR-assign; both operands must have identical size. */
+    BitVector &
+    operator|=(const BitVector &o)
+    {
+        msp_assert(numBits == o.numBits, "BitVector size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] |= o.words[i];
+        return *this;
+    }
+
+    bool
+    operator==(const BitVector &o) const
+    {
+        return numBits == o.numBits && words == o.words;
+    }
+
+  private:
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_COMMON_BITVECTOR_HH

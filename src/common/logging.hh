@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal simulator bugs (invariant violations); fatal()
+ * is for user errors (bad configuration). Both terminate the process.
+ */
+
+#ifndef MSPLIB_COMMON_LOGGING_HH
+#define MSPLIB_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace msp {
+
+/** Print a formatted message and abort; use for simulator bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Build a std::string using printf-style formatting. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace msp
+
+#define msp_panic(...) \
+    ::msp::panicImpl(__FILE__, __LINE__, ::msp::csprintf(__VA_ARGS__))
+
+#define msp_fatal(...) \
+    ::msp::fatalImpl(__FILE__, __LINE__, ::msp::csprintf(__VA_ARGS__))
+
+#define msp_warn(...) ::msp::warnImpl(::msp::csprintf(__VA_ARGS__))
+
+/**
+ * Invariant check that stays enabled in release builds. The simulator's
+ * correctness harness relies on these firing; they are cheap relative to
+ * the per-cycle work.
+ */
+#define msp_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::msp::panicImpl(__FILE__, __LINE__,                            \
+                             std::string("assertion failed: " #cond " — ")  \
+                                 + ::msp::csprintf(__VA_ARGS__));           \
+        }                                                                   \
+    } while (0)
+
+#endif // MSPLIB_COMMON_LOGGING_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * msplib never uses libc rand(): every randomized component takes an
+ * explicit Rng so that simulations are reproducible bit-for-bit.
+ */
+
+#ifndef MSPLIB_COMMON_RANDOM_HH
+#define MSPLIB_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace msp {
+
+/** xorshift64* generator; small, fast, and good enough for workloads. */
+class Rng
+{
+  public:
+    /** Seed must be non-zero; zero is replaced with a fixed constant. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(below(hi - lo + 1));
+    }
+
+    /** Bernoulli draw with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return toDouble() < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    toDouble()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_COMMON_RANDOM_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Saturating counters used throughout the branch-prediction structures.
+ */
+
+#ifndef MSPLIB_COMMON_SAT_COUNTER_HH
+#define MSPLIB_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace msp {
+
+/** An n-bit up/down saturating counter. */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits Counter width in bits (1..15).
+     * @param initial Initial counter value.
+     */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : maxVal((1u << bits) - 1), val(initial)
+    {
+        msp_assert(bits >= 1 && bits <= 15, "bad counter width %u", bits);
+        msp_assert(initial <= maxVal, "initial value overflows counter");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (val < maxVal)
+            ++val;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (val > 0)
+            --val;
+    }
+
+    /** Reset to zero (used by resetting confidence counters). */
+    void reset() { val = 0; }
+
+    /** Set to an explicit value (clamped). */
+    void
+    set(unsigned v)
+    {
+        val = v > maxVal ? maxVal : v;
+    }
+
+    /** Current value. */
+    unsigned value() const { return val; }
+
+    /** Maximum representable value. */
+    unsigned max() const { return maxVal; }
+
+    /** True when the counter is in the upper half of its range. */
+    bool taken() const { return val > maxVal / 2; }
+
+    /** True when the counter is saturated at its maximum. */
+    bool saturated() const { return val == maxVal; }
+
+  private:
+    std::uint16_t maxVal = 3;
+    std::uint16_t val = 0;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_COMMON_SAT_COUNTER_HH

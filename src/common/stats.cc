@@ -1,0 +1,47 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace msp {
+
+Stat &
+StatGroup::add(const std::string &name, const std::string &desc)
+{
+    auto it = stats.find(name);
+    if (it != stats.end())
+        return it->second;
+    Stat &s = stats[name];
+    s.name = name;
+    s.desc = desc;
+    order.push_back(&s);
+    return s;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : order)
+        s->reset();
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0 : it->second.value;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const Stat *s : order) {
+        os << groupPrefix << '.' << s->name << " " << s->value;
+        if (!s->desc.empty())
+            os << "  # " << s->desc;
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace msp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lightweight named statistics registry.
+ *
+ * Every simulated component registers scalar counters in a StatGroup;
+ * the simulator driver dumps them at end of run. Plain uint64 counters
+ * keep the per-cycle overhead negligible.
+ */
+
+#ifndef MSPLIB_COMMON_STATS_HH
+#define MSPLIB_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+/** A single named counter. */
+struct Stat
+{
+    std::string name;
+    std::string desc;
+    std::uint64_t value = 0;
+
+    Stat &operator++() { ++value; return *this; }
+    Stat &operator+=(std::uint64_t v) { value += v; return *this; }
+    void reset() { value = 0; }
+};
+
+/**
+ * A group of statistics belonging to one component.
+ *
+ * Components hold references to Stats created via add(); the group owns
+ * the storage (stable addresses — a deque underneath).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix) : groupPrefix(std::move(prefix)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Create (or look up) a counter with @p name in this group. */
+    Stat &add(const std::string &name, const std::string &desc = "");
+
+    /** Zero every counter in the group. */
+    void resetAll();
+
+    /** All counters, in registration order. */
+    const std::vector<Stat *> &all() const { return order; }
+
+    /** Value lookup by name; returns 0 if absent. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Render "prefix.name  value  # desc" lines. */
+    std::string dump() const;
+
+    const std::string &prefix() const { return groupPrefix; }
+
+  private:
+    std::string groupPrefix;
+    std::map<std::string, Stat> stats;
+    std::vector<Stat *> order;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_COMMON_STATS_HH

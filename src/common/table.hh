@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Column-aligned ASCII table printer used by the benchmark harnesses to
+ * emit the paper's tables and figure series.
+ */
+
+#ifndef MSPLIB_COMMON_TABLE_HH
+#define MSPLIB_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace msp {
+
+/** Accumulates rows of cells and renders them with aligned columns. */
+class Table
+{
+  public:
+    /** @param title Optional heading printed above the table. */
+    explicit Table(std::string title = "") : tableTitle(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 2);
+
+    /** Render the table (header separator included). */
+    std::string str() const;
+
+    /** Render as comma-separated values (for plotting scripts). */
+    std::string csv() const;
+
+  private:
+    std::string tableTitle;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_COMMON_TABLE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every msplib module.
+ */
+
+#ifndef MSPLIB_COMMON_TYPES_HH
+#define MSPLIB_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace msp {
+
+/** Byte address in the simulated machine's flat address space. */
+using Addr = std::uint64_t;
+
+/** Simulation time measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Global fetch-order sequence number of a dynamic instruction. */
+using SeqNum = std::uint64_t;
+
+/** Invalid / "no instruction" sequence number sentinel. */
+constexpr SeqNum invalidSeqNum = std::numeric_limits<SeqNum>::max();
+
+/** Invalid address sentinel. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Number of architectural integer registers (one SCT per register). */
+constexpr int numIntRegs = 32;
+
+/** Number of architectural floating-point registers. */
+constexpr int numFpRegs = 32;
+
+/** Total number of logical registers (int + fp). */
+constexpr int numLogRegs = numIntRegs + numFpRegs;
+
+/** Width in bytes of every memory access in the simulated ISA. */
+constexpr int wordBytes = 8;
+
+} // namespace msp
+
+#endif // MSPLIB_COMMON_TYPES_HH

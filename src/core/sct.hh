@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SctBank — the State Control Table for one logical register (Sec. 3.2.1).
+ *
+ * Each logical register owns a fixed bank of physical registers. An SCT
+ * entry is the descriptor of one physical register: its Lower StateId
+ * (the Upper StateId is implicit — the next entry's StateId minus one),
+ * a valid bit, the Ready bit (value produced), the RelIQ use-bit row
+ * (one bit per instruction-queue slot) and the count of non-assigning
+ * instructions belonging to the entry's state.
+ *
+ * Physical registers are allocated and released in order within the
+ * bank (constraint (b) of Sec. 3.1): allocation pushes at the tail
+ * (RenP), commit-release pops at the head, recovery-release pops at the
+ * tail. Entry *slots* are stable indices so in-flight instructions can
+ * name their operands as (bank, slot) pairs.
+ */
+
+#ifndef MSPLIB_CORE_SCT_HH
+#define MSPLIB_CORE_SCT_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace msp {
+
+/** Maximum instruction-queue size supported by the RelIQ rows. */
+constexpr unsigned maxIqSlots = 256;
+
+/** Descriptor of one physical register in a bank. */
+struct SctEntry
+{
+    std::uint32_t stateId = 0;   ///< Lower StateId
+    bool valid = false;
+    bool ready = false;          ///< Rb: value produced
+    std::uint64_t value = 0;
+    std::uint32_t useCount = 0;  ///< set bits in the RelIQ row
+    std::uint32_t pendingOps = 0;///< unexecuted same-state non-assigners
+    std::array<std::uint64_t, maxIqSlots / 64> useBits{};
+
+    /**
+     * Local completion: value produced, consumed by every dependent in
+     * the IQ, and every same-state instruction executed. This is the
+     * predicate the Release Pointer (RelP) stops at.
+     */
+    bool
+    done() const
+    {
+        return ready && useCount == 0 && pendingOps == 0;
+    }
+};
+
+/** One logical register's bank of physical registers. */
+class SctBank
+{
+  public:
+    /**
+     * @param bankId   Unified logical register index (for diagnostics).
+     * @param capacity Physical registers in the bank (n of n-SP).
+     */
+    SctBank(int bankId, unsigned capacity);
+
+    /** True when no more physical registers can be allocated. */
+    bool full() const { return order.size() >= cap; }
+
+    /** Live (valid) entries. */
+    std::size_t occupancy() const { return order.size(); }
+
+    /**
+     * Allocate the next physical register (advance RenP).
+     * @return Stable slot index of the new entry.
+     */
+    int allocate(std::uint32_t stateId);
+
+    /** Slot of the current mapping (RenP target); -1 if bank empty. */
+    int
+    renameSlot() const
+    {
+        return order.empty() ? -1 : order.back();
+    }
+
+    /** Slot of the oldest live entry (RelP scan base); -1 if empty. */
+    int
+    oldestSlot() const
+    {
+        return order.empty() ? -1 : order.front();
+    }
+
+    SctEntry &
+    entry(int slot)
+    {
+        msp_assert(slot >= 0 && slot < static_cast<int>(slots.size()) &&
+                       slots[slot].valid,
+                   "bank %d: access to invalid slot %d", id, slot);
+        return slots[slot];
+    }
+
+    const SctEntry &
+    entry(int slot) const
+    {
+        return const_cast<SctBank *>(this)->entry(slot);
+    }
+
+    /**
+     * Set the RelIQ use bit (consumer @p iqSlot depends on @p slot).
+     * @return true if the bit was newly set (caller must clear it).
+     */
+    bool setUse(int slot, int iqSlot);
+
+    /** Clear a use bit (consumer issued, or squashed). */
+    void clearUse(int slot, int iqSlot);
+
+    /**
+     * StateId this bank contributes to the LCS minimum: the StateId of
+     * the first (oldest) entry that still holds its state back. A bank
+     * whose entries are all clear is excluded (the RenP==RelP special
+     * condition of Sec. 3.2.2 and its multi-entry generalisation).
+     *
+     * The *tail* entry (current mapping, RenP target) only holds the
+     * LCS until its value is produced — not until consumed: a live
+     * architectural value (e.g. a loop-invariant constant) gains new
+     * consumers forever, and each consumer already gates the LCS
+     * through its own instruction's state. Without this exclusion a
+     * single loop-invariant register deadlocks commit.
+     */
+    std::optional<std::uint32_t> lcsContribution() const;
+
+    /**
+     * Commit-time release: release head entries that have a *committed
+     * successor* (successor StateId < @p lcs). The newest entry with
+     * StateId < lcs is kept — it holds the architectural value.
+     * @return Number of entries released.
+     */
+    int releaseCommitted(std::uint32_t lcs);
+
+    /** Recovery-time release of the tail entry (squashed allocator). */
+    void releaseTail(int expectedSlot);
+
+    /** Subtract @p sub from every stored StateId (Sb flash-clear). */
+    void flashClearStateIds(std::uint32_t sub);
+
+    /** Oldest-to-newest slot order (for tests/diagnostics). */
+    const std::deque<int> &liveOrder() const { return order; }
+
+    int bankId() const { return id; }
+
+  private:
+    int freeSlot();
+
+    int id;
+    std::size_t cap;
+    std::vector<SctEntry> slots;
+    std::vector<int> freeSlots;
+    std::deque<int> order;   ///< live slots, oldest first
+};
+
+} // namespace msp
+
+#endif // MSPLIB_CORE_SCT_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Architectural state: logical registers plus data memory.
+ */
+
+#ifndef MSPLIB_FUNCTIONAL_ARCH_STATE_HH
+#define MSPLIB_FUNCTIONAL_ARCH_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace msp {
+
+/**
+ * The architectural register file and memory of a running program.
+ *
+ * Register words are raw 64-bit values; fp registers hold IEEE doubles
+ * reinterpreted as bits. Memory is word-granular (8 bytes).
+ */
+class ArchState
+{
+  public:
+    /** Initialize from a program image (zero registers, load initData). */
+    explicit ArchState(const Program &prog)
+        : intRegs(numIntRegs, 0), fpRegs(numFpRegs, 0),
+          mem(prog.memWords, 0), mask(prog.addrMask())
+    {
+        for (std::size_t i = 0; i < prog.initData.size(); ++i)
+            mem[i] = prog.initData[i];
+    }
+
+    /** Read integer register @p r (r0 reads as zero). */
+    std::uint64_t
+    readInt(int r) const
+    {
+        msp_assert(r >= 0 && r < numIntRegs, "int reg %d out of range", r);
+        return r == 0 ? 0 : intRegs[r];
+    }
+
+    /** Write integer register @p r (writes to r0 are discarded). */
+    void
+    writeInt(int r, std::uint64_t v)
+    {
+        msp_assert(r >= 0 && r < numIntRegs, "int reg %d out of range", r);
+        if (r != 0)
+            intRegs[r] = v;
+    }
+
+    /** Read fp register @p r as raw bits. */
+    std::uint64_t
+    readFp(int r) const
+    {
+        msp_assert(r >= 0 && r < numFpRegs, "fp reg %d out of range", r);
+        return fpRegs[r];
+    }
+
+    /** Write fp register @p r with raw bits. */
+    void
+    writeFp(int r, std::uint64_t v)
+    {
+        msp_assert(r >= 0 && r < numFpRegs, "fp reg %d out of range", r);
+        fpRegs[r] = v;
+    }
+
+    /** Read a register by class. */
+    std::uint64_t
+    read(RegClass cls, int r) const
+    {
+        return cls == RegClass::Fp ? readFp(r) : readInt(r);
+    }
+
+    /** Write a register by class. */
+    void
+    write(RegClass cls, int r, std::uint64_t v)
+    {
+        if (cls == RegClass::Fp)
+            writeFp(r, v);
+        else
+            writeInt(r, v);
+    }
+
+    /** Load the word at byte address @p a (already masked/aligned). */
+    std::uint64_t
+    load(Addr a) const
+    {
+        return mem[(a & mask) / wordBytes];
+    }
+
+    /** Store the word at byte address @p a. */
+    void
+    store(Addr a, std::uint64_t v)
+    {
+        mem[(a & mask) / wordBytes] = v;
+    }
+
+    /** Address mask of the owning program. */
+    Addr addrMask() const { return mask; }
+
+    bool
+    operator==(const ArchState &o) const
+    {
+        return intRegs == o.intRegs && fpRegs == o.fpRegs && mem == o.mem;
+    }
+
+  private:
+    std::vector<std::uint64_t> intRegs;
+    std::vector<std::uint64_t> fpRegs;
+    std::vector<std::uint64_t> mem;
+    Addr mask;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_FUNCTIONAL_ARCH_STATE_HH

@@ -1,0 +1,79 @@
+#include "functional/executor.hh"
+
+#include "common/logging.hh"
+#include "functional/semantics.hh"
+
+namespace msp {
+
+StepResult
+FunctionalExecutor::step()
+{
+    msp_assert(!isHalted, "step() after HALT");
+
+    const Instruction &in = program->at(curPc);
+    const OpInfo &oi = in.info();
+    StepResult res;
+    res.pc = curPc;
+    res.nextPc = curPc + 1;
+
+    const std::uint64_t a =
+        oi.src1 == RegClass::None ? 0 : archState.read(oi.src1, in.rs1);
+    const std::uint64_t b =
+        oi.src2 == RegClass::None ? 0 : archState.read(oi.src2, in.rs2);
+
+    if (oi.isHalt) {
+        isHalted = true;
+        res.halted = true;
+    } else if (oi.isTrap) {
+        res.trapped = true;
+    } else if (oi.isLoad) {
+        res.isLoad = true;
+        res.memAddr = semantics::effectiveAddr(in, a, archState.addrMask());
+        res.value = archState.load(res.memAddr);
+        res.wroteReg = in.writesReg();
+        if (res.wroteReg)
+            archState.write(oi.dst, in.rd, res.value);
+    } else if (oi.isStore) {
+        res.isStore = true;
+        res.memAddr = semantics::effectiveAddr(in, a, archState.addrMask());
+        res.storeValue = b;
+        archState.store(res.memAddr, b);
+    } else if (oi.isCondBranch) {
+        res.taken = semantics::branchTaken(in, a, b);
+        res.nextPc = semantics::controlTarget(in, a, res.taken, curPc);
+    } else if (oi.isControl()) {
+        res.taken = true;
+        res.nextPc = semantics::controlTarget(in, a, true, curPc);
+        if (in.writesReg()) {
+            res.wroteReg = true;
+            res.value = semantics::aluResult(in, a, b, curPc);
+            archState.write(oi.dst, in.rd, res.value);
+        }
+    } else if (in.op == Opcode::NOP) {
+        // nothing
+    } else {
+        msp_assert(oi.dst != RegClass::None, "unclassified opcode %s",
+                   opName(in.op));
+        res.value = semantics::aluResult(in, a, b, curPc);
+        res.wroteReg = in.writesReg();
+        if (res.wroteReg)
+            archState.write(oi.dst, in.rd, res.value);
+    }
+
+    curPc = res.nextPc;
+    ++numInsts;
+    return res;
+}
+
+std::uint64_t
+FunctionalExecutor::run(std::uint64_t maxInsts)
+{
+    std::uint64_t n = 0;
+    while (n < maxInsts && !isHalted) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace msp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Functional (1-instruction-per-step) executor.
+ *
+ * Serves three roles: the reference model for ISA tests, the commit-time
+ * oracle that every out-of-order core is checked against, and a fast way
+ * to profile workload characteristics (branch/load mix etc.).
+ */
+
+#ifndef MSPLIB_FUNCTIONAL_EXECUTOR_HH
+#define MSPLIB_FUNCTIONAL_EXECUTOR_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "functional/arch_state.hh"
+#include "isa/program.hh"
+
+namespace msp {
+
+/** Everything one functional step produced (for oracle comparison). */
+struct StepResult
+{
+    Addr pc = 0;                ///< pc of the executed instruction
+    Addr nextPc = 0;            ///< pc after the instruction
+    bool wroteReg = false;      ///< destination register was written
+    std::uint64_t value = 0;    ///< destination value (if wroteReg)
+    bool isStore = false;
+    bool isLoad = false;
+    Addr memAddr = 0;           ///< effective address (loads/stores)
+    std::uint64_t storeValue = 0;
+    bool taken = false;         ///< branch direction (control only)
+    bool trapped = false;       ///< instruction raised an exception
+    bool halted = false;
+};
+
+/** Steps a program one instruction at a time over an ArchState. */
+class FunctionalExecutor
+{
+  public:
+    explicit FunctionalExecutor(const Program &prog)
+        : program(&prog), archState(prog), curPc(prog.entry)
+    {}
+
+    /** The executor keeps a reference: temporaries are rejected. */
+    explicit FunctionalExecutor(Program &&) = delete;
+
+    /**
+     * Execute one instruction.
+     *
+     * TRAP is architecturally defined to be a no-op that raises a precise
+     * exception: the reported handler behaviour is "skip and continue",
+     * so the functional model simply steps past it with trapped=true.
+     */
+    StepResult step();
+
+    /** Run up to @p maxInsts instructions or until HALT. */
+    std::uint64_t run(std::uint64_t maxInsts);
+
+    /** Current pc. */
+    Addr pc() const { return curPc; }
+
+    /** True once a HALT has been executed. */
+    bool halted() const { return isHalted; }
+
+    /** Architectural state (for inspection and oracle comparison). */
+    ArchState &state() { return archState; }
+    const ArchState &state() const { return archState; }
+
+    /** Number of instructions executed so far. */
+    std::uint64_t instCount() const { return numInsts; }
+
+  private:
+    const Program *program;
+    ArchState archState;
+    Addr curPc;
+    bool isHalted = false;
+    std::uint64_t numInsts = 0;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_FUNCTIONAL_EXECUTOR_HH

@@ -1,0 +1,84 @@
+#include "functional/semantics.hh"
+
+#include "common/logging.hh"
+
+namespace msp {
+namespace semantics {
+
+std::uint64_t
+aluResult(const Instruction &in, std::uint64_t a, std::uint64_t b, Addr pc)
+{
+    using U = std::uint64_t;
+    using S = std::int64_t;
+    const U imm = static_cast<U>(in.imm);
+
+    switch (in.op) {
+      case Opcode::ADD:  return a + b;
+      case Opcode::SUB:  return a - b;
+      case Opcode::MUL:  return a * b;
+      case Opcode::DIV:  return b == 0 ? ~U{0} : a / b;
+      case Opcode::AND:  return a & b;
+      case Opcode::OR:   return a | b;
+      case Opcode::XOR:  return a ^ b;
+      case Opcode::SLL:  return a << (b & 63);
+      case Opcode::SRL:  return a >> (b & 63);
+      case Opcode::SLT:  return static_cast<S>(a) < static_cast<S>(b);
+      case Opcode::ADDI: return a + imm;
+      case Opcode::ANDI: return a & imm;
+      case Opcode::ORI:  return a | imm;
+      case Opcode::XORI: return a ^ imm;
+      case Opcode::SLLI: return a << (imm & 63);
+      case Opcode::SRLI: return a >> (imm & 63);
+      case Opcode::SLTI: return static_cast<S>(a) < in.imm;
+      case Opcode::LI:   return imm;
+      case Opcode::MOV:  return a;
+      case Opcode::JAL:  return pc + 1;
+
+      case Opcode::FADD: return asBits(asDouble(a) + asDouble(b));
+      case Opcode::FSUB: return asBits(asDouble(a) - asDouble(b));
+      case Opcode::FMUL: return asBits(asDouble(a) * asDouble(b));
+      case Opcode::FDIV:
+        return asBits(asDouble(b) == 0.0 ? 0.0 : asDouble(a) / asDouble(b));
+      case Opcode::FMOV: return a;
+      case Opcode::FNEG: return asBits(-asDouble(a));
+      case Opcode::FITOF:
+        return asBits(static_cast<double>(static_cast<S>(a)));
+      case Opcode::FFTOI:
+        return static_cast<U>(static_cast<S>(asDouble(a)));
+      case Opcode::FCMPLT:
+        return asDouble(a) < asDouble(b) ? 1 : 0;
+
+      default:
+        msp_panic("aluResult on non-ALU opcode %s", opName(in.op));
+    }
+}
+
+bool
+branchTaken(const Instruction &in, std::uint64_t a, std::uint64_t b)
+{
+    using S = std::int64_t;
+    switch (in.op) {
+      case Opcode::BEQ: return a == b;
+      case Opcode::BNE: return a != b;
+      case Opcode::BLT: return static_cast<S>(a) < static_cast<S>(b);
+      case Opcode::BGE: return static_cast<S>(a) >= static_cast<S>(b);
+      default:
+        msp_panic("branchTaken on non-branch opcode %s", opName(in.op));
+    }
+}
+
+Addr
+controlTarget(const Instruction &in, std::uint64_t a, bool taken, Addr pc)
+{
+    const OpInfo &oi = in.info();
+    if (oi.isCondBranch)
+        return taken ? in.target() : pc + 1;
+    if (oi.isUncondDirect)
+        return in.target();
+    if (oi.isIndirect)
+        return a;
+    msp_panic("controlTarget on non-control opcode %s", opName(in.op));
+}
+
+} // namespace semantics
+} // namespace msp

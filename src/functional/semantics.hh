@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Pure-function instruction semantics.
+ *
+ * Both the functional (oracle) executor and the out-of-order cores'
+ * execute stages call these helpers, guaranteeing that speculative
+ * execution and the commit-time oracle can never disagree about what an
+ * operation computes.
+ */
+
+#ifndef MSPLIB_FUNCTIONAL_SEMANTICS_HH
+#define MSPLIB_FUNCTIONAL_SEMANTICS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace msp {
+namespace semantics {
+
+/** Reinterpret a register word as a double. */
+inline double
+asDouble(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+/** Reinterpret a double as a register word. */
+inline std::uint64_t
+asBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/**
+ * Compute the result of a register-writing, non-memory operation.
+ *
+ * @param in   Static instruction (for opcode and immediate).
+ * @param a    Value of source 1 (register word).
+ * @param b    Value of source 2 (register word).
+ * @param pc   The instruction's own pc (JAL writes pc + 1).
+ * @return The destination register word.
+ */
+std::uint64_t aluResult(const Instruction &in, std::uint64_t a,
+                        std::uint64_t b, Addr pc);
+
+/**
+ * Conditional-branch direction.
+ *
+ * @param in Static instruction; must be a conditional branch.
+ */
+bool branchTaken(const Instruction &in, std::uint64_t a, std::uint64_t b);
+
+/**
+ * Effective byte address of a load or store, masked into data memory
+ * and aligned to the 8-byte word size.
+ *
+ * @param base Value of the base register.
+ * @param in   Static instruction (for the offset immediate).
+ * @param mask Program::addrMask() of the running program.
+ */
+inline Addr
+effectiveAddr(const Instruction &in, std::uint64_t base, Addr mask)
+{
+    return (base + static_cast<std::uint64_t>(in.imm)) & mask & ~Addr{7};
+}
+
+/**
+ * Resolved target of any control transfer.
+ *
+ * @param in  The control instruction.
+ * @param a   Value of rs1 (used by indirect jumps).
+ * @param taken Direction for conditional branches.
+ * @return The next pc.
+ */
+Addr controlTarget(const Instruction &in, std::uint64_t a, bool taken,
+                   Addr pc);
+
+} // namespace semantics
+} // namespace msp
+
+#endif // MSPLIB_FUNCTIONAL_SEMANTICS_HH

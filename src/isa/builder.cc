@@ -1,0 +1,334 @@
+#include "isa/builder.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace msp {
+
+namespace {
+
+void
+checkReg(int r, const char *what)
+{
+    msp_assert(r >= 0 && r < numIntRegs, "%s register %d out of range",
+               what, r);
+}
+
+Instruction
+make(Opcode op, int rd, int rs1, int rs2, std::int64_t imm = 0)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = static_cast<std::int8_t>(rd);
+    in.rs1 = static_cast<std::int8_t>(rs1);
+    in.rs2 = static_cast<std::int8_t>(rs2);
+    in.imm = imm;
+    return in;
+}
+
+} // anonymous namespace
+
+ProgramBuilder::ProgramBuilder(std::string name) : progName(std::move(name))
+{}
+
+Label
+ProgramBuilder::newLabel()
+{
+    labelPc.push_back(-1);
+    return Label{static_cast<int>(labelPc.size()) - 1};
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    msp_assert(l.valid() && l.id < static_cast<int>(labelPc.size()),
+               "bind of invalid label");
+    msp_assert(labelPc[l.id] < 0, "label %d bound twice", l.id);
+    labelPc[l.id] = static_cast<std::int64_t>(code.size());
+}
+
+Addr
+ProgramBuilder::labelAddr(Label l) const
+{
+    msp_assert(l.valid() && l.id < static_cast<int>(labelPc.size()) &&
+                   labelPc[l.id] >= 0,
+               "labelAddr of unbound label");
+    return static_cast<Addr>(labelPc[l.id]);
+}
+
+Addr
+ProgramBuilder::emit(const Instruction &inst)
+{
+    msp_assert(!finished, "emit after finish()");
+    code.push_back(inst);
+    return code.size() - 1;
+}
+
+// ---- integer ops ---------------------------------------------------------
+
+#define MSP_RRR(fn, OP)                                                     \
+    void ProgramBuilder::fn(int rd, int rs1, int rs2)                       \
+    {                                                                       \
+        checkReg(rd, "dst"); checkReg(rs1, "src1"); checkReg(rs2, "src2");  \
+        emit(make(Opcode::OP, rd, rs1, rs2));                               \
+    }
+
+MSP_RRR(add, ADD)
+MSP_RRR(sub, SUB)
+MSP_RRR(mul, MUL)
+MSP_RRR(div, DIV)
+MSP_RRR(and_, AND)
+MSP_RRR(or_, OR)
+MSP_RRR(xor_, XOR)
+MSP_RRR(sll, SLL)
+MSP_RRR(srl, SRL)
+MSP_RRR(slt, SLT)
+#undef MSP_RRR
+
+#define MSP_RRI(fn, OP)                                                     \
+    void ProgramBuilder::fn(int rd, int rs1, std::int64_t imm)              \
+    {                                                                       \
+        checkReg(rd, "dst"); checkReg(rs1, "src1");                         \
+        emit(make(Opcode::OP, rd, rs1, -1, imm));                           \
+    }
+
+MSP_RRI(addi, ADDI)
+MSP_RRI(andi, ANDI)
+MSP_RRI(ori, ORI)
+MSP_RRI(xori, XORI)
+MSP_RRI(slli, SLLI)
+MSP_RRI(srli, SRLI)
+MSP_RRI(slti, SLTI)
+#undef MSP_RRI
+
+void
+ProgramBuilder::li(int rd, std::int64_t imm)
+{
+    checkReg(rd, "dst");
+    emit(make(Opcode::LI, rd, -1, -1, imm));
+}
+
+void
+ProgramBuilder::mov(int rd, int rs1)
+{
+    checkReg(rd, "dst");
+    checkReg(rs1, "src1");
+    emit(make(Opcode::MOV, rd, rs1, -1));
+}
+
+// ---- memory --------------------------------------------------------------
+
+void
+ProgramBuilder::ld(int rd, int base, std::int64_t off)
+{
+    checkReg(rd, "dst");
+    checkReg(base, "base");
+    emit(make(Opcode::LD, rd, base, -1, off));
+}
+
+void
+ProgramBuilder::st(int dataReg, int base, std::int64_t off)
+{
+    checkReg(dataReg, "data");
+    checkReg(base, "base");
+    emit(make(Opcode::ST, -1, base, dataReg, off));
+}
+
+void
+ProgramBuilder::fld(int fd, int base, std::int64_t off)
+{
+    checkReg(fd, "dst");
+    checkReg(base, "base");
+    emit(make(Opcode::FLD, fd, base, -1, off));
+}
+
+void
+ProgramBuilder::fst(int fdata, int base, std::int64_t off)
+{
+    checkReg(fdata, "data");
+    checkReg(base, "base");
+    emit(make(Opcode::FST, -1, base, fdata, off));
+}
+
+// ---- control flow ----------------------------------------------------------
+
+void
+ProgramBuilder::emitBranch(Opcode op, int rs1, int rs2, Label target)
+{
+    msp_assert(target.valid(), "branch to invalid label");
+    Addr pc = emit(make(op, -1, rs1, rs2, 0));
+    fixups.emplace_back(pc, target.id);
+}
+
+void
+ProgramBuilder::beq(int rs1, int rs2, Label t)
+{
+    checkReg(rs1, "src1");
+    checkReg(rs2, "src2");
+    emitBranch(Opcode::BEQ, rs1, rs2, t);
+}
+
+void
+ProgramBuilder::bne(int rs1, int rs2, Label t)
+{
+    checkReg(rs1, "src1");
+    checkReg(rs2, "src2");
+    emitBranch(Opcode::BNE, rs1, rs2, t);
+}
+
+void
+ProgramBuilder::blt(int rs1, int rs2, Label t)
+{
+    checkReg(rs1, "src1");
+    checkReg(rs2, "src2");
+    emitBranch(Opcode::BLT, rs1, rs2, t);
+}
+
+void
+ProgramBuilder::bge(int rs1, int rs2, Label t)
+{
+    checkReg(rs1, "src1");
+    checkReg(rs2, "src2");
+    emitBranch(Opcode::BGE, rs1, rs2, t);
+}
+
+void
+ProgramBuilder::j(Label t)
+{
+    msp_assert(t.valid(), "jump to invalid label");
+    Addr pc = emit(make(Opcode::J, -1, -1, -1, 0));
+    fixups.emplace_back(pc, t.id);
+}
+
+void
+ProgramBuilder::jal(int rd, Label t)
+{
+    checkReg(rd, "link");
+    msp_assert(t.valid(), "jal to invalid label");
+    Addr pc = emit(make(Opcode::JAL, rd, -1, -1, 0));
+    fixups.emplace_back(pc, t.id);
+}
+
+void
+ProgramBuilder::jr(int rs1)
+{
+    checkReg(rs1, "target");
+    emit(make(Opcode::JR, -1, rs1, -1));
+}
+
+void
+ProgramBuilder::ret(int rs1)
+{
+    checkReg(rs1, "link");
+    emit(make(Opcode::RET, -1, rs1, -1));
+}
+
+// ---- floating point --------------------------------------------------------
+
+#define MSP_FFF(fn, OP)                                                     \
+    void ProgramBuilder::fn(int fd, int fs1, int fs2)                       \
+    {                                                                       \
+        checkReg(fd, "dst"); checkReg(fs1, "src1"); checkReg(fs2, "src2");  \
+        emit(make(Opcode::OP, fd, fs1, fs2));                               \
+    }
+
+MSP_FFF(fadd, FADD)
+MSP_FFF(fsub, FSUB)
+MSP_FFF(fmul, FMUL)
+MSP_FFF(fdiv, FDIV)
+MSP_FFF(fcmplt, FCMPLT)
+#undef MSP_FFF
+
+void
+ProgramBuilder::fmov(int fd, int fs1)
+{
+    checkReg(fd, "dst");
+    checkReg(fs1, "src1");
+    emit(make(Opcode::FMOV, fd, fs1, -1));
+}
+
+void
+ProgramBuilder::fneg(int fd, int fs1)
+{
+    checkReg(fd, "dst");
+    checkReg(fs1, "src1");
+    emit(make(Opcode::FNEG, fd, fs1, -1));
+}
+
+void
+ProgramBuilder::fitof(int fd, int rs1)
+{
+    checkReg(fd, "dst");
+    checkReg(rs1, "src1");
+    emit(make(Opcode::FITOF, fd, rs1, -1));
+}
+
+void
+ProgramBuilder::fftoi(int rd, int fs1)
+{
+    checkReg(rd, "dst");
+    checkReg(fs1, "src1");
+    emit(make(Opcode::FFTOI, rd, fs1, -1));
+}
+
+// ---- misc ------------------------------------------------------------------
+
+void
+ProgramBuilder::nop()
+{
+    emit(make(Opcode::NOP, -1, -1, -1));
+}
+
+void
+ProgramBuilder::trap()
+{
+    emit(make(Opcode::TRAP, -1, -1, -1));
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(make(Opcode::HALT, -1, -1, -1));
+}
+
+// ---- data ------------------------------------------------------------------
+
+void
+ProgramBuilder::memSize(std::size_t w)
+{
+    words = std::bit_ceil(w);
+}
+
+void
+ProgramBuilder::data(std::size_t wordIdx, std::uint64_t value)
+{
+    if (init.size() <= wordIdx)
+        init.resize(wordIdx + 1, 0);
+    init[wordIdx] = value;
+}
+
+Program
+ProgramBuilder::finish()
+{
+    msp_assert(!finished, "finish() called twice");
+    msp_assert(!code.empty(), "empty program");
+    finished = true;
+
+    for (auto [pc, id] : fixups) {
+        msp_assert(labelPc[id] >= 0, "label %d never bound", id);
+        code[pc].imm = labelPc[id];
+    }
+    if (init.size() > words)
+        words = std::bit_ceil(init.size());
+
+    Program p;
+    p.name = progName;
+    p.code = std::move(code);
+    p.initData = std::move(init);
+    p.memWords = words;
+    p.entry = 0;
+    return p;
+}
+
+} // namespace msp

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ProgramBuilder — a tiny in-memory assembler with label fix-ups.
+ *
+ * All workload generators and tests construct programs through this
+ * class; it is the only way to create control transfers, so targets are
+ * always validated.
+ */
+
+#ifndef MSPLIB_ISA_BUILDER_HH
+#define MSPLIB_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace msp {
+
+/** Opaque label handle returned by ProgramBuilder::newLabel(). */
+struct Label
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/** Incremental program constructor. */
+class ProgramBuilder
+{
+  public:
+    /** @param name Program name recorded in the image. */
+    explicit ProgramBuilder(std::string name);
+
+    // ---- labels ---------------------------------------------------------
+    /** Allocate a new, unbound label. */
+    Label newLabel();
+
+    /** Bind @p l to the current emission point. */
+    void bind(Label l);
+
+    /** Pc of a bound label (for building indirect-jump tables). */
+    Addr labelAddr(Label l) const;
+
+    /** Current pc (index of the next emitted instruction). */
+    Addr here() const { return code.size(); }
+
+    // ---- raw emission ---------------------------------------------------
+    /** Append an instruction verbatim; returns its pc. */
+    Addr emit(const Instruction &inst);
+
+    // ---- integer ops ----------------------------------------------------
+    void add(int rd, int rs1, int rs2);
+    void sub(int rd, int rs1, int rs2);
+    void mul(int rd, int rs1, int rs2);
+    void div(int rd, int rs1, int rs2);
+    void and_(int rd, int rs1, int rs2);
+    void or_(int rd, int rs1, int rs2);
+    void xor_(int rd, int rs1, int rs2);
+    void sll(int rd, int rs1, int rs2);
+    void srl(int rd, int rs1, int rs2);
+    void slt(int rd, int rs1, int rs2);
+    void addi(int rd, int rs1, std::int64_t imm);
+    void andi(int rd, int rs1, std::int64_t imm);
+    void ori(int rd, int rs1, std::int64_t imm);
+    void xori(int rd, int rs1, std::int64_t imm);
+    void slli(int rd, int rs1, std::int64_t imm);
+    void srli(int rd, int rs1, std::int64_t imm);
+    void slti(int rd, int rs1, std::int64_t imm);
+    void li(int rd, std::int64_t imm);
+    void mov(int rd, int rs1);
+
+    // ---- memory ---------------------------------------------------------
+    void ld(int rd, int base, std::int64_t off);
+    void st(int data, int base, std::int64_t off);
+    void fld(int fd, int base, std::int64_t off);
+    void fst(int fdata, int base, std::int64_t off);
+
+    // ---- control flow ---------------------------------------------------
+    void beq(int rs1, int rs2, Label target);
+    void bne(int rs1, int rs2, Label target);
+    void blt(int rs1, int rs2, Label target);
+    void bge(int rs1, int rs2, Label target);
+    void j(Label target);
+    void jal(int rd, Label target);
+    void jr(int rs1);
+    void ret(int rs1);
+
+    // ---- floating point -------------------------------------------------
+    void fadd(int fd, int fs1, int fs2);
+    void fsub(int fd, int fs1, int fs2);
+    void fmul(int fd, int fs1, int fs2);
+    void fdiv(int fd, int fs1, int fs2);
+    void fmov(int fd, int fs1);
+    void fneg(int fd, int fs1);
+    void fitof(int fd, int rs1);
+    void fftoi(int rd, int fs1);
+    void fcmplt(int rd, int fs1, int fs2);
+
+    // ---- misc -----------------------------------------------------------
+    void nop();
+    void trap();
+    void halt();
+
+    // ---- data -----------------------------------------------------------
+    /** Set the data-memory size (rounded up to a power of two). */
+    void memSize(std::size_t words);
+
+    /** Set the initial value of data word @p wordIdx. */
+    void data(std::size_t wordIdx, std::uint64_t value);
+
+    /** Fill words [first, first+count) with generator-provided values. */
+    template <typename Fn>
+    void
+    dataFill(std::size_t first, std::size_t count, Fn fn)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            data(first + i, fn(i));
+    }
+
+    /** Finalize: patch labels, validate, and return the image. */
+    Program finish();
+
+  private:
+    void emitBranch(Opcode op, int rs1, int rs2, Label target);
+
+    std::string progName;
+    std::vector<Instruction> code;
+    std::vector<std::int64_t> labelPc;       // -1 while unbound
+    std::vector<std::pair<Addr, int>> fixups; // (pc, label id)
+    std::vector<std::uint64_t> init;
+    std::size_t words = 1 << 16;
+    bool finished = false;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_ISA_BUILDER_HH

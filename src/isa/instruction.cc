@@ -1,0 +1,32 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace msp {
+
+std::string
+Instruction::toString() const
+{
+    const OpInfo &oi = info();
+    std::string s = oi.mnemonic;
+    auto reg = [](RegClass c, int r) {
+        return csprintf("%c%d", c == RegClass::Fp ? 'f' : 'r', r);
+    };
+    if (oi.dst != RegClass::None)
+        s += " " + reg(oi.dst, rd);
+    if (oi.src1 != RegClass::None)
+        s += (oi.dst != RegClass::None ? ", " : " ") + reg(oi.src1, rs1);
+    if (oi.src2 != RegClass::None)
+        s += ", " + reg(oi.src2, rs2);
+    if (oi.isCondBranch || oi.isUncondDirect) {
+        s += csprintf(" -> @%lld", static_cast<long long>(imm));
+    } else if (oi.isLoad || oi.isStore || op == Opcode::ADDI ||
+               op == Opcode::LI || op == Opcode::SLLI || op == Opcode::SRLI ||
+               op == Opcode::SLTI || op == Opcode::ANDI ||
+               op == Opcode::ORI || op == Opcode::XORI) {
+        s += csprintf(", #%lld", static_cast<long long>(imm));
+    }
+    return s;
+}
+
+} // namespace msp

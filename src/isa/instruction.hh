@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Static instruction representation and logical-register helpers.
+ */
+
+#ifndef MSPLIB_ISA_INSTRUCTION_HH
+#define MSPLIB_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace msp {
+
+/**
+ * Index of a logical register in the unified (int + fp) space.
+ *
+ * Integer register k maps to k; fp register k maps to numIntRegs + k.
+ * The MSP core allocates one SCT (bank) per unified index.
+ */
+inline int
+unifiedReg(RegClass cls, int idx)
+{
+    return cls == RegClass::Fp ? numIntRegs + idx : idx;
+}
+
+/** A static (decoded) instruction. PCs are instruction indices. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    std::int8_t rd = -1;   ///< destination register (class-local), -1 none
+    std::int8_t rs1 = -1;  ///< first source, -1 none
+    std::int8_t rs2 = -1;  ///< second source, -1 none
+    std::int64_t imm = 0;  ///< immediate / absolute branch target pc
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    /**
+     * True when the instruction assigns a destination register — the MSP
+     * state-creation condition. Writes to the hard-wired zero register
+     * r0 do not allocate and therefore do not create a state.
+     */
+    bool
+    writesReg() const
+    {
+        const OpInfo &oi = info();
+        if (oi.dst == RegClass::None)
+            return false;
+        return !(oi.dst == RegClass::Int && rd == 0);
+    }
+
+    /** Unified index of the destination register; -1 if none. */
+    int
+    dstUnified() const
+    {
+        return writesReg() ? unifiedReg(info().dst, rd) : -1;
+    }
+
+    /** Unified index of source 1; -1 if unused (or int r0). */
+    int
+    src1Unified() const
+    {
+        const OpInfo &oi = info();
+        if (oi.src1 == RegClass::None || rs1 < 0)
+            return -1;
+        if (oi.src1 == RegClass::Int && rs1 == 0)
+            return -1;
+        return unifiedReg(oi.src1, rs1);
+    }
+
+    /** Unified index of source 2; -1 if unused (or int r0). */
+    int
+    src2Unified() const
+    {
+        const OpInfo &oi = info();
+        if (oi.src2 == RegClass::None || rs2 < 0)
+            return -1;
+        if (oi.src2 == RegClass::Int && rs2 == 0)
+            return -1;
+        return unifiedReg(oi.src2, rs2);
+    }
+
+    /** Direct-branch / jump target (valid for cond branches, J, JAL). */
+    Addr target() const { return static_cast<Addr>(imm); }
+
+    /** Disassemble for debugging. */
+    std::string toString() const;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_ISA_INSTRUCTION_HH

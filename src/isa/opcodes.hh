@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Opcode set of the msplib RISC ISA.
+ *
+ * The ISA is deliberately small: a register-assigning / non-assigning
+ * split (which drives MSP state creation), loads/stores, conditional and
+ * indirect control flow, and integer/floating-point arithmetic. This is
+ * everything the paper's mechanisms are sensitive to.
+ */
+
+#ifndef MSPLIB_ISA_OPCODES_HH
+#define MSPLIB_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace msp {
+
+/** Operand / destination register class. */
+enum class RegClass : std::uint8_t {
+    None,   ///< operand not used
+    Int,    ///< integer register r0..r31 (r0 reads as zero)
+    Fp,     ///< floating-point register f0..f31
+};
+
+/** Functional-unit class an operation executes on. */
+enum class FuClass : std::uint8_t {
+    IntAlu,  ///< simple integer ops, branches, address generation
+    IntMul,  ///< integer multiply/divide (shares the IntAlu pool)
+    FpAlu,   ///< floating-point ops
+    Mem,     ///< loads and stores
+    None,    ///< NOP / HALT consume no unit
+};
+
+/** All machine operations. */
+enum class Opcode : std::uint8_t {
+    // Integer ALU, register-register.
+    ADD, SUB, MUL, DIV, AND, OR, XOR, SLL, SRL, SLT,
+    // Integer ALU, register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SLTI, LI, MOV,
+    // Memory.
+    LD, ST, FLD, FST,
+    // Control flow. Conditional branches test two int registers.
+    BEQ, BNE, BLT, BGE,
+    // Unconditional direct jump / call, indirect jump, return.
+    J, JAL, JR, RET,
+    // Floating point.
+    FADD, FSUB, FMUL, FDIV, FMOV, FNEG, FITOF, FFTOI, FCMPLT,
+    // Miscellaneous.
+    NOP, TRAP, HALT,
+
+    NumOpcodes,
+};
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    FuClass fu;
+    std::uint8_t latency;      ///< execute latency in cycles (cache extra)
+    RegClass dst;              ///< destination class (None if non-assigning)
+    RegClass src1;
+    RegClass src2;
+    bool isLoad;
+    bool isStore;
+    bool isCondBranch;
+    bool isUncondDirect;       ///< J / JAL
+    bool isIndirect;           ///< JR / RET
+    bool isCall;               ///< JAL
+    bool isReturn;             ///< RET
+    bool isTrap;
+    bool isHalt;
+
+    /** Any kind of control transfer. */
+    bool
+    isControl() const
+    {
+        return isCondBranch || isUncondDirect || isIndirect;
+    }
+};
+
+/** Lookup table of opcode properties. */
+const OpInfo &opInfo(Opcode op);
+
+/** Short mnemonic for printing. */
+const char *opName(Opcode op);
+
+} // namespace msp
+
+#endif // MSPLIB_ISA_OPCODES_HH

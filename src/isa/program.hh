@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A complete executable image: code, initial data, and memory geometry.
+ */
+
+#ifndef MSPLIB_ISA_PROGRAM_HH
+#define MSPLIB_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace msp {
+
+/**
+ * An executable program.
+ *
+ * PCs are instruction indices into @ref code. Data memory is a flat
+ * array of 8-byte words at byte addresses [0, memWords * 8); every
+ * effective address is masked into this range so that wrong-path
+ * execution can never fault the simulator. The instruction stream is
+ * mapped at @ref codeBase for I-cache purposes.
+ */
+struct Program
+{
+    std::string name;
+    std::vector<Instruction> code;
+    std::vector<std::uint64_t> initData;  ///< initial words at address 0
+    std::size_t memWords = 1 << 16;       ///< must be a power of two
+    Addr entry = 0;                       ///< starting pc (instruction index)
+    Addr codeBase = 0x4000000;            ///< byte base of the code image
+
+    /** Byte address of the instruction at @p pc (for the I-cache). */
+    Addr
+    pcToAddr(Addr pc) const
+    {
+        return codeBase + pc * 4;
+    }
+
+    /** Mask that keeps any byte address inside data memory. */
+    Addr
+    addrMask() const
+    {
+        return static_cast<Addr>(memWords) * wordBytes - 1;
+    }
+
+    /** Fetch the static instruction at @p pc (clamped into the image). */
+    const Instruction &
+    at(Addr pc) const
+    {
+        return code[pc % code.size()];
+    }
+
+    /** Number of static instructions. */
+    std::size_t size() const { return code.size(); }
+};
+
+} // namespace msp
+
+#endif // MSPLIB_ISA_PROGRAM_HH

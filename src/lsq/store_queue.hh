@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Hierarchical (two-level) store queue, after CPR (Akkary et al.).
+ *
+ * Young stores live in the fast L1 SQ; overflow spills (logically) into
+ * the large L2 SQ. Forwarding from the L2 region costs extra search
+ * latency; a CPR rollback must scan the L2 region, which costs cycles
+ * proportional to the number of entries scanned (Sec. 1 of the paper).
+ * MSP releases entries by StateId broadcast instead — no scan.
+ */
+
+#ifndef MSPLIB_LSQ_STORE_QUEUE_HH
+#define MSPLIB_LSQ_STORE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace msp {
+
+/** One pending (uncommitted) store. */
+struct SqEntry
+{
+    SeqNum seq = invalidSeqNum;
+    Addr addr = invalidAddr;
+    bool addrKnown = false;
+    std::uint64_t data = 0;
+    bool dataKnown = false;
+};
+
+/** Outcome of a forwarding probe. */
+struct ForwardResult
+{
+    enum class Kind {
+        None,      ///< no older matching store: go to the cache
+        Forward,   ///< value available from the queue
+        Stall,     ///< older matching store's data not yet known
+        Unknown,   ///< an older store's address is unresolved: wait
+    };
+    Kind kind = Kind::None;
+    std::uint64_t data = 0;
+    Cycle extraLatency = 0;   ///< L2-region search penalty
+};
+
+/** The two-level store queue. */
+class HierStoreQueue
+{
+  public:
+    /**
+     * @param l1Entries Fast-level capacity.
+     * @param l2Entries Second-level capacity (0 = no second level).
+     * @param infinite  Ignore capacity limits (ideal MSP).
+     * @param l2SearchLatency Extra cycles to forward from the L2 region.
+     */
+    HierStoreQueue(unsigned l1Entries, unsigned l2Entries, bool infinite,
+                   Cycle l2SearchLatency = 4)
+        : l1Cap(l1Entries), l2Cap(l2Entries), unbounded(infinite),
+          l2Lat(l2SearchLatency)
+    {}
+
+    /** True when another store can be accepted. */
+    bool
+    canAllocate() const
+    {
+        return unbounded || entries.size() < l1Cap + l2Cap;
+    }
+
+    /** Append a store in program order; address/data arrive later. */
+    void
+    allocate(SeqNum seq)
+    {
+        msp_assert(canAllocate(), "SQ overflow");
+        msp_assert(entries.empty() || entries.back().seq < seq,
+                   "SQ allocation out of program order");
+        entries.push_back(SqEntry{seq});
+    }
+
+    /** Fill in the resolved address and data of store @p seq. */
+    void
+    resolve(SeqNum seq, Addr addr, std::uint64_t data)
+    {
+        SqEntry *e = find(seq);
+        msp_assert(e, "resolve of absent store %llu",
+                   static_cast<unsigned long long>(seq));
+        e->addr = addr;
+        e->addrKnown = true;
+        e->data = data;
+        e->dataKnown = true;
+    }
+
+    /**
+     * Probe for a load at @p addr with sequence number @p loadSeq.
+     *
+     * Scans older stores youngest-first. An older store with an unknown
+     * address forces the load to wait (conservative, violation-free
+     * disambiguation — identical policy for every core).
+     */
+    ForwardResult
+    probe(SeqNum loadSeq, Addr addr) const
+    {
+        ForwardResult r;
+        // Walk from youngest to oldest.
+        for (std::size_t i = entries.size(); i-- > 0;) {
+            const SqEntry &e = entries[i];
+            if (e.seq >= loadSeq)
+                continue;
+            if (!e.addrKnown) {
+                r.kind = ForwardResult::Kind::Unknown;
+                return r;
+            }
+            if (e.addr == addr) {
+                if (!e.dataKnown) {
+                    r.kind = ForwardResult::Kind::Stall;
+                    return r;
+                }
+                r.kind = ForwardResult::Kind::Forward;
+                r.data = e.data;
+                // Entries beyond the youngest l1Cap are in the L2 region.
+                if (entries.size() > l1Cap && i < entries.size() - l1Cap)
+                    r.extraLatency = l2Lat;
+                return r;
+            }
+        }
+        return r;
+    }
+
+    /** Oldest entry (the next to drain); nullptr when empty. */
+    const SqEntry *
+    oldest() const
+    {
+        return entries.empty() ? nullptr : &entries.front();
+    }
+
+    /** Drain the oldest entry (must match @p seq). */
+    void
+    drainOldest(SeqNum seq)
+    {
+        msp_assert(!entries.empty() && entries.front().seq == seq,
+                   "drain order violation");
+        msp_assert(entries.front().addrKnown && entries.front().dataKnown,
+                   "draining unresolved store");
+        entries.pop_front();
+    }
+
+    /**
+     * Remove stores younger than @p boundary (squash).
+     * @return Number of L2-region entries scanned (for the CPR rollback
+     *         penalty model).
+     */
+    std::size_t
+    squashAfter(SeqNum boundary)
+    {
+        std::size_t l2Scanned = 0;
+        while (!entries.empty() && entries.back().seq > boundary) {
+            if (entries.size() > l1Cap)
+                ++l2Scanned;
+            entries.pop_back();
+        }
+        return l2Scanned;
+    }
+
+    std::size_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+  private:
+    SqEntry *
+    find(SeqNum seq)
+    {
+        for (auto &e : entries)
+            if (e.seq == seq)
+                return &e;
+        return nullptr;
+    }
+
+    std::deque<SqEntry> entries;
+    std::size_t l1Cap;
+    std::size_t l2Cap;
+    bool unbounded;
+    Cycle l2Lat;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_LSQ_STORE_QUEUE_HH

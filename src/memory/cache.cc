@@ -1,0 +1,89 @@
+#include "memory/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace msp {
+
+Cache::Cache(const CacheParams &p, StatGroup &stats)
+    : assoc(p.assoc),
+      lineShift(std::countr_zero(static_cast<unsigned>(p.lineBytes))),
+      numSets(p.sizeBytes / (p.lineBytes * p.assoc)),
+      lat(p.hitLatency),
+      lines(numSets * p.assoc),
+      hits(stats.add(p.name + ".hits")),
+      misses(stats.add(p.name + ".misses")),
+      writebacks(stats.add(p.name + ".writebacks"))
+{
+    msp_assert(std::has_single_bit(numSets), "%s: sets not a power of two",
+               p.name.c_str());
+    msp_assert(std::has_single_bit(static_cast<unsigned>(p.lineBytes)),
+               "%s: line size not a power of two", p.name.c_str());
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift) & (numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift;
+}
+
+bool
+Cache::access(Addr addr, bool isWrite)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[set * assoc];
+
+    ++stamp;
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (base[w].tag == tag) {
+            base[w].lruStamp = stamp;
+            base[w].dirty = base[w].dirty || isWrite;
+            ++hits;
+            return true;
+        }
+    }
+
+    // Miss: evict LRU.
+    Line *victim = base;
+    for (unsigned w = 1; w < assoc; ++w) {
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    if (victim->tag != invalidAddr && victim->dirty)
+        ++writebacks;
+    victim->tag = tag;
+    victim->lruStamp = stamp;
+    victim->dirty = isWrite;
+    ++misses;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines[set * assoc];
+    for (unsigned w = 0; w < assoc; ++w)
+        if (base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines)
+        l = Line{};
+    stamp = 0;
+}
+
+} // namespace msp

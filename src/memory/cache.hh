@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Set-associative cache timing model with LRU replacement.
+ *
+ * The model tracks tags only (data correctness is handled by the store
+ * queue / backing memory); its job is latency and miss statistics.
+ * Write policy is write-back, write-allocate.
+ */
+
+#ifndef MSPLIB_MEMORY_CACHE_HH
+#define MSPLIB_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace msp {
+
+/** Geometry and timing of one cache level. */
+struct CacheParams
+{
+    std::string name;
+    std::size_t sizeBytes;
+    unsigned assoc;
+    unsigned lineBytes = 64;
+    Cycle hitLatency;
+};
+
+/** One level of tag-only set-associative cache. */
+class Cache
+{
+  public:
+    /**
+     * @param params Geometry/timing.
+     * @param stats  Group receiving hit/miss counters.
+     */
+    Cache(const CacheParams &params, StatGroup &stats);
+
+    /**
+     * Access the line containing @p addr.
+     *
+     * @param addr    Byte address.
+     * @param isWrite Marks the line dirty on hit/fill.
+     * @retval true  on hit.
+     * @retval false on miss (the line is filled and an LRU victim is
+     *               evicted; a dirty eviction bumps the writeback stat).
+     */
+    bool access(Addr addr, bool isWrite);
+
+    /** Probe without modifying state (for tests). */
+    bool probe(Addr addr) const;
+
+    /** Hit latency of this level. */
+    Cycle hitLatency() const { return lat; }
+
+    /** Invalidate everything (between benchmark runs). */
+    void flush();
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        std::uint64_t lruStamp = 0;
+        bool dirty = false;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    unsigned assoc;
+    unsigned lineShift;
+    std::size_t numSets;
+    Cycle lat;
+    std::uint64_t stamp = 0;
+    std::vector<Line> lines;  // numSets * assoc
+
+    Stat &hits;
+    Stat &misses;
+    Stat &writebacks;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_MEMORY_CACHE_HH

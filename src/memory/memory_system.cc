@@ -1,0 +1,47 @@
+#include "memory/memory_system.hh"
+
+namespace msp {
+
+MemorySystem::MemorySystem(const MemoryParams &p, StatGroup &stats)
+    : cfg(p),
+      l1i({"l1i", p.l1iSize, p.l1iAssoc, p.lineBytes, p.l1iHit}, stats),
+      l1d({"l1d", p.l1dSize, p.l1dAssoc, p.lineBytes, p.l1dHit}, stats),
+      l2({"l2", p.l2Size, p.l2Assoc, p.lineBytes, p.l2Hit}, stats)
+{}
+
+Cycle
+MemorySystem::fetchLatency(Addr addr)
+{
+    if (l1i.access(addr, false))
+        return cfg.l1iHit;
+    if (l2.access(addr, false))
+        return cfg.l1iHit + cfg.l2Hit;
+    return cfg.l1iHit + cfg.l2Hit + cfg.memLatency;
+}
+
+Cycle
+MemorySystem::loadLatency(Addr addr)
+{
+    if (l1d.access(addr, false))
+        return cfg.l1dHit;
+    if (l2.access(addr, false))
+        return cfg.l1dHit + cfg.l2Hit;
+    return cfg.l1dHit + cfg.l2Hit + cfg.memLatency;
+}
+
+void
+MemorySystem::storeCommit(Addr addr)
+{
+    if (!l1d.access(addr, true))
+        l2.access(addr, true);
+}
+
+void
+MemorySystem::flush()
+{
+    l1i.flush();
+    l1d.flush();
+    l2.flush();
+}
+
+} // namespace msp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Table I memory subsystem: split 64 KB L1s, unified 1 MB L2,
+ * 380-cycle main memory, 64-byte lines.
+ */
+
+#ifndef MSPLIB_MEMORY_MEMORY_SYSTEM_HH
+#define MSPLIB_MEMORY_MEMORY_SYSTEM_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/cache.hh"
+
+namespace msp {
+
+/** Timing parameters for the full hierarchy (Table I defaults). */
+struct MemoryParams
+{
+    std::size_t l1iSize = 64 * 1024;
+    unsigned l1iAssoc = 4;
+    Cycle l1iHit = 1;
+
+    std::size_t l1dSize = 64 * 1024;
+    unsigned l1dAssoc = 4;
+    Cycle l1dHit = 4;
+
+    std::size_t l2Size = 1024 * 1024;
+    unsigned l2Assoc = 8;
+    Cycle l2Hit = 16;
+
+    unsigned lineBytes = 64;
+    Cycle memLatency = 380;
+};
+
+/**
+ * Composes the caches and answers latency queries from the cores.
+ *
+ * Latencies are *additional* cycles beyond the request cycle; an L1 hit
+ * with hitLatency 4 makes the value ready 4 cycles after issue.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemoryParams &params, StatGroup &stats);
+
+    /** Latency of an instruction fetch at byte address @p addr. */
+    Cycle fetchLatency(Addr addr);
+
+    /** Latency of a data load at byte address @p addr. */
+    Cycle loadLatency(Addr addr);
+
+    /** Account a committed store (write-allocate into L1D). */
+    void storeCommit(Addr addr);
+
+    /** Reset cache contents (fresh run). */
+    void flush();
+
+    const MemoryParams &params() const { return cfg; }
+
+  private:
+    MemoryParams cfg;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_MEMORY_MEMORY_SYSTEM_HH

@@ -1,0 +1,567 @@
+#include "pipeline/core_base.hh"
+
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "functional/semantics.hh"
+
+namespace msp {
+
+CoreBase::CoreBase(const CoreParams &p, const Program &program,
+                   PredictorKind predictor, StatGroup &statGroup)
+    : params(p), prog(&program), stats(statGroup),
+      memSys(MemoryParams{}, statGroup),
+      branchUnit(predictor, statGroup),
+      iq(p.iqSize),
+      fuPool(p.intUnits, p.fpUnits, p.memUnits),
+      sq(p.sq1Size, p.sq2Size, p.infiniteSq),
+      oracle(program),
+      fetchPc(program.entry)
+{}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+void
+CoreBase::doFetch()
+{
+    if (fetchStopped || now < fetchStallUntil)
+        return;
+
+    const std::size_t fetchQCap = 8 * params.fetchWidth;
+    for (unsigned i = 0; i < params.fetchWidth; ++i) {
+        if (fetchQ.size() >= fetchQCap)
+            break;
+
+        const Addr pc = fetchPc % prog->size();
+        const Instruction &si = prog->at(pc);
+
+        // I-cache: one access per new line.
+        const Addr lineAddr = prog->pcToAddr(pc) / 64;
+        if (lineAddr != lastFetchLine) {
+            lastFetchLine = lineAddr;
+            const Cycle lat = memSys.fetchLatency(prog->pcToAddr(pc));
+            if (lat > memSys.params().l1iHit) {
+                // Miss: deliver this instruction when the line returns.
+                fetchStallUntil = now + lat;
+                break;
+            }
+        }
+
+        DynInst d;
+        d.seq = nextSeq++;
+        d.pc = pc;
+        d.si = si;
+        d.renameReadyAt = now + params.frontendDepth;
+
+        const OpInfo &oi = si.info();
+        d.isControl = oi.isControl();
+        if (d.isControl) {
+            bool ovTaken = false;
+            Addr ovTarget = 0;
+            const bool hasOverride = fetchOverride(pc, ovTaken, ovTarget);
+            if (oi.isCondBranch && hasOverride) {
+                BpPrediction p2 =
+                    branchUnit.forceOutcome(pc, si, ovTaken, ovTarget);
+                d.predTaken = p2.taken;
+                d.predNextPc = p2.target;
+                d.lowConfidence = false;
+                d.forcedOutcome = true;
+                d.bpSnap = p2.snap;
+            } else {
+                BpPrediction p2 = branchUnit.predictControl(pc, si);
+                d.predTaken = p2.taken;
+                d.predNextPc = p2.target;
+                d.lowConfidence = p2.lowConfidence;
+                d.bpSnap = p2.snap;
+                if (hasOverride) {
+                    // Indirect jump / return re-fetched after a CPR
+                    // rollback: the resolved target is known. RAS/
+                    // history side effects above stay as predicted.
+                    d.predNextPc = ovTarget;
+                    d.forcedOutcome = true;
+                }
+            }
+            fetchPc = d.predNextPc;
+        } else {
+            d.bpSnap.hist = branchUnit.history();
+            d.bpSnap.ras = branchUnit.ras().snapshot();
+            d.predNextPc = pc + 1;
+            fetchPc = pc + 1;
+        }
+
+        const bool halt = oi.isHalt;
+        const bool takenControl = d.isControl && d.predTaken;
+        fetchQ.push_back(std::move(d));
+
+        if (halt) {
+            fetchStopped = true;
+            break;
+        }
+        // A predicted-taken control transfer ends the fetch group.
+        if (takenControl)
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rename
+// ---------------------------------------------------------------------------
+
+void
+CoreBase::doRename()
+{
+    renameCycleBegin();
+
+    unsigned renamed = 0;
+    bool stalled = false;
+    while (renamed < params.renameWidth && !fetchQ.empty()) {
+        DynInst &f = fetchQ.front();
+        if (f.renameReadyAt > now)
+            return;   // head not yet through the front end: not a stall
+
+        stallReason = StallReason::None;
+        stallBank = -1;
+        if (!windowHasRoom()) {
+            stallReason = StallReason::Window;
+            stalled = true;
+            break;
+        }
+        if (f.needsExecution() && iq.full()) {
+            stallReason = StallReason::Iq;
+            stalled = true;
+            break;
+        }
+        if (f.isLoad() && ldqUsed >= params.ldqSize) {
+            stallReason = StallReason::LoadQueue;
+            stalled = true;
+            break;
+        }
+        if (f.isStore() && !sq.canAllocate()) {
+            stallReason = StallReason::StoreQueue;
+            stalled = true;
+            break;
+        }
+        if (!canRename(f)) {
+            stalled = true;   // core set stallReason/stallBank
+            break;
+        }
+
+        window.push_back(std::move(f));
+        fetchQ.pop_front();
+        DynInst &d = window.back();
+
+        // IQ slot first: MSP rename indexes RelIQ use bits by it.
+        if (d.needsExecution()) {
+            iq.insert(&d);
+        } else {
+            // NOP / HALT complete at rename.
+            d.executed = true;
+            d.execDoneAt = now;
+        }
+
+        renameOne(d);
+
+        if (d.isLoad())
+            ++ldqUsed;
+        if (d.isStore())
+            sq.allocate(d.seq);
+        ++renamed;
+    }
+
+    if (stalled && renamed == 0) {
+        ++renameStallCycles;
+        switch (stallReason) {
+          case StallReason::Registers:
+            ++regStallCycles;
+            if (stallBank >= 0 && stallBank < numLogRegs)
+                ++bankStallCycles[stallBank];
+            break;
+          case StallReason::Iq:
+            ++iqStallCycles;
+            break;
+          case StallReason::StoreQueue:
+            ++sqStallCycles;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------------
+
+void
+CoreBase::executeInst(DynInst &d)
+{
+    const OpInfo &oi = d.info();
+    if (d.isControl) {
+        d.taken = oi.isCondBranch
+                      ? semantics::branchTaken(d.si, d.srcVal1, d.srcVal2)
+                      : true;
+        d.actualNextPc = semantics::controlTarget(d.si, d.srcVal1, d.taken,
+                                                  d.pc) % prog->size();
+        if (d.si.writesReg())
+            d.result = semantics::aluResult(d.si, d.srcVal1, d.srcVal2, d.pc);
+        d.mispredicted = d.actualNextPc != d.predNextPc % prog->size();
+    } else if (d.isLoad()) {
+        d.effAddr = semantics::effectiveAddr(d.si, d.srcVal1,
+                                             prog->addrMask());
+        d.actualNextPc = d.pc + 1;
+    } else if (d.isStore()) {
+        d.effAddr = semantics::effectiveAddr(d.si, d.srcVal1,
+                                             prog->addrMask());
+        d.storeData = d.srcVal2;
+        d.actualNextPc = d.pc + 1;
+    } else if (oi.isTrap || oi.isHalt || d.si.op == Opcode::NOP) {
+        d.actualNextPc = d.pc + 1;
+    } else {
+        d.result = semantics::aluResult(d.si, d.srcVal1, d.srcVal2, d.pc);
+        d.actualNextPc = d.pc + 1;
+    }
+}
+
+void
+CoreBase::doIssueStage()
+{
+    unsigned issuedThisCycle = 0;
+    const auto &ready = iq.occupantsBySeq();
+    for (DynInst *dp : ready) {
+        if (issuedThisCycle >= params.issueWidth)
+            break;
+        DynInst &d = *dp;
+        msp_assert(!d.squashed && !d.issued, "stale IQ entry");
+
+        if (!operandsReady(d))
+            continue;
+
+        readOperands(d);
+        executeInst(d);
+
+        Cycle latency = d.info().latency;
+        if (d.isLoad()) {
+            ForwardResult fw = sq.probe(d.seq, d.effAddr);
+            if (fw.kind == ForwardResult::Kind::Unknown ||
+                fw.kind == ForwardResult::Kind::Stall) {
+                continue;   // retry when the blocking store resolves
+            }
+            if (!issuePortsAvailable(d) || !fuPool.tryAcquire(FuClass::Mem))
+                continue;
+            if (fw.kind == ForwardResult::Kind::Forward) {
+                d.result = fw.data;
+                latency = 2 + fw.extraLatency;
+            } else {
+                d.result = oracle.state().load(d.effAddr);
+                latency = memSys.loadLatency(d.effAddr);
+            }
+        } else {
+            if (!issuePortsAvailable(d) ||
+                !fuPool.tryAcquire(d.info().fu)) {
+                continue;
+            }
+            if (d.isStore()) {
+                sq.resolve(d.seq, d.effAddr, d.storeData);
+                latency = 1;
+            }
+        }
+
+        d.issued = true;
+        d.execDoneAt = now + latency;
+        onIssued(d);
+        iq.remove(&d);
+        inExec.push_back(&d);
+        ++issuedThisCycle;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writeback / branch resolution
+// ---------------------------------------------------------------------------
+
+void
+CoreBase::doWritebackStage()
+{
+    // Gather completions for this cycle, oldest first. Sequence numbers
+    // are copied out: a recovery triggered mid-loop pops squashed
+    // instructions from the window, so younger pointers in this list
+    // become invalid and must be filtered by seq *before* dereference.
+    std::vector<std::pair<SeqNum, DynInst *>> done;
+    for (DynInst *d : inExec) {
+        if (!d->squashed && !d->executed && d->execDoneAt <= now)
+            done.emplace_back(d->seq, d);
+    }
+    std::sort(done.begin(), done.end());
+
+    SeqNum liveBound = invalidSeqNum;
+    for (auto &[seq, dp] : done) {
+        if (seq > liveBound)
+            continue;   // squashed (and freed) by an older recovery
+        DynInst &d = *dp;
+        if (d.squashed)
+            continue;
+
+        if (d.si.writesReg() && !writebackDest(d)) {
+            d.execDoneAt = now + 1;   // register-file write-port conflict
+            continue;
+        }
+        d.executed = true;
+        if (params.ldqReleaseAtExec && d.isLoad() && !d.ldqReleased) {
+            d.ldqReleased = true;
+            msp_assert(ldqUsed > 0, "ldq underflow");
+            --ldqUsed;
+        }
+        onExecuted(d);
+
+        if (d.isControl) {
+            branchUnit.resolveControl(d.pc, d.si, d.taken,
+                                      d.actualNextPc, d.bpSnap);
+            if (d.mispredicted) {
+                ++mispredictsResolved;
+                recoverBranch(d);
+                if (lastSquashBoundary < liveBound)
+                    liveBound = lastSquashBoundary;
+            }
+        }
+    }
+
+    // Purge finished or squashed entries.
+    std::erase_if(inExec, [](const DynInst *d) {
+        return d->executed || d->squashed;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Squash / recovery plumbing
+// ---------------------------------------------------------------------------
+
+void
+CoreBase::squashAndRedirect(SeqNum boundary, SeqNum classifySeq, Addr newPc,
+                            Cycle extraPenalty, bool exception,
+                            const DynInst &trigger)
+{
+    // Collect the doomed instructions youngest-first.
+    std::vector<DynInst *> dead;
+    for (auto it = window.rbegin();
+         it != window.rend() && it->seq > boundary; ++it) {
+        dead.push_back(&*it);
+    }
+
+    for (DynInst *d : dead) {
+        d->squashed = true;
+        // Per-core release first: MSP clears RelIQ bits via the IQ slot.
+        onSquashInst(*d);
+        if (d->inIq)
+            iq.remove(d);
+        if (d->isLoad() && !d->ldqReleased)
+            --ldqUsed;
+        if (d->issued || d->executed) {
+            if (d->seq > classifySeq)
+                ++wrongPathExec;
+            else
+                ++reExecuted;
+        }
+    }
+
+    // inExec holds raw pointers into the window: purge before popping.
+    std::erase_if(inExec, [](const DynInst *d) { return d->squashed; });
+
+    lastSqScanned = sq.squashAfter(boundary);
+
+    while (!window.empty() && window.back().seq > boundary)
+        window.pop_back();
+    fetchQ.clear();
+
+    // Branch-history repair.
+    if (exception) {
+        branchUnit.setHistory(trigger.bpSnap.hist);
+        branchUnit.ras().restore(trigger.bpSnap.ras);
+    } else if (trigger.isControl) {
+        branchUnit.squashRepair(trigger.bpSnap, trigger.si, trigger.pc,
+                                trigger.taken);
+    }
+
+    fetchPc = newPc % prog->size();
+    fetchStopped = false;
+    fetchStallUntil = now + 1 + extraPenalty + params.recoveryPenalty;
+    lastFetchLine = invalidAddr;
+    lastSquashBoundary = boundary;
+    ++recoveries;
+
+    afterSquash(trigger, exception);
+}
+
+// ---------------------------------------------------------------------------
+// Commit helpers
+// ---------------------------------------------------------------------------
+
+void
+CoreBase::commitOne()
+{
+    msp_assert(!window.empty(), "commit on empty window");
+    DynInst &d = window.front();
+    msp_assert(!d.squashed, "committing a squashed instruction");
+    msp_assert(d.executed, "committing an unexecuted instruction");
+
+    // The oracle always steps: loads read committed memory through it.
+    StepResult sr = oracle.step();
+    if (params.oracleCheck) {
+        msp_assert(sr.pc == d.pc,
+                   "commit pc mismatch: core @%llu oracle @%llu (seq %llu)",
+                   static_cast<unsigned long long>(d.pc),
+                   static_cast<unsigned long long>(sr.pc),
+                   static_cast<unsigned long long>(d.seq));
+        if (d.si.writesReg()) {
+            msp_assert(d.result == sr.value,
+                       "result mismatch at pc %llu (%s): core %llx "
+                       "oracle %llx",
+                       static_cast<unsigned long long>(d.pc),
+                       opName(d.si.op),
+                       static_cast<unsigned long long>(d.result),
+                       static_cast<unsigned long long>(sr.value));
+        }
+        if (d.isStore()) {
+            msp_assert(d.effAddr == sr.memAddr &&
+                           d.storeData == sr.storeValue,
+                       "store mismatch at pc %llu",
+                       static_cast<unsigned long long>(d.pc));
+        }
+        if (d.isControl) {
+            msp_assert(d.actualNextPc == sr.nextPc % prog->size(),
+                       "control-flow mismatch at pc %llu",
+                       static_cast<unsigned long long>(d.pc));
+        }
+    }
+
+    if (d.isStore()) {
+        sq.drainOldest(d.seq);
+        memSys.storeCommit(d.effAddr);
+    }
+    if (d.isLoad() && !d.ldqReleased)
+        --ldqUsed;
+    if (d.isControl) {
+        // A branch committed through a CPR rollback override was
+        // mispredicted by the real predictor: count and train it so.
+        const bool predicted = !d.mispredicted && !d.forcedOutcome;
+        branchUnit.commitControl(d.pc, d.si, d.taken, d.actualNextPc,
+                                 d.bpSnap, predicted);
+        if (d.isBranch())
+            ++branchesCommitted;
+    }
+    onCommitted(d);
+    ++committedCount;
+    lastCommitCycle = now;
+    if (d.isHalt())
+        haltCommitted = true;
+
+    window.pop_front();
+}
+
+void
+CoreBase::takeException()
+{
+    msp_assert(!window.empty() && window.front().isTrap(),
+               "takeException without a trap at head");
+    DynInst trap = window.front();   // copy: commitOne pops it
+    commitOne();
+    ++exceptionsTaken;
+    squashAndRedirect(trap.seq, trap.seq, trap.pc + 1, 0, true, trap);
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+void
+CoreBase::dumpDeadlock() const
+{
+    std::fprintf(stderr,
+                 "deadlock dump: cycle=%llu committed=%llu window=%zu "
+                 "fetchQ=%zu iqFree=%u sq=%zu ldq=%u stall=%d "
+                 "fetchStopped=%d fetchStallUntil=%llu fetchPc=%llu\n",
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(committedCount),
+                 window.size(), fetchQ.size(), iq.freeCount(), sq.size(),
+                 ldqUsed, static_cast<int>(stallReason), fetchStopped,
+                 static_cast<unsigned long long>(fetchStallUntil),
+                 static_cast<unsigned long long>(fetchPc));
+    int shown = 0;
+    for (const DynInst &d : window) {
+        if (d.executed)
+            continue;
+        std::fprintf(stderr,
+                     "  unexec seq=%llu pc=%llu op=%s issued=%d inIq=%d "
+                     "execDoneAt=%llu\n",
+                     static_cast<unsigned long long>(d.seq),
+                     static_cast<unsigned long long>(d.pc),
+                     opName(d.si.op), d.issued, d.inIq,
+                     static_cast<unsigned long long>(d.execDoneAt));
+        if (++shown >= 5)
+            break;
+    }
+    if (!window.empty()) {
+        const DynInst &h = window.front();
+        std::fprintf(stderr,
+                     "  head seq=%llu pc=%llu op=%s executed=%d\n",
+                     static_cast<unsigned long long>(h.seq),
+                     static_cast<unsigned long long>(h.pc),
+                     opName(h.si.op), h.executed);
+    }
+}
+
+void
+CoreBase::stepCycle()
+{
+    fuPool.reset();
+    cycleBegin();
+    doCommit();
+    doWritebackStage();
+    doIssueStage();
+    doRename();
+    doFetch();
+    ++now;
+}
+
+RunResult
+CoreBase::run(std::uint64_t maxCommits, std::uint64_t maxCycles)
+{
+    lastCommitCycle = 0;
+    while (!haltCommitted && committedCount < maxCommits &&
+           now < maxCycles) {
+        stepCycle();
+        if (now - lastCommitCycle > 1000000) {
+            dumpDeadlock();
+            msp_panic("no commit progress for 1M cycles (cycle %llu, "
+                      "committed %llu, window %zu, fetchQ %zu)",
+                      static_cast<unsigned long long>(now),
+                      static_cast<unsigned long long>(committedCount),
+                      window.size(), fetchQ.size());
+        }
+    }
+
+    RunResult r;
+    r.workload = prog->name;
+    r.cycles = now;
+    r.committed = committedCount;
+    r.wrongPathExec = wrongPathExec;
+    r.reExecuted = reExecuted;
+    r.totalExecuted = committedCount + wrongPathExec + reExecuted;
+    r.branches = branchesCommitted;
+    r.mispredicts = stats.get("condMispredicted");
+    r.recoveries = recoveries;
+    r.exceptions = exceptionsTaken;
+    r.renameStallCycles = renameStallCycles;
+    r.regStallCycles = regStallCycles;
+    r.iqStallCycles = iqStallCycles;
+    r.sqStallCycles = sqStallCycles;
+    r.checkpointsTaken = checkpointsTaken;
+    r.l2Misses = stats.get("l2.misses");
+    r.bankStallCycles = bankStallCycles;
+    return r;
+}
+
+} // namespace msp

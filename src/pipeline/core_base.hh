@@ -1,0 +1,248 @@
+/**
+ * @file
+ * CoreBase — the out-of-order pipeline skeleton shared by the baseline,
+ * CPR and MSP cores.
+ *
+ * The base class owns everything the paper holds constant across the
+ * compared architectures (Table I): the front end and branch predictor,
+ * the instruction queue and functional units, the load/store machinery
+ * and the memory hierarchy, plus the commit-time functional oracle.
+ * Subclasses implement exactly what the paper varies: register
+ * allocation/renaming, release/commit, and recovery.
+ *
+ * Cycle model: each cycle runs commit -> writeback -> issue -> rename ->
+ * fetch, so values complete before dependents try to issue (modelling
+ * the bypass network) and commit uses state as of the end of the
+ * previous cycle.
+ */
+
+#ifndef MSPLIB_PIPELINE_CORE_BASE_HH
+#define MSPLIB_PIPELINE_CORE_BASE_HH
+
+#include <deque>
+#include <vector>
+
+#include "bpred/branch_unit.hh"
+#include "common/stats.hh"
+#include "functional/executor.hh"
+#include "isa/program.hh"
+#include "lsq/store_queue.hh"
+#include "memory/memory_system.hh"
+#include "pipeline/dyninst.hh"
+#include "pipeline/fu_pool.hh"
+#include "pipeline/inst_queue.hh"
+#include "pipeline/params.hh"
+
+namespace msp {
+
+/** Reason the rename stage could not accept an instruction. */
+enum class StallReason {
+    None,
+    Registers,    ///< out of physical registers (bank or free list)
+    Iq,
+    StoreQueue,
+    LoadQueue,
+    Window,       ///< ROB (baseline) full
+    Checkpoint,   ///< CPR: no checkpoint for a must-checkpoint inst
+};
+
+/** Shared out-of-order core skeleton. */
+class CoreBase
+{
+  public:
+    CoreBase(const CoreParams &params, const Program &program,
+             PredictorKind predictor, StatGroup &statGroup);
+    virtual ~CoreBase() = default;
+
+    /**
+     * Simulate until @p maxCommits instructions commit, HALT commits,
+     * or @p maxCycles elapse.
+     */
+    RunResult run(std::uint64_t maxCommits, std::uint64_t maxCycles);
+
+    /** Current cycle (for tests). */
+    Cycle cycle() const { return now; }
+
+    /** Committed instruction count so far. */
+    std::uint64_t committed() const { return committedCount; }
+
+    /** The lock-step functional oracle (for final-state checks). */
+    const FunctionalExecutor &oracleRef() const { return oracle; }
+
+  protected:
+    // ---- per-core policy hooks ------------------------------------------
+
+    /** Start-of-cycle reset (MSP register-file port masks). */
+    virtual void cycleBegin() {}
+
+    /** Reset per-cycle rename bookkeeping (MSP dual-rename counters). */
+    virtual void renameCycleBegin() {}
+
+    /**
+     * Can @p d rename this cycle? Must not mutate state. On failure the
+     * implementation reports the reason via stallReason (and stallBank
+     * for MSP register-bank stalls).
+     */
+    virtual bool canRename(const DynInst &d) = 0;
+
+    /** Allocate rename resources for @p d; must succeed after canRename. */
+    virtual void renameOne(DynInst &d) = 0;
+
+    /** Are @p d's source operands ready (register state only)? */
+    virtual bool operandsReady(const DynInst &d) const = 0;
+
+    /**
+     * Issue-time structural check (MSP register-file read-port
+     * arbitration). Called after operandsReady passes; claiming happens
+     * in onIssued.
+     */
+    virtual bool issuePortsAvailable(const DynInst &d) { return true; }
+
+    /** Copy source values into @p d (register read / bypass). */
+    virtual void readOperands(DynInst &d) = 0;
+
+    /** Per-core issue bookkeeping (use-bit clear, refcount release). */
+    virtual void onIssued(DynInst &d) {}
+
+    /**
+     * Write @p d's result to its destination register. Returns false if
+     * the write must retry next cycle (MSP write-port conflict).
+     */
+    virtual bool writebackDest(DynInst &d) = 0;
+
+    /** Completion bookkeeping (SCT ready bit, checkpoint counters). */
+    virtual void onExecuted(DynInst &d) {}
+
+    /** Commit stage. Implementations call commitOne()/takeException(). */
+    virtual void doCommit() = 0;
+
+    /** Branch-misprediction recovery policy. */
+    virtual void recoverBranch(DynInst &branch) = 0;
+
+    /** Per-instruction resource release during a squash
+     *  (called youngest-to-oldest, before the window pops). */
+    virtual void onSquashInst(DynInst &d) = 0;
+
+    /** Global repair after a squash (RAT restore, SC reset, ...). */
+    virtual void afterSquash(const DynInst &trigger, bool exception) {}
+
+    /** Extra per-instruction commit work (free superseded register). */
+    virtual void onCommitted(DynInst &d) {}
+
+    /** Baseline ROB-style window limit. */
+    virtual bool windowHasRoom() const { return true; }
+
+    /** CPR resolved-branch fetch override (see cpr_core.cc). */
+    virtual bool
+    fetchOverride(Addr pc, bool &taken, Addr &target)
+    {
+        return false;
+    }
+
+    /** Diagnostic dump printed before a no-progress panic. */
+    virtual void dumpDeadlock() const;
+
+    // ---- shared machinery (used by subclasses) ---------------------------
+
+    /**
+     * Commit the window head: oracle check, predictor training, store
+     * drain, stat accounting. Pops the window.
+     */
+    void commitOne();
+
+    /**
+     * Take a precise exception at the window-head TRAP: commits the
+     * trap (handler semantics: skip), squashes everything younger and
+     * redirects to pc + 1.
+     */
+    void takeException();
+
+    /**
+     * Squash all instructions with seq > @p boundary and redirect fetch.
+     *
+     * @param boundary    Youngest surviving sequence number.
+     * @param classifySeq Squashed-and-executed instructions with
+     *                    seq <= classifySeq count as re-executed work;
+     *                    younger ones as wrong-path work.
+     * @param newPc       Fetch restart pc.
+     * @param extraPenalty Added to the fetch restart delay.
+     * @param exception   Squash caused by an exception.
+     * @param trigger     The instruction causing the recovery.
+     */
+    void squashAndRedirect(SeqNum boundary, SeqNum classifySeq, Addr newPc,
+                           Cycle extraPenalty, bool exception,
+                           const DynInst &trigger);
+
+    /** L2-region entries scanned by the most recent SQ squash. */
+    std::size_t lastSqScan() const { return lastSqScanned; }
+
+    // ---- pipeline stages --------------------------------------------------
+
+    void stepCycle();
+    void doFetch();
+    void doRename();
+    void doIssueStage();
+    void doWritebackStage();
+
+    /** Execute @p d's semantics using its captured source values. */
+    void executeInst(DynInst &d);
+
+    // ---- shared state -------------------------------------------------------
+
+    CoreParams params;
+    const Program *prog;
+    StatGroup &stats;
+    MemorySystem memSys;
+    BranchUnit branchUnit;
+    InstQueue iq;
+    FuPool fuPool;
+    HierStoreQueue sq;
+    FunctionalExecutor oracle;
+
+    /** All renamed, in-flight instructions in fetch order. */
+    std::deque<DynInst> window;
+
+    /** Fetched but not yet renamed. */
+    std::deque<DynInst> fetchQ;
+
+    /** Issued instructions awaiting completion. */
+    std::vector<DynInst *> inExec;
+
+    Cycle now = 0;
+    SeqNum nextSeq = 1;
+    Addr fetchPc = 0;
+    bool fetchStopped = false;
+    Cycle fetchStallUntil = 0;
+    Addr lastFetchLine = invalidAddr;
+    unsigned ldqUsed = 0;
+
+    std::uint64_t committedCount = 0;
+    bool haltCommitted = false;
+
+    /** Set by canRename() on failure. */
+    StallReason stallReason = StallReason::None;
+    int stallBank = -1;
+
+    // Run counters surfaced into RunResult.
+    std::uint64_t wrongPathExec = 0;
+    std::uint64_t reExecuted = 0;
+    std::uint64_t branchesCommitted = 0;
+    std::uint64_t mispredictsResolved = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t exceptionsTaken = 0;
+    std::uint64_t renameStallCycles = 0;
+    std::uint64_t regStallCycles = 0;
+    std::uint64_t iqStallCycles = 0;
+    std::uint64_t sqStallCycles = 0;
+    std::uint64_t checkpointsTaken = 0;
+    std::array<std::uint64_t, numLogRegs> bankStallCycles{};
+
+  private:
+    std::size_t lastSqScanned = 0;
+    SeqNum lastSquashBoundary = invalidSeqNum;
+    Cycle lastCommitCycle = 0;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_PIPELINE_CORE_BASE_HH

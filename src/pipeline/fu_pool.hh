@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-cycle functional-unit issue-bandwidth pool.
+ */
+
+#ifndef MSPLIB_PIPELINE_FU_POOL_HH
+#define MSPLIB_PIPELINE_FU_POOL_HH
+
+#include "isa/opcodes.hh"
+
+namespace msp {
+
+/**
+ * Tracks how many operations of each class issued this cycle.
+ *
+ * All units are fully pipelined, so the pool only constrains issue
+ * bandwidth; reset() is called at the start of every cycle.
+ */
+class FuPool
+{
+  public:
+    FuPool(unsigned intUnits, unsigned fpUnits, unsigned memUnits)
+        : intCap(intUnits), fpCap(fpUnits), memCap(memUnits)
+    {}
+
+    /** Start a new cycle. */
+    void
+    reset()
+    {
+        intUsed = fpUsed = memUsed = 0;
+    }
+
+    /** Try to claim a unit for @p cls this cycle. */
+    bool
+    tryAcquire(FuClass cls)
+    {
+        switch (cls) {
+          case FuClass::IntAlu:
+          case FuClass::IntMul:
+            if (intUsed >= intCap)
+                return false;
+            ++intUsed;
+            return true;
+          case FuClass::FpAlu:
+            if (fpUsed >= fpCap)
+                return false;
+            ++fpUsed;
+            return true;
+          case FuClass::Mem:
+            if (memUsed >= memCap)
+                return false;
+            ++memUsed;
+            return true;
+          case FuClass::None:
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    unsigned intCap, fpCap, memCap;
+    unsigned intUsed = 0, fpUsed = 0, memUsed = 0;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_PIPELINE_FU_POOL_HH

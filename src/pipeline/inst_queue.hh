@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unified out-of-order instruction queue with explicit slot ids.
+ *
+ * Slot ids matter: the MSP RelIQ use-bit matrix is indexed by IQ slot,
+ * exactly as in the paper (one bit of storage per physical register per
+ * instruction-queue entry).
+ */
+
+#ifndef MSPLIB_PIPELINE_INST_QUEUE_HH
+#define MSPLIB_PIPELINE_INST_QUEUE_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "pipeline/dyninst.hh"
+
+namespace msp {
+
+/** Fixed-capacity instruction queue; entries leave at issue. */
+class InstQueue
+{
+  public:
+    explicit InstQueue(unsigned capacity) : slots(capacity, nullptr)
+    {
+        freeSlots.reserve(capacity);
+        for (unsigned i = 0; i < capacity; ++i)
+            freeSlots.push_back(capacity - 1 - i);
+    }
+
+    /** Remaining capacity. */
+    unsigned freeCount() const { return freeSlots.size(); }
+
+    bool full() const { return freeSlots.empty(); }
+
+    /** Insert @p d; assigns and returns its slot id. */
+    int
+    insert(DynInst *d)
+    {
+        msp_assert(!freeSlots.empty(), "IQ overflow");
+        int slot = static_cast<int>(freeSlots.back());
+        freeSlots.pop_back();
+        slots[slot] = d;
+        d->iqSlot = slot;
+        d->inIq = true;
+        return slot;
+    }
+
+    /** Remove @p d (at issue or squash). */
+    void
+    remove(DynInst *d)
+    {
+        msp_assert(d->inIq && d->iqSlot >= 0, "IQ remove of absent inst");
+        msp_assert(slots[d->iqSlot] == d, "IQ slot mismatch");
+        slots[d->iqSlot] = nullptr;
+        freeSlots.push_back(d->iqSlot);
+        d->inIq = false;
+        d->iqSlot = -1;
+    }
+
+    /**
+     * Collect current occupants sorted oldest-first (for select).
+     * The returned vector is reused between calls.
+     */
+    const std::vector<DynInst *> &
+    occupantsBySeq()
+    {
+        scratch.clear();
+        for (DynInst *d : slots)
+            if (d)
+                scratch.push_back(d);
+        std::sort(scratch.begin(), scratch.end(),
+                  [](const DynInst *a, const DynInst *b) {
+                      return a->seq < b->seq;
+                  });
+        return scratch;
+    }
+
+    /** Total slots. */
+    unsigned capacity() const { return slots.size(); }
+
+  private:
+    std::vector<DynInst *> slots;
+    std::vector<unsigned> freeSlots;
+    std::vector<DynInst *> scratch;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_PIPELINE_INST_QUEUE_HH

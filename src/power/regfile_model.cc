@@ -1,0 +1,116 @@
+#include "power/regfile_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace msp {
+
+namespace {
+
+/** Per-node electrical constants (calibrated against Table III). */
+struct Tech
+{
+    double lambdaUm;     ///< half feature size (um)
+    double dynScale;     ///< dynamic energy multiplier
+    double leakScale;    ///< leakage power per mm^2 (mW)
+    double wireFo4PerMm; ///< wire delay contribution (FO4 per mm)
+};
+
+Tech
+techParams(TechNode node)
+{
+    switch (node) {
+      case TechNode::Nm65:
+        return {0.0325, 1.00, 1.45, 2.9};
+      case TechNode::Nm45:
+        return {0.0225, 0.66, 2.25, 4.2};
+    }
+    msp_panic("unknown tech node");
+}
+
+// Multi-port cell geometry in lambda units (Rixner-style scaling):
+// a single-ported cell is cellW0 x cellH0; each extra port adds one
+// bitline pair (width) and one wordline (height).
+constexpr double cellW0 = 22.0;
+constexpr double cellWp = 6.0;
+constexpr double cellH0 = 20.0;
+constexpr double cellHp = 6.0;
+
+} // anonymous namespace
+
+const char *
+techName(TechNode node)
+{
+    return node == TechNode::Nm65 ? "65nm" : "45nm";
+}
+
+RegFileCosts
+evaluateRegFile(const RegFileOrg &org, TechNode node)
+{
+    msp_assert(org.banks >= 1 && org.totalEntries % org.banks == 0,
+               "%s: entries not divisible by banks", org.name.c_str());
+    const Tech t = techParams(node);
+    const unsigned ports = org.readPorts + org.writePorts;
+    const unsigned rows = org.totalEntries / org.banks;
+
+    // Bank geometry (mm).
+    const double cellW = (cellW0 + cellWp * ports) * t.lambdaUm * 1e-3;
+    const double cellH = (cellH0 + cellHp * ports) * t.lambdaUm * 1e-3;
+    const double bankW = org.bitsPerEntry * cellW;
+    const double bankH = rows * cellH;
+    const double bankArea = bankW * bankH;
+    const double totalArea = bankArea * org.banks;
+
+    // Access time (FO4). Reads discharge bitlines and go through the
+    // sense amplifier and output drive; writes only fire a wordline and
+    // drive the cells, which is much faster (cf. Table III's ~1 FO4
+    // writes vs ~5-6 FO4 reads).
+    const double decodeFo4 = 0.28 * std::log2(static_cast<double>(rows));
+    const double wlFo4 = t.wireFo4PerMm * bankW;
+    const double blFo4 = t.wireFo4PerMm * bankH;
+    const double senseFo4 = 2.6;
+    const double readTime = decodeFo4 + 0.5 * wlFo4 + blFo4 + senseFo4;
+    const double writeTime = 0.35 + 0.5 * wlFo4 + 0.25 * blFo4 +
+                             0.08 * decodeFo4;
+
+    // Energy per access tracks the switched capacitance: the full
+    // wordline plus all bitlines of the active bank. Reads swing the
+    // bitlines less than writes (low-swing sensing), hence the lower
+    // read constant.
+    const double capUnits = bankW * rows * 0.55 + bankH * 18.0;
+    const double writeEnergy = 1.15 * capUnits * t.dynScale;
+    const double readEnergy = 0.98 * capUnits * t.dynScale;
+
+    // Idle (leakage) power per bank; every idle bank leaks.
+    const double idlePerBank = t.leakScale * bankArea;
+
+    // TAcc_power = Acc_power + (N - 1) * Idle_power  (Sec. 5.2).
+    RegFileCosts c;
+    c.writePowerMw = writeEnergy + (org.banks - 1) * idlePerBank;
+    c.readPowerMw = readEnergy + (org.banks - 1) * idlePerBank;
+    c.readTimeFo4 = readTime;
+    c.writeTimeFo4 = writeTime;
+    c.areaMm2 = totalArea;
+    return c;
+}
+
+RegFileOrg
+cpr4BankOrg()
+{
+    return {"CPR 192e 4-bank 8R/4W", 192, 64, 4, 8, 4};
+}
+
+RegFileOrg
+cpr8BankOrg()
+{
+    return {"CPR 192e 8-bank 8R/4W", 192, 64, 8, 8, 4};
+}
+
+RegFileOrg
+msp16SpOrg()
+{
+    return {"16-SP 512e 32-bank 1R/1W", 512, 64, 32, 1, 1};
+}
+
+} // namespace msp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analytical register-file area / access-power / access-time model.
+ *
+ * Substitutes for the paper's SPICE + layout evaluation (Table III,
+ * Sec. 5.2). The model uses the standard multi-port SRAM scaling rules
+ * (Rixner et al.): cell width and height each grow linearly with port
+ * count (so cell area grows quadratically), wordline delay tracks array
+ * width, bitline delay tracks array height, and idle banks contribute
+ * leakage proportional to area. Total access power follows the paper's
+ * equation: TAcc = Acc + (N - 1) x Idle.
+ *
+ * Constants are calibrated so the three Table III organisations land
+ * near the published numbers; the claim being reproduced is relative —
+ * a 512-entry 1R/1W-banked file is cheaper and faster than a 192-entry
+ * 8R/4W-banked file.
+ */
+
+#ifndef MSPLIB_POWER_REGFILE_MODEL_HH
+#define MSPLIB_POWER_REGFILE_MODEL_HH
+
+#include <string>
+
+namespace msp {
+
+/** Process technology node. */
+enum class TechNode { Nm65, Nm45 };
+
+/** Register-file organisation. */
+struct RegFileOrg
+{
+    std::string name;
+    unsigned totalEntries;   ///< physical registers
+    unsigned bitsPerEntry = 64;
+    unsigned banks;
+    unsigned readPorts;      ///< per bank
+    unsigned writePorts;     ///< per bank
+};
+
+/** Model outputs for one organisation at one node. */
+struct RegFileCosts
+{
+    double readPowerMw;      ///< total access power, read (mW)
+    double writePowerMw;     ///< total access power, write (mW)
+    double readTimeFo4;      ///< read access time (FO4)
+    double writeTimeFo4;     ///< write access time (FO4)
+    double areaMm2;          ///< total array area (mm^2)
+};
+
+/** Evaluate the analytical model. */
+RegFileCosts evaluateRegFile(const RegFileOrg &org, TechNode node);
+
+/** Table III organisations. */
+RegFileOrg cpr4BankOrg();
+RegFileOrg cpr8BankOrg();
+RegFileOrg msp16SpOrg();
+
+/** Readable node name ("65nm" / "45nm"). */
+const char *techName(TechNode node);
+
+} // namespace msp
+
+#endif // MSPLIB_POWER_REGFILE_MODEL_HH

@@ -1,0 +1,41 @@
+#include "sim/machine.hh"
+
+#include "baseline/baseline_core.hh"
+#include "common/logging.hh"
+#include "core/msp_core.hh"
+#include "cpr/cpr_core.hh"
+
+namespace msp {
+
+Machine::Machine(const MachineConfig &config, const Program &program)
+    : cfg(config), statGroup(config.name), prog(program)
+{
+    switch (cfg.core.kind) {
+      case CoreKind::Baseline:
+        coreImpl = std::make_unique<BaselineCore>(cfg.core, prog,
+                                                  cfg.predictor, statGroup);
+        break;
+      case CoreKind::Cpr:
+        coreImpl = std::make_unique<CprCore>(cfg.core, prog,
+                                             cfg.predictor, statGroup);
+        break;
+      case CoreKind::Msp:
+        coreImpl = std::make_unique<MspCore>(cfg.core, prog,
+                                             cfg.predictor, statGroup);
+        break;
+      default:
+        msp_panic("unknown core kind");
+    }
+}
+
+Machine::~Machine() = default;
+
+RunResult
+Machine::run(std::uint64_t maxInsts, std::uint64_t maxCycles)
+{
+    RunResult r = coreImpl->run(maxInsts, maxCycles);
+    r.config = cfg.name;
+    return r;
+}
+
+} // namespace msp

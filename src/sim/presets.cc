@@ -1,0 +1,94 @@
+#include "sim/presets.hh"
+
+#include "common/logging.hh"
+
+namespace msp {
+
+const char *
+predictorName(PredictorKind p)
+{
+    return p == PredictorKind::Gshare ? "gshare" : "TAGE";
+}
+
+MachineConfig
+baselineConfig(PredictorKind predictor)
+{
+    MachineConfig m;
+    m.name = "Baseline";
+    m.predictor = predictor;
+    CoreParams &c = m.core;
+    c.kind = CoreKind::Baseline;
+    c.robSize = 128;
+    c.iqSize = 48;
+    c.numIntPhys = 96;
+    c.numFpPhys = 96;
+    c.ldqSize = 48;
+    c.sq1Size = 24;
+    c.sq2Size = 0;
+    c.frontendDepth = 5;
+    c.ldqReleaseAtExec = false;   // ROB semantics: hold to retire
+    return m;
+}
+
+MachineConfig
+cprConfig(PredictorKind predictor, unsigned physRegs, unsigned checkpoints)
+{
+    MachineConfig m;
+    m.name = physRegs == 192 ? "CPR"
+                             : csprintf("CPR-%u", physRegs);
+    m.predictor = predictor;
+    CoreParams &c = m.core;
+    c.kind = CoreKind::Cpr;
+    c.iqSize = 128;
+    c.numIntPhys = physRegs;
+    c.numFpPhys = physRegs;
+    c.ldqSize = 48;
+    c.sq1Size = 48;
+    c.sq2Size = 256;
+    c.numCheckpoints = checkpoints;
+    c.frontendDepth = 5;
+    return m;
+}
+
+MachineConfig
+nspConfig(unsigned n, PredictorKind predictor, bool arbitration)
+{
+    MachineConfig m;
+    m.name = csprintf("%u-SP%s", n, arbitration ? "+Arb" : "");
+    m.predictor = predictor;
+    CoreParams &c = m.core;
+    c.kind = CoreKind::Msp;
+    c.iqSize = 128;
+    c.regsPerBank = n;
+    c.ldqSize = 48;
+    c.sq1Size = 48;
+    c.sq2Size = 256;
+    c.lcsLatency = 1;
+    c.arbitration = arbitration;
+    // The register-port arbitration stage deepens the pipeline (Sec. 3).
+    c.frontendDepth = arbitration ? 6 : 5;
+    return m;
+}
+
+MachineConfig
+idealMspConfig(PredictorKind predictor)
+{
+    MachineConfig m;
+    m.name = "ideal MSP";
+    m.predictor = predictor;
+    CoreParams &c = m.core;
+    c.kind = CoreKind::Msp;
+    c.iqSize = 128;
+    c.infiniteBanks = true;
+    c.regsPerBank = 1u << 18;
+    c.ldqSize = 48;
+    c.sq1Size = 48;
+    c.sq2Size = 256;
+    c.infiniteSq = true;
+    c.lcsLatency = 0;
+    c.arbitration = false;
+    c.frontendDepth = 5;
+    return m;
+}
+
+} // namespace msp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table I machine configurations: Baseline, CPR, n-SP and ideal MSP.
+ */
+
+#ifndef MSPLIB_SIM_PRESETS_HH
+#define MSPLIB_SIM_PRESETS_HH
+
+#include "sim/machine.hh"
+
+namespace msp {
+
+/** The Table I baseline: ROB 128, IQ 48, 96+96 registers. */
+MachineConfig baselineConfig(PredictorKind predictor);
+
+/**
+ * The Table I CPR machine: no ROB, 8 checkpoints, 192+192 registers,
+ * hierarchical store queue, fully-ported register file (no arbitration).
+ *
+ * @param physRegs Registers per file (192 in Table I; Sec. 4.3 also
+ *        evaluates 256 and 512).
+ */
+MachineConfig cprConfig(PredictorKind predictor, unsigned physRegs = 192,
+                        unsigned checkpoints = 8);
+
+/**
+ * The n-SP Multi-State Processor: n physical registers per logical
+ * register, 1R/1W banked register file with an arbitration pipeline
+ * stage, 1-cycle LCS propagation.
+ */
+MachineConfig nspConfig(unsigned n, PredictorKind predictor,
+                        bool arbitration = true);
+
+/** Ideal MSP: infinite banks and store queue, 0-cycle LCS, full ports. */
+MachineConfig idealMspConfig(PredictorKind predictor);
+
+/** Predictor name for table headers ("gshare" / "TAGE"). */
+const char *predictorName(PredictorKind predictor);
+
+} // namespace msp
+
+#endif // MSPLIB_SIM_PRESETS_HH

@@ -1,0 +1,343 @@
+#include "workload/kernels.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace msp {
+namespace kernels {
+
+namespace {
+
+constexpr std::uint64_t hugeIters = 1000000000ull;
+
+// Shared register conventions: r1 outer counter, r2 outer limit,
+// r3 data base, r4 mask, r5-r7 addresses, r10.. kernel temporaries.
+
+void
+emitOuterHead(ProgramBuilder &b, Label &outer)
+{
+    b.li(1, 0);
+    b.li(2, static_cast<std::int64_t>(hugeIters));
+    outer = b.newLabel();
+    b.bind(outer);
+}
+
+void
+emitOuterTail(ProgramBuilder &b, Label outer)
+{
+    b.addi(1, 1, 1);
+    b.blt(1, 2, outer);
+    b.halt();
+}
+
+/**
+ * 256.bzip2 generateMTFValues: move-to-front coding. For each input
+ * symbol, scan the MTF list until the symbol is found, shifting every
+ * element one slot forward, then reinsert at the front.
+ */
+Program
+bzip2Mtf(bool modified, std::uint64_t seed)
+{
+    ProgramBuilder b(modified ? "bzip2-mtf-mod" : "bzip2-mtf");
+    const std::size_t nSyms = 4096;
+    const std::size_t listW = 64;     // MTF list: words 32..95
+    const std::size_t symsW = 128;    // symbols at words 128..
+    b.memSize(symsW + nSyms + 64);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < listW; ++i)
+        b.data(32 + i, i);
+    for (std::size_t i = 0; i < nSyms; ++i)
+        b.data(symsW + i, rng.below(listW));
+
+    Label outer;
+    emitOuterHead(b, outer);
+
+    // r3 = symbol index, r4 = nSyms
+    b.li(3, 0);
+    b.li(4, static_cast<std::int64_t>(nSyms));
+    Label symLoop = b.newLabel();
+    Label symDone = b.newLabel();
+    b.bind(symLoop);
+    b.bge(3, 4, symDone);
+
+    // r5 = sym = symbols[r3]
+    b.slli(5, 3, 3);
+    b.addi(5, 5, symsW * 8);
+    b.ld(5, 5, 0);
+
+    // Search: j = 0; while (list[j] != sym) ++j.
+    // Original: j and cur live in r10/r11 only (tight reuse).
+    // Modified: the paper unrolled this loop once (Table II: 1 loop),
+    // spreading the scan over more registers.
+    Label found = b.newLabel();
+    b.li(10, 0);
+    if (!modified) {
+        Label scan = b.newLabel();
+        b.bind(scan);
+        b.slli(11, 10, 3);
+        b.addi(11, 11, 32 * 8);
+        b.ld(11, 11, 0);
+        b.beq(11, 5, found);
+        b.addi(10, 10, 1);
+        b.j(scan);
+    } else {
+        Label scan = b.newLabel();
+        Label found2 = b.newLabel();
+        b.bind(scan);
+        b.slli(11, 10, 3);
+        b.addi(12, 11, 32 * 8);
+        b.ld(13, 12, 0);
+        b.beq(13, 5, found);
+        b.ld(14, 12, 8);          // unrolled second probe
+        b.beq(14, 5, found2);
+        b.addi(10, 10, 2);
+        b.j(scan);
+        b.bind(found2);
+        b.addi(10, 10, 1);
+    }
+    b.bind(found);
+
+    // Shift list[0..j-1] forward by one, reinsert sym at the front.
+    // r6 = k (runs j..1), r7/r12/r13 scratch.
+    Label shiftDone = b.newLabel();
+    if (!modified) {
+        Label shift = b.newLabel();
+        b.mov(6, 10);
+        b.bind(shift);
+        b.beq(6, 0, shiftDone);
+        b.slli(7, 6, 3);
+        b.addi(7, 7, 32 * 8);
+        b.ld(11, 7, -8);          // list[k-1]
+        b.st(11, 7, 0);           // list[k] = list[k-1]
+        b.addi(6, 6, -1);
+        b.j(shift);
+    } else {
+        Label shift = b.newLabel();
+        Label one = b.newLabel();
+        b.mov(6, 10);
+        b.bind(shift);
+        b.slti(15, 6, 2);
+        b.bne(15, 0, one);
+        b.slli(7, 6, 3);
+        b.addi(7, 7, 32 * 8);
+        b.ld(12, 7, -8);
+        b.st(12, 7, 0);
+        b.ld(13, 7, -16);         // unrolled second shift
+        b.st(13, 7, -8);
+        b.addi(6, 6, -2);
+        b.j(shift);
+        b.bind(one);
+        b.beq(6, 0, shiftDone);
+        b.slli(7, 6, 3);
+        b.addi(7, 7, 32 * 8);
+        b.ld(12, 7, -8);
+        b.st(12, 7, 0);
+        b.addi(6, 6, -1);
+    }
+    b.bind(shiftDone);
+    b.st(5, 0, 32 * 8);           // list[0] = sym
+
+    // Accumulate the emitted MTF position.
+    b.add(20, 20, 10);
+
+    b.addi(3, 3, 1);
+    b.j(symLoop);
+    b.bind(symDone);
+    b.st(20, 0, 0);
+
+    emitOuterTail(b, outer);
+    return b.finish();
+}
+
+/**
+ * 300.twolf new_dbox_a: for each terminal of a net, load its position,
+ * update the bounding box (data-dependent min/max branches) and
+ * accumulate the wire-cost delta. The paper unrolled 3 loops.
+ */
+Program
+twolfDbox(bool modified, std::uint64_t seed)
+{
+    ProgramBuilder b(modified ? "twolf-dbox-mod" : "twolf-dbox");
+    const std::size_t nTerms = 8192;
+    const std::size_t posW = 64;
+    b.memSize(posW + nTerms + 64);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < nTerms; ++i)
+        b.data(posW + i, rng.below(10000));
+
+    Label outer;
+    emitOuterHead(b, outer);
+
+    // r3 = term idx, r4 = nTerms, r10 = min, r11 = max, r20 = cost
+    b.li(3, 0);
+    b.li(4, static_cast<std::int64_t>(nTerms));
+    const unsigned unroll = modified ? 2 : 1;
+    for (unsigned u = 0; u < unroll; ++u) {
+        const int rMin = modified ? 10 + static_cast<int>(3 * u) : 10;
+        b.li(rMin, 1 << 20);
+        b.li(rMin + 1, 0);
+        b.li(rMin + 2, 0);
+    }
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.bind(loop);
+    b.bge(3, 4, done);
+    for (unsigned u = 0; u < unroll; ++u) {
+        // Original reuses r5/r6 and accumulates min/max/cost in
+        // r10/r11/r20 for every copy; modified spreads each unrolled
+        // copy across its own registers (merged after the loop).
+        const int ra = modified ? 5 + static_cast<int>(2 * u) : 5;
+        const int rv = ra + 1;
+        const int rMin = modified ? 10 + static_cast<int>(3 * u) : 10;
+        const int rMax = rMin + 1;
+        const int rCost = rMin + 2;
+        b.slli(ra, 3, 3);
+        b.addi(ra, ra, static_cast<std::int64_t>(posW * 8 + 8 * u));
+        b.ld(rv, ra, 0);
+        Label notMin = b.newLabel();
+        Label notMax = b.newLabel();
+        b.bge(rv, rMin, notMin);  // data-dependent min update
+        b.mov(rMin, rv);
+        b.bind(notMin);
+        b.bge(rMax, rv, notMax);  // data-dependent max update
+        b.mov(rMax, rv);
+        b.bind(notMax);
+        b.add(rCost, rCost, rv);
+    }
+    b.addi(3, 3, unroll);
+    b.j(loop);
+    b.bind(done);
+    if (modified) {
+        // Merge the per-copy partial results.
+        Label m1 = b.newLabel();
+        b.bge(13, 10, m1);
+        b.mov(10, 13);
+        b.bind(m1);
+        Label m2 = b.newLabel();
+        b.bge(11, 14, m2);
+        b.mov(11, 14);
+        b.bind(m2);
+        b.add(20, 12, 15);
+    } else {
+        b.mov(20, 12);
+    }
+    b.sub(21, 11, 10);
+    b.add(20, 20, 21);
+    b.st(20, 0, 0);
+
+    emitOuterTail(b, outer);
+    return b.finish();
+}
+
+/**
+ * Shared shape of the three fp kernels: a streaming stencil/reduction
+ * loop. @p spread selects how many fp destination registers the loop
+ * body cycles over — the paper's "modified" versions only re-allocate
+ * registers (0 loops unrolled).
+ */
+Program
+fpStencil(const char *name, std::size_t wsWords, unsigned stride,
+          unsigned spread, bool indexed, std::uint64_t seed)
+{
+    ProgramBuilder b(name);
+    const std::size_t base = 64;
+    b.memSize(base + 2 * wsWords + 64);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < wsWords; ++i) {
+        b.data(base + i,
+               std::bit_cast<std::uint64_t>(0.5 + 0.25 * (i % 13)));
+    }
+    if (indexed) {
+        // equake smvp: a column-index array drives indirect vector loads.
+        for (std::size_t i = 0; i < wsWords; ++i)
+            b.data(base + wsWords + i, rng.below(wsWords) * 8);
+    }
+
+    Label outer;
+    emitOuterHead(b, outer);
+
+    // r3 = i, r4 = n, r5/r6 = addresses; f registers do the work.
+    b.li(3, 0);
+    b.li(4, static_cast<std::int64_t>(wsWords / stride - 4));
+    b.li(7, 1);
+    b.fitof(31, 7);               // f31 = 1.0 (stencil coefficient)
+    b.li(7, 0);
+    b.fitof(30, 7);               // f30 = running sum
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.bind(loop);
+    b.bge(3, 4, done);
+
+    b.slli(5, 3, 3);
+    if (stride > 1)
+        b.slli(5, 5, stride / 2);
+    b.addi(5, 5, static_cast<std::int64_t>(base * 8));
+
+    // The hot body: 4 load-multiply-accumulate steps. Original code
+    // reuses f1/f2 for every step; modified cycles f1..f(spread).
+    for (unsigned k = 0; k < 4; ++k) {
+        const int fa = 1 + static_cast<int>((2 * k) % spread);
+        const int fb = 1 + static_cast<int>((2 * k + 1) % spread);
+        if (indexed) {
+            b.ld(6, 5, static_cast<std::int64_t>(wsWords * 8 + 8 * k));
+            b.addi(6, 6, static_cast<std::int64_t>(base * 8));
+            b.fld(fa, 6, 0);
+        } else {
+            b.fld(fa, 5, 8 * k);
+        }
+        b.fmul(fb, fa, 31);
+        b.fadd(30, 30, fb);
+    }
+    b.fst(30, 5, 0);
+
+    b.addi(3, 3, 1);
+    b.j(loop);
+    b.bind(done);
+    b.fst(30, 0, 0);
+
+    emitOuterTail(b, outer);
+    return b.finish();
+}
+
+} // anonymous namespace
+
+const std::vector<KernelInfo> &
+table2Kernels()
+{
+    static const std::vector<KernelInfo> v = {
+        {"256.bzip2", "generateMTFValues", 1, 65},
+        {"300.twolf", "new_dbox_a", 3, 19},
+        {"171.swim", "calc3", 0, 25},
+        {"172.mgrid", "resid", 0, 52},
+        {"183.equake", "smvp", 0, 54},
+    };
+    return v;
+}
+
+Program
+build(const std::string &benchmark, bool modified, std::uint64_t seed)
+{
+    if (benchmark == "bzip2")
+        return bzip2Mtf(modified, seed);
+    if (benchmark == "twolf")
+        return twolfDbox(modified, seed);
+    if (benchmark == "swim") {
+        return fpStencil(modified ? "swim-calc3-mod" : "swim-calc3",
+                         1 << 15, 1, modified ? 8 : 2, false, seed);
+    }
+    if (benchmark == "mgrid") {
+        return fpStencil(modified ? "mgrid-resid-mod" : "mgrid-resid",
+                         1 << 14, 2, modified ? 8 : 2, false, seed);
+    }
+    if (benchmark == "equake") {
+        return fpStencil(modified ? "equake-smvp-mod" : "equake-smvp",
+                         1 << 13, 1, modified ? 8 : 2, true, seed);
+    }
+    msp_fatal("unknown Table II kernel '%s'", benchmark.c_str());
+}
+
+} // namespace kernels
+} // namespace msp

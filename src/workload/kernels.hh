@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table II kernels: the five SPEC hot functions the paper hand-modified
+ * (loop unrolling / register re-allocation) to reduce MSP bank stalls.
+ *
+ * Each kernel exists in two variants:
+ *  - original: destination registers reused tightly, as a compiler
+ *    minimising architectural register pressure would emit — this is
+ *    what starves small SCT banks;
+ *  - modified: the paper's transformation — bzip2 unrolls 1 loop,
+ *    twolf unrolls 3, and the three fp kernels only re-allocate
+ *    registers ("0 loops unrolled" in Table II).
+ */
+
+#ifndef MSPLIB_WORKLOAD_KERNELS_HH
+#define MSPLIB_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace msp {
+namespace kernels {
+
+/** Metadata mirroring Table II's descriptive columns. */
+struct KernelInfo
+{
+    std::string name;        ///< e.g. "256.bzip2"
+    std::string function;    ///< e.g. "generateMTFValues"
+    int loopsUnrolled;       ///< Table II "Loops unrolled"
+    int pctExecTime;         ///< Table II "% Execution time"
+};
+
+/** The five Table II kernels, in table order. */
+const std::vector<KernelInfo> &table2Kernels();
+
+/** Build the kernel for @p benchmark ("bzip2", "twolf", "swim",
+ *  "mgrid", "equake"). @p modified selects the transformed variant. */
+Program build(const std::string &benchmark, bool modified,
+              std::uint64_t seed = 1);
+
+} // namespace kernels
+} // namespace msp
+
+#endif // MSPLIB_WORKLOAD_KERNELS_HH

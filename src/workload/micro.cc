@@ -1,0 +1,335 @@
+#include "workload/micro.hh"
+
+#include <bit>
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace msp {
+namespace micro {
+
+namespace {
+
+std::uint64_t
+fpBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+} // anonymous namespace
+
+Program
+sumLoop(std::uint64_t n)
+{
+    ProgramBuilder b("sumLoop");
+    // r1 = accumulator, r2 = i, r3 = n
+    b.li(1, 0);
+    b.li(2, 1);
+    b.li(3, static_cast<std::int64_t>(n));
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.blt(3, 2, end);        // if n < i goto end
+    b.add(1, 1, 2);          // acc += i
+    b.addi(2, 2, 1);         // ++i
+    b.j(loop);
+    b.bind(end);
+    b.st(1, 0, 0);           // word 0 = acc
+    b.halt();
+    return b.finish();
+}
+
+Program
+fibonacci(std::uint64_t n)
+{
+    ProgramBuilder b("fibonacci");
+    // r1 = a, r2 = b, r3 = i, r4 = n, r5 = tmp
+    b.li(1, 0);
+    b.li(2, 1);
+    b.li(3, 0);
+    b.li(4, static_cast<std::int64_t>(n));
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(3, 4, end);
+    b.add(5, 1, 2);
+    b.mov(1, 2);
+    b.mov(2, 5);
+    b.addi(3, 3, 1);
+    b.j(loop);
+    b.bind(end);
+    b.st(1, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+memCopy(std::uint64_t words)
+{
+    ProgramBuilder b("memCopy");
+    const std::int64_t srcBase = 64;           // word index 8
+    const std::int64_t dstBase = srcBase + 8 * words;
+    b.memSize(2 * words + 64);
+    for (std::uint64_t i = 0; i < words; ++i)
+        b.data(8 + i, i * 2654435761u + 17);
+
+    // r1 = i (bytes), r2 = limit, r3 = tmp, r4 = checksum
+    b.li(1, 0);
+    b.li(2, static_cast<std::int64_t>(8 * words));
+    b.li(4, 0);
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(1, 2, end);
+    b.addi(5, 1, srcBase);
+    b.ld(3, 5, 0);
+    b.addi(6, 1, dstBase);
+    b.st(3, 6, 0);
+    b.add(4, 4, 3);
+    b.addi(1, 1, 8);
+    b.j(loop);
+    b.bind(end);
+    b.st(4, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+pointerChase(std::uint64_t nodes, std::uint64_t steps, std::uint64_t seed)
+{
+    ProgramBuilder b("pointerChase");
+    b.memSize(nodes * 2 + 64);
+
+    // Build a random ring of nodes. Node i lives at word (16 + i);
+    // its value is the byte address of the next node.
+    Rng rng(seed);
+    std::vector<std::uint32_t> perm(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        perm[i] = static_cast<std::uint32_t>(i);
+    for (std::uint64_t i = nodes - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        const std::uint64_t cur = perm[i];
+        const std::uint64_t nxt = perm[(i + 1) % nodes];
+        b.data(16 + cur, (16 + nxt) * wordBytes);
+    }
+
+    // r1 = pointer, r2 = i, r3 = steps, r4 = checksum
+    b.li(1, static_cast<std::int64_t>((16 + perm[0]) * wordBytes));
+    b.li(2, 0);
+    b.li(3, static_cast<std::int64_t>(steps));
+    b.li(4, 0);
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(2, 3, end);
+    b.ld(1, 1, 0);           // p = *p (dependent load chain)
+    b.add(4, 4, 1);
+    b.addi(2, 2, 1);
+    b.j(loop);
+    b.bind(end);
+    b.st(4, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+branchy(std::uint64_t n, std::uint64_t seed)
+{
+    ProgramBuilder b("branchy");
+    b.memSize(n + 64);
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < n; ++i)
+        b.data(16 + i, rng.below(2));
+
+    // r1 = i, r2 = n, r3 = word, r4 = count
+    b.li(1, 0);
+    b.li(2, static_cast<std::int64_t>(n));
+    b.li(4, 0);
+    Label loop = b.newLabel();
+    Label skip = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(1, 2, end);
+    b.slli(5, 1, 3);
+    b.addi(5, 5, 16 * 8);
+    b.ld(3, 5, 0);
+    b.beq(3, 0, skip);       // data-dependent: ~50% taken
+    b.addi(4, 4, 1);
+    b.bind(skip);
+    b.addi(1, 1, 1);
+    b.j(loop);
+    b.bind(end);
+    b.st(4, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+tightRename(std::uint64_t iters)
+{
+    ProgramBuilder b("tightRename");
+    // The loop body renames r2 repeatedly: an n-SP bank for r2 fills
+    // after n renamings unless commits keep pace.
+    b.li(1, 0);
+    b.li(3, static_cast<std::int64_t>(iters));
+    b.li(2, 0);
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(1, 3, end);
+    b.addi(2, 2, 1);
+    b.addi(2, 2, 1);
+    b.addi(2, 2, 1);
+    b.addi(2, 2, 1);
+    b.addi(1, 1, 1);
+    b.j(loop);
+    b.bind(end);
+    b.st(2, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+tightRenameIndependent(std::uint64_t iters)
+{
+    ProgramBuilder b("tightRenameIndependent");
+    b.li(1, 0);
+    b.li(3, static_cast<std::int64_t>(iters));
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(1, 3, end);
+    // Eight independent writes to r2 per iteration: only the
+    // same-register rename throughput (the dual SCT write port)
+    // limits how fast these flow through rename.
+    for (int k = 1; k <= 8; ++k)
+        b.li(2, k);
+    b.addi(1, 1, 1);
+    b.j(loop);
+    b.bind(end);
+    b.st(2, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+dotProduct(std::uint64_t n)
+{
+    ProgramBuilder b("dotProduct");
+    b.memSize(2 * n + 64);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        b.data(16 + i, fpBits(1.0 + 0.25 * (i % 7)));
+        b.data(16 + n + i, fpBits(2.0 - 0.125 * (i % 5)));
+    }
+
+    // r1 = i, r2 = n, r3/r4 = addresses; f1 = acc, f2/f3 = elements
+    b.li(1, 0);
+    b.li(2, static_cast<std::int64_t>(n));
+    b.li(5, 0);
+    b.fitof(1, 5);           // f1 = 0.0
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(1, 2, end);
+    b.slli(3, 1, 3);
+    b.addi(4, 3, static_cast<std::int64_t>((16 + n) * 8));
+    b.addi(3, 3, 16 * 8);
+    b.fld(2, 3, 0);
+    b.fld(3, 4, 0);
+    b.fmul(2, 2, 3);
+    b.fadd(1, 1, 2);
+    b.addi(1, 1, 1);
+    b.j(loop);
+    b.bind(end);
+    b.fst(1, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+callReturn(std::uint64_t iters)
+{
+    ProgramBuilder b("callReturn");
+    Label main = b.newLabel();
+    Label func = b.newLabel();
+    b.j(main);
+
+    // func: r10 += r11; return via r31 (link)
+    b.bind(func);
+    b.add(10, 10, 11);
+    b.ret(31);
+
+    b.bind(main);
+    b.li(1, 0);
+    b.li(2, static_cast<std::int64_t>(iters));
+    b.li(10, 0);
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(1, 2, end);
+    b.mov(11, 1);
+    b.jal(31, func);
+    b.addi(1, 1, 1);
+    b.j(loop);
+    b.bind(end);
+    b.st(10, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+trapLoop(std::uint64_t iters, std::uint64_t period)
+{
+    ProgramBuilder b("trapLoop");
+    // r1 = i, r2 = iters, r3 = phase, r4 = acc
+    b.li(1, 0);
+    b.li(2, static_cast<std::int64_t>(iters));
+    b.li(3, 0);
+    b.li(4, 0);
+    Label loop = b.newLabel();
+    Label noTrap = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(1, 2, end);
+    b.addi(3, 3, 1);
+    b.slti(5, 3, static_cast<std::int64_t>(period));
+    b.bne(5, 0, noTrap);
+    b.trap();
+    b.li(3, 0);
+    b.bind(noTrap);
+    b.add(4, 4, 1);
+    b.addi(1, 1, 1);
+    b.j(loop);
+    b.bind(end);
+    b.st(4, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+storeForward(std::uint64_t iters)
+{
+    ProgramBuilder b("storeForward");
+    // Repeatedly store to a scratch slot and reload it immediately.
+    b.li(1, 0);
+    b.li(2, static_cast<std::int64_t>(iters));
+    b.li(4, 0);
+    Label loop = b.newLabel();
+    Label end = b.newLabel();
+    b.bind(loop);
+    b.bge(1, 2, end);
+    b.addi(5, 1, 7);
+    b.st(5, 0, 64);          // store
+    b.ld(6, 0, 64);          // immediate reload: must forward
+    b.add(4, 4, 6);
+    b.addi(1, 1, 1);
+    b.j(loop);
+    b.bind(end);
+    b.st(4, 0, 0);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace micro
+} // namespace msp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small deterministic programs with known architectural results.
+ *
+ * Used by the test suite (every core must produce the functional
+ * simulator's exact final state) and by the examples.
+ */
+
+#ifndef MSPLIB_WORKLOAD_MICRO_HH
+#define MSPLIB_WORKLOAD_MICRO_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace msp {
+namespace micro {
+
+/** r1 = sum of 1..n via a counted loop; result stored to word 0. */
+Program sumLoop(std::uint64_t n);
+
+/** Iterative Fibonacci: word 0 = fib(n). */
+Program fibonacci(std::uint64_t n);
+
+/** Copy @p words words from address A to address B, then checksum. */
+Program memCopy(std::uint64_t words);
+
+/** Pointer chase over a @p nodes-element ring, @p steps hops. */
+Program pointerChase(std::uint64_t nodes, std::uint64_t steps,
+                     std::uint64_t seed);
+
+/**
+ * Data-dependent branches over a pseudo-random bit array — heavy
+ * misprediction stress. Counts set bits of @p n words into word 0.
+ */
+Program branchy(std::uint64_t n, std::uint64_t seed);
+
+/** Tight loop that renames one register constantly (MSP bank stress). */
+Program tightRename(std::uint64_t iters);
+
+/** Independent same-register writes back to back: stresses the
+ *  same-logical-register rename throughput (Sec. 3.3), not the ALUs. */
+Program tightRenameIndependent(std::uint64_t iters);
+
+/** Floating-point dot product of two @p n-element vectors. */
+Program dotProduct(std::uint64_t n);
+
+/** Mixed program with calls/returns (RAS exercise). */
+Program callReturn(std::uint64_t iters);
+
+/** A loop with a TRAP raised every @p period iterations. */
+Program trapLoop(std::uint64_t iters, std::uint64_t period);
+
+/** Store-to-load forwarding stress: write then immediately reload. */
+Program storeForward(std::uint64_t iters);
+
+} // namespace micro
+} // namespace msp
+
+#endif // MSPLIB_WORKLOAD_MICRO_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2000-like workloads.
+ *
+ * The paper evaluates on SPEC CPU2000 binaries compiled with the Compaq
+ * Alpha toolchain — unavailable here. Each generator below emits a real
+ * program (control flow, data, loops) whose *microarchitectural*
+ * character is shaped to the corresponding benchmark: branch
+ * predictability under short vs long history (the gshare/TAGE split),
+ * working-set size and access pattern (cache/memory behaviour), call
+ * and indirect-jump density, dependency-chain ILP, and — critically for
+ * the MSP — the density of logical-register reuse in hot loops, which
+ * is what exhausts small SCT banks (Sec. 4.3). See DESIGN.md for the
+ * substitution rationale.
+ */
+
+#ifndef MSPLIB_WORKLOAD_SPEC_HH
+#define MSPLIB_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace msp {
+namespace spec {
+
+/** Tunable character of one synthetic benchmark. */
+struct SynthSpec
+{
+    std::string name;
+    bool fp = false;
+
+    // Memory behaviour.
+    std::size_t wsWords = 1 << 14;  ///< working-set words (data array)
+    unsigned stride = 1;            ///< array walk stride (words)
+    bool pointerChase = false;      ///< mcf/art-style dependent loads
+    std::size_t chaseNodes = 1 << 16;
+    double storeDensity = 0.2;      ///< stores per block item
+
+    /**
+     * Fraction of load sites confined to a small, L1-resident hot
+     * region. Real programs concentrate most accesses on a hot core
+     * with occasional cold excursions; without this, every benchmark
+     * becomes memory-bound.
+     */
+    double hotFrac = 0.85;
+    std::size_t hotWords = 1 << 12; ///< 32 KB hot region
+
+    // Branch behaviour.
+    double randomBranchDensity = 0.3; ///< data-dependent branch density
+    double randomBias = 0.5;          ///< P(taken) of random branches
+    unsigned patternPeriod = 0;       ///< >0: long-period branch pattern
+    double patternDensity = 0.0;      ///< patterned branches per item
+
+    // Structure.
+    unsigned blocks = 12;           ///< distinct code blocks
+    unsigned itemsPerBlock = 6;     ///< work items per block
+    unsigned innerTrip = 8;         ///< inner-loop trip count
+    unsigned chainLen = 3;          ///< arithmetic dependency chain
+    unsigned regSpread = 8;         ///< int temp registers cycled over
+    unsigned fpRegSpread = 8;       ///< fp temp registers cycled over
+    bool calls = false;
+    bool indirect = false;          ///< interpreter-style dispatch
+    double fpMix = 0.0;             ///< fp ops per item (int benches ~0)
+
+    std::uint64_t seed = 1;
+};
+
+/** Benchmark names in paper order (Fig. 6/7/9). */
+const std::vector<std::string> &intBenchmarks();
+
+/** Floating-point benchmark names (Fig. 8). */
+const std::vector<std::string> &fpBenchmarks();
+
+/** The SynthSpec used for @p name (exposed for tests/ablations). */
+SynthSpec specFor(const std::string &name);
+
+/** Build the synthetic program for benchmark @p name. */
+Program build(const std::string &name, std::uint64_t seed = 1);
+
+/** Build directly from a SynthSpec (for custom workloads/ablations). */
+Program buildSynthetic(const SynthSpec &spec);
+
+/** True if @p name is one of the fp benchmarks. */
+bool isFp(const std::string &name);
+
+} // namespace spec
+} // namespace msp
+
+#endif // MSPLIB_WORKLOAD_SPEC_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Baseline (ROB) core tests: in-order retire, ROB occupancy limits,
+ * free-list behaviour and precise recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline_core.hh"
+#include "isa/builder.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workload/micro.hh"
+
+namespace msp {
+namespace {
+
+TEST(BaselineCore, MatchesOracleOnBranchyCode)
+{
+    Program prog = micro::branchy(4000, 19);
+    Machine m(baselineConfig(PredictorKind::Gshare), prog);
+    RunResult r = m.run(10000000);
+    FunctionalExecutor ref(prog);
+    ref.run(10000000);
+    EXPECT_EQ(r.committed, ref.instCount());
+    EXPECT_TRUE(m.core().oracleRef().state() == ref.state());
+}
+
+TEST(BaselineCore, RetireWidthBoundsIpc)
+{
+    // IPC can never exceed the retire width.
+    Program prog = micro::sumLoop(20000);
+    MachineConfig cfg = baselineConfig(PredictorKind::Tage);
+    Machine m(cfg, prog);
+    RunResult r = m.run(10000000);
+    EXPECT_LE(r.ipc(), cfg.core.retireWidth);
+    EXPECT_GT(r.ipc(), 0.3);
+}
+
+TEST(BaselineCore, SmallRobLimitsWindow)
+{
+    // A pointer chase with DRAM misses: a 16-entry ROB can overlap far
+    // fewer misses than a 128-entry one.
+    Program prog = micro::pointerChase(1 << 15, 4000, 3);
+    MachineConfig small = baselineConfig(PredictorKind::Gshare);
+    small.core.robSize = 16;
+    MachineConfig big = baselineConfig(PredictorKind::Gshare);
+
+    Machine ms(small, prog);
+    Machine mb(big, prog);
+    RunResult rs = ms.run(200000);
+    RunResult rb = mb.run(200000);
+    EXPECT_LE(rs.ipc(), rb.ipc() * 1.02);
+}
+
+TEST(BaselineCore, PreciseRecoveryNoReExecution)
+{
+    Program prog = micro::branchy(4000, 7);
+    Machine m(baselineConfig(PredictorKind::Gshare), prog);
+    RunResult r = m.run(10000000);
+    EXPECT_GT(r.recoveries, 20u);
+    EXPECT_EQ(r.reExecuted, 0u);
+}
+
+TEST(BaselineCore, ExceptionsFlushAtCommit)
+{
+    Program prog = micro::trapLoop(300, 17);
+    Machine m(baselineConfig(PredictorKind::Gshare), prog);
+    RunResult r = m.run(10000000);
+    EXPECT_GT(r.exceptions, 10u);
+    FunctionalExecutor ref(prog);
+    ref.run(10000000);
+    EXPECT_TRUE(m.core().oracleRef().state() == ref.state());
+}
+
+TEST(BaselineCore, RegisterStallWhenFileTooSmall)
+{
+    // 33 int registers leaves one rename register: rename serialises.
+    Program prog = micro::sumLoop(5000);
+    MachineConfig tiny = baselineConfig(PredictorKind::Gshare);
+    tiny.core.numIntPhys = 34;
+    Machine m(tiny, prog);
+    RunResult r = m.run(10000000);
+    EXPECT_GT(r.regStallCycles, 1000u);
+}
+
+TEST(BaselineCore, StoreForwardingWorks)
+{
+    Program prog = micro::storeForward(2000);
+    Machine m(baselineConfig(PredictorKind::Gshare), prog);
+    RunResult r = m.run(10000000);
+    FunctionalExecutor ref(prog);
+    ref.run(10000000);
+    EXPECT_EQ(r.committed, ref.instCount());
+    EXPECT_TRUE(m.core().oracleRef().state() == ref.state());
+}
+
+} // namespace
+} // namespace msp

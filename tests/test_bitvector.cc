@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for BitVector (the RelIQ storage primitive).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.hh"
+
+namespace msp {
+namespace {
+
+TEST(BitVector, StartsEmpty)
+{
+    BitVector v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.none());
+    EXPECT_FALSE(v.any());
+    EXPECT_EQ(v.count(), 0u);
+    EXPECT_EQ(v.findFirst(), 130u);
+}
+
+TEST(BitVector, SetTestClear)
+{
+    BitVector v(128);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(127);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(127));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_EQ(v.count(), 4u);
+    v.clear(63);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVector, FindFirstScansWordBoundaries)
+{
+    BitVector v(200);
+    v.set(150);
+    EXPECT_EQ(v.findFirst(), 150u);
+    v.set(70);
+    EXPECT_EQ(v.findFirst(), 70u);
+    v.set(3);
+    EXPECT_EQ(v.findFirst(), 3u);
+}
+
+TEST(BitVector, ResetClearsEverything)
+{
+    BitVector v(90);
+    for (std::size_t i = 0; i < 90; i += 7)
+        v.set(i);
+    EXPECT_TRUE(v.any());
+    v.reset();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, OrAssignMerges)
+{
+    BitVector a(64), b(64);
+    a.set(1);
+    b.set(2);
+    a |= b;
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+}
+
+TEST(BitVector, EqualityComparesContent)
+{
+    BitVector a(64), b(64);
+    EXPECT_EQ(a, b);
+    a.set(5);
+    EXPECT_FALSE(a == b);
+    b.set(5);
+    EXPECT_EQ(a, b);
+}
+
+TEST(BitVectorDeath, OutOfRangePanics)
+{
+    BitVector v(10);
+    EXPECT_DEATH(v.set(10), "out of range");
+    EXPECT_DEATH(v.test(99), "out of range");
+}
+
+class BitVectorSizes : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(BitVectorSizes, CountMatchesSetBits)
+{
+    const std::size_t n = GetParam();
+    BitVector v(n);
+    std::size_t expect = 0;
+    for (std::size_t i = 0; i < n; i += 3) {
+        v.set(i);
+        ++expect;
+    }
+    EXPECT_EQ(v.count(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizes,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129,
+                                           255, 256, 1000));
+
+} // namespace
+} // namespace msp

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the branch-prediction structures: global history
+ * folding, gshare, TAGE (including the long-history advantage over
+ * gshare the evaluation relies on), the JRS confidence estimator and
+ * the return-address stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/confidence.hh"
+#include "bpred/gshare.hh"
+#include "bpred/history.hh"
+#include "bpred/ras.hh"
+#include "bpred/tage.hh"
+#include "common/random.hh"
+
+namespace msp {
+namespace {
+
+TEST(GlobalHistory, PushShiftsAcrossWords)
+{
+    GlobalHistory h;
+    h.push(true, 0);
+    EXPECT_EQ(h.h0 & 1, 1u);
+    for (int i = 0; i < 63; ++i)
+        h.push(false, 0);
+    // The original taken bit migrated to bit 63.
+    EXPECT_EQ(h.h0 >> 63, 1u);
+    h.push(false, 0);
+    EXPECT_EQ(h.h1 & 1, 1u);   // ...and into the high word
+}
+
+TEST(GlobalHistory, FoldIsDeterministicAndBounded)
+{
+    GlobalHistory h;
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i)
+        h.push(rng.chance(0.5), i);
+    for (unsigned len : {4u, 16u, 64u, 100u, 128u}) {
+        const std::uint32_t f = h.fold(len, 10);
+        EXPECT_LT(f, 1u << 10);
+        EXPECT_EQ(f, h.fold(len, 10));
+    }
+}
+
+TEST(GlobalHistory, FoldUsesOnlyRequestedLength)
+{
+    GlobalHistory a, b;
+    for (int i = 0; i < 8; ++i) {
+        a.push(true, 0);
+        b.push(true, 0);
+    }
+    // Diverge beyond the first 8 outcomes only.
+    GlobalHistory a2 = a, b2 = b;
+    for (int i = 0; i < 60; ++i) {
+        a2.push(true, 0);
+        b2.push(false, 0);
+    }
+    // fold over the most recent 8 must differ (histories differ there)...
+    EXPECT_NE(a2.fold(60, 8), b2.fold(60, 8));
+}
+
+TEST(Gshare, LearnsBiasedBranch)
+{
+    Gshare g;
+    GlobalHistory h;
+    // Train always-taken at one pc.
+    for (int i = 0; i < 8; ++i)
+        g.update(0x40, h, true);
+    EXPECT_TRUE(g.predict(0x40, h));
+}
+
+TEST(Gshare, LearnsAlternatingPatternThroughHistory)
+{
+    Gshare g;
+    GlobalHistory h;
+    int correct = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool outcome = (i & 1) != 0;
+        if (i > 1000)
+            correct += g.predict(0x80, h) == outcome;
+        g.update(0x80, h, outcome);
+        h.push(outcome, 0x80);
+    }
+    EXPECT_GT(correct, 950);   // near-perfect after warmup
+}
+
+/**
+ * The mechanism the paper's gshare/TAGE split rests on: a periodic
+ * pattern much longer than gshare's folded history is still learnable
+ * by TAGE's geometric (up to 128-bit) histories.
+ */
+TEST(Tage, LearnsLongPeriodPatternBetterThanGshare)
+{
+    const int period = 48;
+    auto run = [&](auto &pred) {
+        GlobalHistory h;
+        int correct = 0, total = 0;
+        for (int i = 0; i < 30000; ++i) {
+            const bool outcome = (i % period) < period / 2;
+            if (i > 15000) {
+                correct += pred.predict(0x33, h) == outcome;
+                ++total;
+            }
+            pred.update(0x33, h, outcome);
+            h.push(outcome, 0x33);
+        }
+        return correct / double(total);
+    };
+    Tage tage;
+    Gshare gshare;
+    const double tageAcc = run(tage);
+    const double gshareAcc = run(gshare);
+    EXPECT_GT(tageAcc, 0.97);
+    EXPECT_GT(tageAcc, gshareAcc + 0.02);
+}
+
+TEST(Tage, RandomBranchesStayHard)
+{
+    Tage t;
+    GlobalHistory h;
+    Rng rng(123);
+    int correct = 0, total = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const bool outcome = rng.chance(0.5);
+        if (i > 5000) {
+            correct += t.predict(0x99, h) == outcome;
+            ++total;
+        }
+        t.update(0x99, h, outcome);
+        h.push(outcome, 0x99);
+    }
+    const double acc = correct / double(total);
+    EXPECT_LT(acc, 0.60);   // nothing can learn a fair coin
+    EXPECT_GT(acc, 0.40);
+}
+
+TEST(Confidence, SaturatesHighThenResetsOnMiss)
+{
+    JrsConfidence c(10, 4, 15);
+    GlobalHistory h;
+    EXPECT_FALSE(c.highConfidence(0x10, h));
+    for (int i = 0; i < 15; ++i)
+        c.update(0x10, h, true);
+    EXPECT_TRUE(c.highConfidence(0x10, h));
+    c.update(0x10, h, false);
+    EXPECT_FALSE(c.highConfidence(0x10, h));
+}
+
+TEST(Ras, PushPopLifo)
+{
+    Ras r(8);
+    r.push(100);
+    r.push(200);
+    EXPECT_EQ(r.pop(), 200u);
+    EXPECT_EQ(r.pop(), 100u);
+}
+
+TEST(Ras, SnapshotRestoresTop)
+{
+    Ras r(8);
+    r.push(1);
+    r.push(2);
+    Ras::Snapshot s = r.snapshot();
+    r.pop();
+    r.push(99);
+    r.restore(s);
+    EXPECT_EQ(r.pop(), 2u);
+    EXPECT_EQ(r.pop(), 1u);
+}
+
+TEST(Ras, FullCopyPreservesDeepEntries)
+{
+    Ras r(4);
+    r.push(1);
+    r.push(2);
+    r.push(3);
+    Ras copy = r;
+    r.pop();
+    r.pop();
+    r.push(77);
+    r.push(88);
+    r = copy;
+    EXPECT_EQ(r.pop(), 3u);
+    EXPECT_EQ(r.pop(), 2u);
+    EXPECT_EQ(r.pop(), 1u);
+}
+
+TEST(Ras, WrapsCircularly)
+{
+    Ras r(2);
+    r.push(1);
+    r.push(2);
+    r.push(3);   // overwrites the oldest
+    EXPECT_EQ(r.pop(), 3u);
+    EXPECT_EQ(r.pop(), 2u);
+    EXPECT_EQ(r.pop(), 3u);   // wrapped
+}
+
+} // namespace
+} // namespace msp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the common utilities: saturating counters, the
+ * deterministic RNG, statistics, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace msp {
+namespace {
+
+TEST(SatCounter, SaturatesBothEnds)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.max(), 3u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, TakenThreshold)
+{
+    SatCounter c(2, 1);
+    EXPECT_FALSE(c.taken());   // 1 of 3
+    c.increment();
+    EXPECT_TRUE(c.taken());    // 2 of 3
+}
+
+TEST(SatCounter, ResetAndSet)
+{
+    SatCounter c(4, 9);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.set(99);
+    EXPECT_EQ(c.value(), 15u);   // clamped
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(9);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / double(n), 0.25, 0.02);
+}
+
+TEST(Rng, ZeroSeedIsRemapped)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Stats, AddAndAccumulate)
+{
+    StatGroup g("core");
+    Stat &s = g.add("commits", "committed instructions");
+    ++s;
+    s += 9;
+    EXPECT_EQ(g.get("commits"), 10u);
+    EXPECT_EQ(g.get("absent"), 0u);
+}
+
+TEST(Stats, AddIsIdempotentPerName)
+{
+    StatGroup g("x");
+    Stat &a = g.add("n");
+    Stat &b = g.add("n");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(g.all().size(), 1u);
+}
+
+TEST(Stats, ResetAllZeroes)
+{
+    StatGroup g("x");
+    g.add("a") += 5;
+    g.add("b") += 7;
+    g.resetAll();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_EQ(g.get("b"), 0u);
+}
+
+TEST(Stats, DumpContainsPrefixAndValues)
+{
+    StatGroup g("l1");
+    g.add("hits", "cache hits") += 3;
+    const std::string d = g.dump();
+    EXPECT_NE(d.find("l1.hits 3"), std::string::npos);
+    EXPECT_NE(d.find("cache hits"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 3), "2.000");
+}
+
+} // namespace
+} // namespace msp

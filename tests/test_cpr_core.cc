@@ -1,0 +1,128 @@
+/**
+ * @file
+ * CPR core tests: checkpoint allocation, reference-counted register
+ * release, rollback recovery with re-execution accounting, and
+ * refcount invariants across recovery storms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpr/cpr_core.hh"
+#include "isa/builder.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workload/micro.hh"
+
+namespace msp {
+namespace {
+
+TEST(CprCore, TakesCheckpointsAndCommitsInBulk)
+{
+    Program prog = micro::branchy(3000, 17);
+    Machine m(cprConfig(PredictorKind::Gshare), prog);
+    RunResult r = m.run(10000000);
+    EXPECT_GT(r.checkpointsTaken, 20u);
+    FunctionalExecutor ref(prog);
+    ref.run(10000000);
+    EXPECT_EQ(r.committed, ref.instCount());
+    EXPECT_TRUE(m.core().oracleRef().state() == ref.state());
+}
+
+TEST(CprCore, RollbacksReExecuteCorrectPathWork)
+{
+    // Hard-to-predict branches force rollbacks; any rollback that lands
+    // before the branch throws away executed correct-path work.
+    Program prog = micro::branchy(5000, 3);
+    Machine m(cprConfig(PredictorKind::Gshare), prog);
+    RunResult r = m.run(10000000);
+    EXPECT_GT(r.recoveries, 50u);
+    EXPECT_GT(r.reExecuted, 0u)
+        << "checkpoint recovery is imprecise by construction";
+}
+
+TEST(CprCore, MspExecutesFewerInstructionsThanCpr)
+{
+    // The paper's headline energy argument (Fig. 9).
+    Program prog = micro::branchy(6000, 9);
+    Machine cpr(cprConfig(PredictorKind::Gshare), prog);
+    RunResult rc = cpr.run(10000000);
+    Machine msp(nspConfig(16, PredictorKind::Gshare), prog);
+    RunResult rm = msp.run(10000000);
+    EXPECT_EQ(rc.committed, rm.committed);
+    EXPECT_LT(rm.totalExecuted, rc.totalExecuted);
+    EXPECT_EQ(rm.reExecuted, 0u);
+}
+
+TEST(CprCore, RefCountsStayExactAcrossRecoveries)
+{
+    Program prog = micro::branchy(2000, 31);
+    Machine m(cprConfig(PredictorKind::Gshare), prog);
+    auto &core = static_cast<CprCore &>(m.core());
+    // Interleave short bursts of execution with invariant checks.
+    for (int burst = 0; burst < 20; ++burst) {
+        m.run(1000000, (burst + 1) * 500);
+        ASSERT_TRUE(core.verifyRefCounts())
+            << "refcount drift after burst " << burst;
+    }
+}
+
+TEST(CprCore, CheckpointCountBoundsLiveCheckpoints)
+{
+    Program prog = micro::branchy(3000, 5);
+    MachineConfig cfg = cprConfig(PredictorKind::Gshare, 192, 4);
+    Machine m(cfg, prog);
+    auto &core = static_cast<CprCore &>(m.core());
+    for (int burst = 0; burst < 10; ++burst) {
+        m.run(1000000, (burst + 1) * 300);
+        EXPECT_LE(core.liveCheckpoints(), 4u);
+    }
+}
+
+TEST(CprCore, FewerCheckpointsMeansMoreReExecution)
+{
+    Program prog = micro::branchy(6000, 77);
+    RunResult few, many;
+    {
+        Machine m(cprConfig(PredictorKind::Gshare, 192, 2), prog);
+        few = m.run(10000000);
+    }
+    {
+        Machine m(cprConfig(PredictorKind::Gshare, 192, 16), prog);
+        many = m.run(10000000);
+    }
+    EXPECT_EQ(few.committed, many.committed);
+    EXPECT_GT(few.reExecuted, many.reExecuted)
+        << "sparser checkpoints must lengthen rollbacks";
+}
+
+TEST(CprCore, ExceptionsRecoverViaCheckpointAndMatchOracle)
+{
+    Program prog = micro::trapLoop(400, 31);
+    Machine m(cprConfig(PredictorKind::Tage), prog);
+    RunResult r = m.run(10000000);
+    EXPECT_GT(r.exceptions, 10u);
+    FunctionalExecutor ref(prog);
+    ref.run(10000000);
+    EXPECT_EQ(r.committed, ref.instCount());
+    EXPECT_TRUE(m.core().oracleRef().state() == ref.state());
+}
+
+TEST(CprCore, RegisterSweepHasDiminishingReturns)
+{
+    // Sec. 4.3: CPR barely improves past 192 registers.
+    Program prog = micro::branchy(4000, 13);
+    double ipc192, ipc512;
+    {
+        Machine m(cprConfig(PredictorKind::Tage, 192), prog);
+        ipc192 = m.run(10000000).ipc();
+    }
+    {
+        Machine m(cprConfig(PredictorKind::Tage, 512), prog);
+        ipc512 = m.run(10000000).ipc();
+    }
+    EXPECT_GE(ipc512, ipc192 * 0.98);
+    EXPECT_LE(ipc512, ipc192 * 1.15);
+}
+
+} // namespace
+} // namespace msp

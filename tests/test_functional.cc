@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for instruction semantics and the functional executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "functional/executor.hh"
+#include "functional/semantics.hh"
+#include "isa/builder.hh"
+
+namespace msp {
+namespace {
+
+Instruction
+mk(Opcode op, int rd, int rs1, int rs2, std::int64_t imm = 0)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.rs2 = rs2;
+    in.imm = imm;
+    return in;
+}
+
+TEST(Semantics, IntegerAlu)
+{
+    using namespace semantics;
+    EXPECT_EQ(aluResult(mk(Opcode::ADD, 1, 2, 3), 7, 5, 0), 12u);
+    EXPECT_EQ(aluResult(mk(Opcode::SUB, 1, 2, 3), 7, 5, 0), 2u);
+    EXPECT_EQ(aluResult(mk(Opcode::MUL, 1, 2, 3), 7, 5, 0), 35u);
+    EXPECT_EQ(aluResult(mk(Opcode::DIV, 1, 2, 3), 35, 5, 0), 7u);
+    EXPECT_EQ(aluResult(mk(Opcode::DIV, 1, 2, 3), 35, 0, 0), ~0ull);
+    EXPECT_EQ(aluResult(mk(Opcode::AND, 1, 2, 3), 0b1100, 0b1010, 0),
+              0b1000u);
+    EXPECT_EQ(aluResult(mk(Opcode::SLT, 1, 2, 3),
+                        static_cast<std::uint64_t>(-3), 2, 0), 1u);
+    EXPECT_EQ(aluResult(mk(Opcode::SLLI, 1, 2, -1, 4), 3, 0, 0), 48u);
+    EXPECT_EQ(aluResult(mk(Opcode::LI, 1, -1, -1, -9), 0, 0, 0),
+              static_cast<std::uint64_t>(-9));
+    EXPECT_EQ(aluResult(mk(Opcode::JAL, 1, -1, -1, 7), 0, 0, 100), 101u);
+}
+
+TEST(Semantics, FloatingPoint)
+{
+    using namespace semantics;
+    const auto bits = [](double d) { return asBits(d); };
+    EXPECT_EQ(aluResult(mk(Opcode::FADD, 1, 2, 3), bits(1.5), bits(2.25),
+                        0), bits(3.75));
+    EXPECT_EQ(aluResult(mk(Opcode::FMUL, 1, 2, 3), bits(3.0), bits(0.5),
+                        0), bits(1.5));
+    EXPECT_EQ(aluResult(mk(Opcode::FDIV, 1, 2, 3), bits(1.0), bits(0.0),
+                        0), bits(0.0));   // defined: no fp faults
+    EXPECT_EQ(aluResult(mk(Opcode::FITOF, 1, 2, -1),
+                        static_cast<std::uint64_t>(-4), 0, 0),
+              bits(-4.0));
+    EXPECT_EQ(aluResult(mk(Opcode::FFTOI, 1, 2, -1), bits(-7.9), 0, 0),
+              static_cast<std::uint64_t>(-7));
+    EXPECT_EQ(aluResult(mk(Opcode::FCMPLT, 1, 2, 3), bits(1.0),
+                        bits(2.0), 0), 1u);
+}
+
+TEST(Semantics, BranchDirections)
+{
+    using namespace semantics;
+    EXPECT_TRUE(branchTaken(mk(Opcode::BEQ, -1, 1, 2), 5, 5));
+    EXPECT_FALSE(branchTaken(mk(Opcode::BEQ, -1, 1, 2), 5, 6));
+    EXPECT_TRUE(branchTaken(mk(Opcode::BLT, -1, 1, 2),
+                            static_cast<std::uint64_t>(-1), 0));
+    EXPECT_TRUE(branchTaken(mk(Opcode::BGE, -1, 1, 2), 3, 3));
+}
+
+TEST(Semantics, EffectiveAddressMasksAndAligns)
+{
+    using namespace semantics;
+    const Addr mask = (1 << 13) - 1;   // 1K words
+    EXPECT_EQ(effectiveAddr(mk(Opcode::LD, 1, 2, -1, 16), 100, mask),
+              112u);
+    // Unaligned base: rounded down to the word.
+    EXPECT_EQ(effectiveAddr(mk(Opcode::LD, 1, 2, -1, 0), 101, mask), 96u);
+    // Out of range: wrapped into the data region.
+    EXPECT_EQ(effectiveAddr(mk(Opcode::LD, 1, 2, -1, 0), 1 << 20, mask),
+              (1 << 20) & mask & ~7ull);
+}
+
+TEST(Executor, RunsAndHalts)
+{
+    ProgramBuilder b("t");
+    b.li(1, 21);
+    b.add(2, 1, 1);
+    b.st(2, 0, 0);
+    b.halt();
+    Program p = b.finish();
+    FunctionalExecutor fx(p);
+    EXPECT_EQ(fx.run(100), 4u);
+    EXPECT_TRUE(fx.halted());
+    EXPECT_EQ(fx.state().load(0), 42u);
+}
+
+TEST(Executor, StepResultsDescribeEffects)
+{
+    ProgramBuilder b("t");
+    Label l = b.newLabel();
+    b.li(1, 5);
+    b.st(1, 0, 8);
+    b.ld(2, 0, 8);
+    b.beq(1, 2, l);
+    b.bind(l);
+    b.halt();
+    Program p = b.finish();
+    FunctionalExecutor fx(p);
+    StepResult li = fx.step();
+    EXPECT_TRUE(li.wroteReg);
+    EXPECT_EQ(li.value, 5u);
+    StepResult st = fx.step();
+    EXPECT_TRUE(st.isStore);
+    EXPECT_EQ(st.memAddr, 8u);
+    EXPECT_EQ(st.storeValue, 5u);
+    StepResult ld = fx.step();
+    EXPECT_TRUE(ld.isLoad);
+    EXPECT_EQ(ld.value, 5u);
+    StepResult br = fx.step();
+    EXPECT_TRUE(br.taken);
+    EXPECT_EQ(br.nextPc, 4u);
+    StepResult h = fx.step();
+    EXPECT_TRUE(h.halted);
+}
+
+TEST(Executor, TrapIsSkipAndContinue)
+{
+    ProgramBuilder b("t");
+    b.li(1, 1);
+    b.trap();
+    b.addi(1, 1, 1);
+    b.st(1, 0, 0);
+    b.halt();
+    Program p = b.finish();
+    FunctionalExecutor fx(p);
+    fx.step();
+    StepResult tr = fx.step();
+    EXPECT_TRUE(tr.trapped);
+    EXPECT_EQ(tr.nextPc, 2u);
+    fx.run(100);
+    EXPECT_EQ(fx.state().load(0), 2u);
+}
+
+TEST(Executor, CallAndReturn)
+{
+    ProgramBuilder b("t");
+    Label fn = b.newLabel();
+    Label main = b.newLabel();
+    b.j(main);
+    b.bind(fn);
+    b.addi(10, 10, 7);
+    b.ret(31);
+    b.bind(main);
+    b.jal(31, fn);
+    b.jal(31, fn);
+    b.st(10, 0, 0);
+    b.halt();
+    Program p = b.finish();
+    FunctionalExecutor fx(p);
+    fx.run(100);
+    EXPECT_TRUE(fx.halted());
+    EXPECT_EQ(fx.state().load(0), 14u);
+}
+
+TEST(ArchState, RegisterZeroSemantics)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    Program p = b.finish();
+    ArchState st(p);
+    st.writeInt(0, 999);
+    EXPECT_EQ(st.readInt(0), 0u);
+    st.writeFp(0, 999);   // f0 is a normal register
+    EXPECT_EQ(st.readFp(0), 999u);
+}
+
+} // namespace
+} // namespace msp

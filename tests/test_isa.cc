@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode properties, instruction helpers,
+ * the program builder and label fix-ups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+
+namespace msp {
+namespace {
+
+TEST(Opcodes, TableIsConsistent)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        const OpInfo &oi = opInfo(static_cast<Opcode>(i));
+        EXPECT_NE(oi.mnemonic, nullptr);
+        EXPECT_GE(oi.latency, 1);
+        // Control-flow classification is mutually exclusive.
+        int kinds = oi.isCondBranch + oi.isUncondDirect + oi.isIndirect;
+        EXPECT_LE(kinds, 1);
+        if (oi.isLoad || oi.isStore)
+            EXPECT_EQ(oi.fu, FuClass::Mem);
+    }
+}
+
+TEST(Opcodes, KeyProperties)
+{
+    EXPECT_TRUE(opInfo(Opcode::LD).isLoad);
+    EXPECT_TRUE(opInfo(Opcode::FST).isStore);
+    EXPECT_EQ(opInfo(Opcode::FST).src2, RegClass::Fp);
+    EXPECT_TRUE(opInfo(Opcode::BEQ).isCondBranch);
+    EXPECT_TRUE(opInfo(Opcode::JAL).isCall);
+    EXPECT_TRUE(opInfo(Opcode::RET).isReturn);
+    EXPECT_TRUE(opInfo(Opcode::RET).isIndirect);
+    EXPECT_TRUE(opInfo(Opcode::TRAP).isTrap);
+    EXPECT_TRUE(opInfo(Opcode::HALT).isHalt);
+    EXPECT_EQ(opInfo(Opcode::FDIV).latency, 12);
+}
+
+TEST(Instruction, ZeroRegisterNeverAllocates)
+{
+    Instruction in;
+    in.op = Opcode::ADDI;
+    in.rd = 0;
+    in.rs1 = 1;
+    EXPECT_FALSE(in.writesReg());
+    EXPECT_EQ(in.dstUnified(), -1);
+
+    in.rd = 5;
+    EXPECT_TRUE(in.writesReg());
+    EXPECT_EQ(in.dstUnified(), 5);
+}
+
+TEST(Instruction, UnifiedFpIndices)
+{
+    Instruction in;
+    in.op = Opcode::FADD;
+    in.rd = 3;
+    in.rs1 = 1;
+    in.rs2 = 2;
+    EXPECT_EQ(in.dstUnified(), numIntRegs + 3);
+    EXPECT_EQ(in.src1Unified(), numIntRegs + 1);
+    EXPECT_EQ(in.src2Unified(), numIntRegs + 2);
+}
+
+TEST(Instruction, ZeroSourceReadsAreElided)
+{
+    Instruction in;
+    in.op = Opcode::ADD;
+    in.rd = 1;
+    in.rs1 = 0;
+    in.rs2 = 2;
+    EXPECT_EQ(in.src1Unified(), -1);   // r0: no rename needed
+    EXPECT_EQ(in.src2Unified(), 2);
+}
+
+TEST(Builder, LabelsPatchBranchTargets)
+{
+    ProgramBuilder b("t");
+    Label top = b.newLabel();
+    Label out = b.newLabel();
+    b.li(1, 3);                  // pc 0
+    b.bind(top);                 // pc 1
+    b.addi(1, 1, -1);            // pc 1
+    b.bne(1, 0, top);            // pc 2 -> 1
+    b.beq(1, 0, out);            // pc 3 -> 4
+    b.bind(out);
+    b.halt();                    // pc 4
+    Program p = b.finish();
+    EXPECT_EQ(p.code[2].imm, 1);
+    EXPECT_EQ(p.code[3].imm, 4);
+    EXPECT_EQ(b.labelAddr(top), 1u);
+}
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("t");
+    Label fwd = b.newLabel();
+    b.j(fwd);
+    b.nop();
+    b.nop();
+    b.bind(fwd);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.code[0].imm, 3);
+}
+
+TEST(Builder, DataInitialization)
+{
+    ProgramBuilder b("t");
+    b.memSize(100);              // rounded to power of two
+    b.data(5, 12345);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.memWords, 128u);
+    ASSERT_GT(p.initData.size(), 5u);
+    EXPECT_EQ(p.initData[5], 12345u);
+}
+
+TEST(Builder, AddrMaskIsPowerOfTwoMinusAlignment)
+{
+    ProgramBuilder b("t");
+    b.memSize(1 << 10);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.addrMask(), (1u << 13) - 1);   // words * 8 - 1
+}
+
+TEST(BuilderDeath, UnboundLabelPanics)
+{
+    ProgramBuilder b("t");
+    Label l = b.newLabel();
+    b.j(l);
+    EXPECT_DEATH(b.finish(), "never bound");
+}
+
+TEST(BuilderDeath, BadRegisterPanics)
+{
+    ProgramBuilder b("t");
+    EXPECT_DEATH(b.add(32, 0, 0), "out of range");
+    EXPECT_DEATH(b.add(-1, 0, 0), "out of range");
+}
+
+TEST(Disassembly, ContainsMnemonicAndRegs)
+{
+    Instruction in;
+    in.op = Opcode::ADD;
+    in.rd = 1;
+    in.rs1 = 2;
+    in.rs2 = 3;
+    const std::string s = in.toString();
+    EXPECT_NE(s.find("add"), std::string::npos);
+    EXPECT_NE(s.find("r1"), std::string::npos);
+    EXPECT_NE(s.find("r3"), std::string::npos);
+}
+
+} // namespace
+} // namespace msp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the cache model and the Table I memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "memory/cache.hh"
+#include "memory/memory_system.hh"
+
+namespace msp {
+namespace {
+
+TEST(Cache, MissThenHit)
+{
+    StatGroup sg("t");
+    Cache c({"c", 1024, 2, 64, 3}, sg);
+    EXPECT_FALSE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x13F, false));   // same 64B line
+    EXPECT_FALSE(c.access(0x140, false));  // next line
+    EXPECT_EQ(sg.get("c.hits"), 2u);
+    EXPECT_EQ(sg.get("c.misses"), 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    StatGroup sg("t");
+    // 2-way, 64B lines, 2 sets (256 B total).
+    Cache c({"c", 256, 2, 64, 1}, sg);
+    // Three lines mapping to set 0: 0x000, 0x080, 0x100.
+    c.access(0x000, false);
+    c.access(0x080, false);
+    c.access(0x000, false);       // refresh line 0
+    c.access(0x100, false);       // evicts 0x080 (LRU)
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x080));
+    EXPECT_TRUE(c.probe(0x100));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    StatGroup sg("t");
+    Cache c({"c", 256, 2, 64, 1}, sg);
+    c.access(0x000, true);        // dirty
+    c.access(0x080, false);
+    c.access(0x100, false);       // evicts dirty 0x000
+    c.access(0x180, false);       // evicts clean 0x080
+    EXPECT_EQ(sg.get("c.writebacks"), 1u);
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    StatGroup sg("t");
+    Cache c({"c", 1024, 4, 64, 1}, sg);
+    c.access(0x40, false);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(MemorySystem, LatenciesFollowTableI)
+{
+    StatGroup sg("t");
+    MemorySystem m(MemoryParams{}, sg);
+    // Cold: L1 miss + L2 miss -> memory.
+    EXPECT_EQ(m.loadLatency(0x1000), 4u + 16u + 380u);
+    // Now L1-resident.
+    EXPECT_EQ(m.loadLatency(0x1000), 4u);
+    // Fetch path: cold then hot.
+    EXPECT_EQ(m.fetchLatency(0x800000), 1u + 16u + 380u);
+    EXPECT_EQ(m.fetchLatency(0x800000), 1u);
+}
+
+TEST(MemorySystem, L2CatchesL1Evictions)
+{
+    StatGroup sg("t");
+    MemorySystem m(MemoryParams{}, sg);
+    m.loadLatency(0x0);              // cold fill into L1+L2
+    // Walk far past L1 capacity (64 KB) but within L2 (1 MB).
+    for (Addr a = 64; a < (512 << 10); a += 64)
+        m.loadLatency(a);
+    // 0x0 fell out of L1 but is still in L2: 4 + 16.
+    EXPECT_EQ(m.loadLatency(0x0), 20u);
+}
+
+TEST(MemorySystem, StoreCommitAllocates)
+{
+    StatGroup sg("t");
+    MemorySystem m(MemoryParams{}, sg);
+    m.storeCommit(0x2000);
+    EXPECT_EQ(m.loadLatency(0x2000), 4u);   // write-allocated
+}
+
+} // namespace
+} // namespace msp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Register-file power/area/timing model tests — the Table III claims
+ * that must hold independent of calibration constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/regfile_model.hh"
+
+namespace msp {
+namespace {
+
+TEST(RegFileModel, MspFileBeatsCprDespiteMoreRegisters)
+{
+    // Table III's message: 512 entries at 1R/1W x 32 banks cost less
+    // and read faster than 192 entries at 8R/4W x 4-or-8 banks.
+    for (TechNode node : {TechNode::Nm65, TechNode::Nm45}) {
+        RegFileCosts cpr4 = evaluateRegFile(cpr4BankOrg(), node);
+        RegFileCosts cpr8 = evaluateRegFile(cpr8BankOrg(), node);
+        RegFileCosts mspc = evaluateRegFile(msp16SpOrg(), node);
+        EXPECT_LT(mspc.readPowerMw, cpr4.readPowerMw);
+        EXPECT_LT(mspc.readPowerMw, cpr8.readPowerMw);
+        EXPECT_LT(mspc.writePowerMw, cpr4.writePowerMw);
+        EXPECT_LT(mspc.readTimeFo4, cpr4.readTimeFo4);
+        EXPECT_LT(mspc.readTimeFo4, cpr8.readTimeFo4);
+        EXPECT_LT(mspc.writeTimeFo4, cpr4.writeTimeFo4);
+    }
+}
+
+TEST(RegFileModel, WritesAreFasterThanReads)
+{
+    // Table III shows ~1 FO4 writes vs ~5-6 FO4 reads (no sensing).
+    for (TechNode node : {TechNode::Nm65, TechNode::Nm45}) {
+        for (const RegFileOrg &org :
+             {cpr4BankOrg(), cpr8BankOrg(), msp16SpOrg()}) {
+            RegFileCosts c = evaluateRegFile(org, node);
+            EXPECT_LT(c.writeTimeFo4, c.readTimeFo4);
+        }
+    }
+}
+
+TEST(RegFileModel, MoreBanksLowerAccessPower)
+{
+    // Banking shrinks the active array; idle banks only leak.
+    RegFileCosts b4 = evaluateRegFile(cpr4BankOrg(), TechNode::Nm65);
+    RegFileCosts b8 = evaluateRegFile(cpr8BankOrg(), TechNode::Nm65);
+    EXPECT_LT(b8.readPowerMw, b4.readPowerMw);
+    EXPECT_LT(b8.writePowerMw, b4.writePowerMw);
+}
+
+TEST(RegFileModel, PortScalingGrowsCellArea)
+{
+    RegFileOrg narrow{"1r1w", 192, 64, 4, 1, 1};
+    RegFileOrg wide{"8r4w", 192, 64, 4, 8, 4};
+    RegFileCosts cn = evaluateRegFile(narrow, TechNode::Nm65);
+    RegFileCosts cw = evaluateRegFile(wide, TechNode::Nm65);
+    // 12 ports vs 2: quadratic cell growth means >> 4x area.
+    EXPECT_GT(cw.areaMm2, cn.areaMm2 * 4.0);
+}
+
+TEST(RegFileModel, TechShrinkReducesArea)
+{
+    RegFileCosts c65 = evaluateRegFile(msp16SpOrg(), TechNode::Nm65);
+    RegFileCosts c45 = evaluateRegFile(msp16SpOrg(), TechNode::Nm45);
+    EXPECT_LT(c45.areaMm2, c65.areaMm2);
+}
+
+TEST(RegFileModel, InBallparkOfPaperValues)
+{
+    // Loose absolute calibration: within ~2.5x of the published mW /
+    // FO4 numbers (the model substitutes for SPICE + layout).
+    RegFileCosts c = evaluateRegFile(msp16SpOrg(), TechNode::Nm65);
+    EXPECT_GT(c.readPowerMw, 2.10 / 2.5);
+    EXPECT_LT(c.readPowerMw, 2.10 * 2.5);
+    EXPECT_GT(c.readTimeFo4, 4.44 / 2.5);
+    EXPECT_LT(c.readTimeFo4, 4.44 * 2.5);
+}
+
+TEST(RegFileModelDeath, IndivisibleBankingPanics)
+{
+    RegFileOrg bad{"bad", 100, 64, 3, 1, 1};
+    EXPECT_DEATH(evaluateRegFile(bad, TechNode::Nm65), "divisible");
+}
+
+} // namespace
+} // namespace msp

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for SctBank — allocation order, RelIQ use bits, the RelP
+ * "done" predicate, LCS contribution, commit release (keep the newest
+ * committed mapping), recovery release, and Sb flash-clear.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sct.hh"
+
+namespace msp {
+namespace {
+
+SctBank
+freshBank(unsigned cap = 4)
+{
+    SctBank b(2, cap);
+    int s = b.allocate(0);   // architectural reset entry
+    b.entry(s).ready = true;
+    return b;
+}
+
+TEST(SctBank, AllocatesInOrderUntilFull)
+{
+    SctBank b = freshBank(3);
+    b.allocate(1);
+    b.allocate(2);
+    EXPECT_TRUE(b.full());
+    EXPECT_EQ(b.occupancy(), 3u);
+    // Oldest-to-newest order by StateId.
+    std::uint32_t prev = 0;
+    bool first = true;
+    for (int slot : b.liveOrder()) {
+        if (!first)
+            EXPECT_GT(b.entry(slot).stateId, prev);
+        prev = b.entry(slot).stateId;
+        first = false;
+    }
+}
+
+TEST(SctBank, RenameSlotIsNewest)
+{
+    SctBank b = freshBank();
+    int s1 = b.allocate(1);
+    EXPECT_EQ(b.renameSlot(), s1);
+    int s2 = b.allocate(2);
+    EXPECT_EQ(b.renameSlot(), s2);
+    EXPECT_NE(s1, s2);
+}
+
+TEST(SctBank, UseBitsGateDone)
+{
+    SctBank b = freshBank();
+    int s = b.allocate(1);
+    SctEntry &e = b.entry(s);
+    EXPECT_FALSE(e.done());        // not ready
+    e.ready = true;
+    EXPECT_TRUE(e.done());
+    EXPECT_TRUE(b.setUse(s, 7));   // consumer in IQ slot 7
+    EXPECT_FALSE(e.done());
+    EXPECT_FALSE(b.setUse(s, 7));  // duplicate: not newly set
+    b.clearUse(s, 7);
+    EXPECT_TRUE(e.done());
+}
+
+TEST(SctBank, PendingOpsGateDone)
+{
+    SctBank b = freshBank();
+    int s = b.allocate(1);
+    SctEntry &e = b.entry(s);
+    e.ready = true;
+    e.pendingOps = 2;              // two same-state stores/branches
+    EXPECT_FALSE(e.done());
+    e.pendingOps = 0;
+    EXPECT_TRUE(e.done());
+}
+
+TEST(SctBank, LcsContributionIsFirstNotDone)
+{
+    SctBank b = freshBank();
+    int s1 = b.allocate(1);
+    int s2 = b.allocate(2);
+    b.entry(s2).ready = true;
+    // Entry 1 not ready: it is the oldest not-done.
+    ASSERT_TRUE(b.lcsContribution().has_value());
+    EXPECT_EQ(*b.lcsContribution(), 1u);
+    b.entry(s1).ready = true;
+    // Everything done: the bank is excluded (RenP==RelP condition).
+    EXPECT_FALSE(b.lcsContribution().has_value());
+}
+
+TEST(SctBank, ReleaseKeepsNewestCommittedMapping)
+{
+    SctBank b = freshBank(4);
+    int s1 = b.allocate(1);
+    int s2 = b.allocate(2);
+    b.entry(s1).ready = true;
+    b.entry(s2).ready = true;
+    // LCS passed state 2: version 1's successor committed, so the
+    // reset entry and version 1 release; version 2 is the
+    // architectural mapping and must survive.
+    EXPECT_EQ(b.releaseCommitted(3), 2);
+    EXPECT_EQ(b.occupancy(), 1u);
+    EXPECT_EQ(b.renameSlot(), s2);
+    // Nothing further releases: the last mapping always stays.
+    EXPECT_EQ(b.releaseCommitted(100), 0);
+}
+
+TEST(SctBank, ReleaseStopsAtUncommittedSuccessor)
+{
+    SctBank b = freshBank(4);
+    int s1 = b.allocate(5);
+    b.entry(s1).ready = true;
+    // LCS = 5: version at state 5 is *committable* but its own
+    // successor hasn't committed; the reset entry must stay (it is
+    // still the newest entry with a committed state).
+    EXPECT_EQ(b.releaseCommitted(5), 0);
+    EXPECT_EQ(b.releaseCommitted(6), 1);   // now state 5 committed
+}
+
+TEST(SctBank, RecoveryReleasesFromTail)
+{
+    SctBank b = freshBank(4);
+    b.allocate(3);
+    int s2 = b.allocate(7);
+    // Recovery StateId 4: state 7 squashes.
+    b.releaseTail(s2);
+    EXPECT_EQ(b.occupancy(), 2u);
+    EXPECT_EQ(b.entry(b.renameSlot()).stateId, 3u);
+}
+
+TEST(SctBank, SlotsAreReusedAfterRelease)
+{
+    SctBank b = freshBank(2);
+    int s1 = b.allocate(1);
+    b.entry(s1).ready = true;
+    EXPECT_TRUE(b.full());
+    b.releaseCommitted(2);         // reset entry leaves
+    EXPECT_FALSE(b.full());
+    int s2 = b.allocate(2);
+    EXPECT_GE(s2, 0);
+    EXPECT_TRUE(b.full());
+}
+
+TEST(SctBank, FlashClearSaturatesAtZero)
+{
+    SctBank b = freshBank(4);
+    int s1 = b.allocate(100);
+    int s2 = b.allocate(600);
+    b.flashClearStateIds(512);
+    EXPECT_EQ(b.entry(s1).stateId, 0u);     // clamped (committed-old)
+    EXPECT_EQ(b.entry(s2).stateId, 88u);    // shifted
+}
+
+TEST(SctBankDeath, InvalidSlotAccessPanics)
+{
+    SctBank b = freshBank();
+    EXPECT_DEATH(b.entry(99), "invalid slot");
+}
+
+TEST(SctBankDeath, NonMonotonicAllocationPanics)
+{
+    SctBank b = freshBank();
+    b.allocate(5);
+    EXPECT_DEATH(b.allocate(4), "non-monotonic");
+}
+
+TEST(SctBankDeath, TailMismatchPanics)
+{
+    SctBank b = freshBank();
+    int s1 = b.allocate(1);
+    b.allocate(2);
+    EXPECT_DEATH(b.releaseTail(s1), "mismatch");
+}
+
+} // namespace
+} // namespace msp

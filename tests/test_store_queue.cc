@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the hierarchical store queue: program-order
+ * allocation, forwarding semantics (including the conservative
+ * unknown-address rule), L2-region search latency, drain and squash.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lsq/store_queue.hh"
+
+namespace msp {
+namespace {
+
+TEST(StoreQueue, ForwardFromYoungestOlderMatch)
+{
+    HierStoreQueue sq(4, 8, false);
+    sq.allocate(1);
+    sq.allocate(2);
+    sq.resolve(1, 0x100, 11);
+    sq.resolve(2, 0x100, 22);
+    ForwardResult r = sq.probe(3, 0x100);
+    EXPECT_EQ(r.kind, ForwardResult::Kind::Forward);
+    EXPECT_EQ(r.data, 22u);   // youngest older store wins
+}
+
+TEST(StoreQueue, LoadSeesOnlyOlderStores)
+{
+    HierStoreQueue sq(4, 8, false);
+    sq.allocate(5);
+    sq.resolve(5, 0x80, 7);
+    ForwardResult r = sq.probe(4, 0x80);   // load older than the store
+    EXPECT_EQ(r.kind, ForwardResult::Kind::None);
+}
+
+TEST(StoreQueue, UnknownOlderAddressBlocksLoads)
+{
+    HierStoreQueue sq(4, 8, false);
+    sq.allocate(1);                      // address not yet resolved
+    ForwardResult r = sq.probe(2, 0x40);
+    EXPECT_EQ(r.kind, ForwardResult::Kind::Unknown);
+}
+
+TEST(StoreQueue, L2RegionForwardCostsExtraLatency)
+{
+    HierStoreQueue sq(2, 8, false, 4);
+    for (SeqNum s = 1; s <= 5; ++s) {
+        sq.allocate(s);
+        sq.resolve(s, 0x1000 + 64 * s, s);
+    }
+    // Store 1 is now outside the youngest-2 (L1) region.
+    ForwardResult far = sq.probe(10, 0x1000 + 64);
+    EXPECT_EQ(far.kind, ForwardResult::Kind::Forward);
+    EXPECT_EQ(far.extraLatency, 4u);
+    // Store 5 is in the L1 region.
+    ForwardResult near = sq.probe(10, 0x1000 + 64 * 5);
+    EXPECT_EQ(near.extraLatency, 0u);
+}
+
+TEST(StoreQueue, DrainInOrder)
+{
+    HierStoreQueue sq(4, 4, false);
+    sq.allocate(1);
+    sq.allocate(2);
+    sq.resolve(1, 0x8, 1);
+    sq.resolve(2, 0x10, 2);
+    ASSERT_NE(sq.oldest(), nullptr);
+    EXPECT_EQ(sq.oldest()->seq, 1u);
+    sq.drainOldest(1);
+    EXPECT_EQ(sq.oldest()->seq, 2u);
+    sq.drainOldest(2);
+    EXPECT_TRUE(sq.empty());
+}
+
+TEST(StoreQueue, SquashRemovesYoungerAndReportsL2Scan)
+{
+    HierStoreQueue sq(2, 8, false);
+    for (SeqNum s = 1; s <= 6; ++s)
+        sq.allocate(s);
+    // Entries 1..4 are in the L2 region (6 - l1Cap 2).
+    const std::size_t scanned = sq.squashAfter(2);
+    EXPECT_EQ(sq.size(), 2u);
+    EXPECT_EQ(scanned, 4u);   // four squashed entries sat in L2 space
+}
+
+TEST(StoreQueue, CapacityAndInfiniteMode)
+{
+    HierStoreQueue sq(1, 1, false);
+    sq.allocate(1);
+    sq.allocate(2);
+    EXPECT_FALSE(sq.canAllocate());
+
+    HierStoreQueue inf(1, 1, true);
+    for (SeqNum s = 1; s <= 100; ++s)
+        inf.allocate(s);
+    EXPECT_TRUE(inf.canAllocate());
+}
+
+TEST(StoreQueueDeath, OutOfOrderAllocationPanics)
+{
+    HierStoreQueue sq(4, 4, false);
+    sq.allocate(5);
+    EXPECT_DEATH(sq.allocate(3), "program order");
+}
+
+TEST(StoreQueueDeath, DrainUnresolvedPanics)
+{
+    HierStoreQueue sq(4, 4, false);
+    sq.allocate(1);
+    EXPECT_DEATH(sq.drainOldest(1), "unresolved");
+}
+
+} // namespace
+} // namespace msp

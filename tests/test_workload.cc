@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Workload-generator tests: every synthetic benchmark and Table II
+ * kernel must build, run on the functional simulator, and exhibit its
+ * intended character (branch density, memory behaviour, fp mix).
+ */
+
+#include <gtest/gtest.h>
+
+#include "functional/executor.hh"
+#include "workload/kernels.hh"
+#include "workload/micro.hh"
+#include "workload/spec.hh"
+
+namespace msp {
+namespace {
+
+/** Profile a program functionally. */
+struct Profile
+{
+    std::uint64_t insts = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t taken = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t fpOps = 0;
+};
+
+Profile
+profile(const Program &p, std::uint64_t n)
+{
+    FunctionalExecutor fx(p);
+    Profile pr;
+    while (pr.insts < n && !fx.halted()) {
+        const Instruction &in = p.at(fx.pc());
+        const OpInfo &oi = in.info();
+        StepResult sr = fx.step();
+        ++pr.insts;
+        if (oi.isCondBranch) {
+            ++pr.branches;
+            if (sr.taken)
+                ++pr.taken;
+        }
+        if (oi.isLoad)
+            ++pr.loads;
+        if (oi.isStore)
+            ++pr.stores;
+        if (oi.fu == FuClass::FpAlu)
+            ++pr.fpOps;
+    }
+    return pr;
+}
+
+class SpecBench : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SpecBench, BuildsAndRuns)
+{
+    Program p = spec::build(GetParam());
+    ASSERT_GT(p.size(), 50u);
+    Profile pr = profile(p, 100000);
+    EXPECT_EQ(pr.insts, 100000u) << "program terminated early";
+    // Every benchmark does some memory work and has conditional
+    // branches (at minimum the loop back-edges).
+    EXPECT_GT(pr.loads, 1000u);
+    EXPECT_GT(pr.branches, 1000u);
+}
+
+TEST_P(SpecBench, FpBenchmarksDoFpWork)
+{
+    const std::string name = GetParam();
+    Program p = spec::build(name);
+    Profile pr = profile(p, 50000);
+    if (spec::isFp(name))
+        EXPECT_GT(pr.fpOps, 2000u) << name << " should be fp-heavy";
+    else if (name != "eon")   // eon mixes some fp, as the C++ original
+        EXPECT_LT(pr.fpOps, pr.insts / 4);
+}
+
+std::vector<std::string>
+allBenchNames()
+{
+    std::vector<std::string> v = spec::intBenchmarks();
+    for (const auto &n : spec::fpBenchmarks())
+        v.push_back(n);
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenches, SpecBench,
+                         ::testing::ValuesIn(allBenchNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(SpecWorkloads, DeterministicForFixedSeed)
+{
+    Program a = spec::build("gzip", 5);
+    Program b = spec::build("gzip", 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.code[i].op, b.code[i].op);
+        EXPECT_EQ(a.code[i].imm, b.code[i].imm);
+    }
+    EXPECT_EQ(a.initData, b.initData);
+}
+
+TEST(SpecWorkloads, SeedChangesData)
+{
+    Program a = spec::build("gzip", 1);
+    Program b = spec::build("gzip", 2);
+    EXPECT_NE(a.initData, b.initData);
+}
+
+TEST(SpecWorkloads, RegisterSpreadDiffersAcrossBenchmarks)
+{
+    // bzip2/twolf are the paper's tight-register-reuse examples.
+    EXPECT_LT(spec::specFor("bzip2").regSpread,
+              spec::specFor("vortex").regSpread);
+    EXPECT_LT(spec::specFor("swim").fpRegSpread,
+              spec::specFor("fma3d").fpRegSpread);
+}
+
+class KernelCase
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+{};
+
+TEST_P(KernelCase, BuildsAndRuns)
+{
+    const auto &[name, modified] = GetParam();
+    Program p = kernels::build(name, modified);
+    Profile pr = profile(p, 50000);
+    EXPECT_EQ(pr.insts, 50000u);
+    EXPECT_GT(pr.branches, 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelCase,
+    ::testing::Combine(::testing::Values("bzip2", "twolf", "swim",
+                                         "mgrid", "equake"),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::get<0>(info.param) +
+               (std::get<1>(info.param) ? "_mod" : "_orig");
+    });
+
+TEST(Kernels, Table2MetadataMatchesPaper)
+{
+    const auto &ks = kernels::table2Kernels();
+    ASSERT_EQ(ks.size(), 5u);
+    EXPECT_EQ(ks[0].function, "generateMTFValues");
+    EXPECT_EQ(ks[0].loopsUnrolled, 1);
+    EXPECT_EQ(ks[1].loopsUnrolled, 3);
+    EXPECT_EQ(ks[2].loopsUnrolled, 0);  // swim: register re-allocation
+    EXPECT_EQ(ks[4].pctExecTime, 54);
+}
+
+TEST(MicroPrograms, KnownResults)
+{
+    {
+        Program p = micro::sumLoop(100);
+        FunctionalExecutor fx(p);
+        fx.run(10000);
+        EXPECT_EQ(fx.state().load(0), 5050u);
+    }
+    {
+        Program p = micro::fibonacci(20);
+        FunctionalExecutor fx(p);
+        fx.run(10000);
+        EXPECT_EQ(fx.state().load(0), 6765u);
+    }
+    {
+        Program p = micro::tightRename(10);
+        FunctionalExecutor fx(p);
+        fx.run(10000);
+        EXPECT_EQ(fx.state().load(0), 40u);
+    }
+}
+
+} // namespace
+} // namespace msp
