@@ -7,48 +7,16 @@
  * to hardware costs". This sweep quantifies the diminishing (and
  * sometimes negative) returns, and shows re-executed work shrinking
  * as rollback distances tighten.
+ *
+ * The sweep itself is the "ablation-checkpoints" entry in the scenario
+ * registry (src/driver/scenario.cc); `msp_sim ablation-checkpoints`
+ * runs the same campaign.
  */
 
-#include <cstdio>
-
 #include "bench/bench_util.hh"
-#include "common/table.hh"
-#include "sim/presets.hh"
-#include "workload/spec.hh"
 
 int
 main()
 {
-    using namespace msp;
-    std::printf("Ablation: CPR checkpoint-count sweep (gshare). "
-                "Budget: %llu insts/run.\n\n",
-                static_cast<unsigned long long>(bench::instBudget()));
-
-    const unsigned counts[] = {2, 4, 8, 16, 32};
-    const char *benches[] = {"gzip", "gcc", "bzip2", "twolf", "parser"};
-
-    Table t("CPR IPC (and re-executed fraction) vs checkpoints");
-    std::vector<std::string> head = {"benchmark"};
-    for (unsigned c : counts)
-        head.push_back(std::to_string(c) + " ckpts");
-    t.header(head);
-
-    for (const char *bn : benches) {
-        Program prog = spec::build(bn);
-        std::vector<std::string> row = {bn};
-        for (unsigned c : counts) {
-            RunResult r = bench::runOne(
-                cprConfig(PredictorKind::Gshare, 192, c), prog);
-            row.push_back(Table::num(r.ipc(), 3) + " (" +
-                          Table::num(double(r.reExecuted) / r.committed,
-                                     2) + ")");
-        }
-        t.row(row);
-        std::fprintf(stderr, "  [%s done]\n", bn);
-    }
-    std::fputs(t.str().c_str(), stdout);
-    std::puts("\nExpected: IPC saturates well before 32 checkpoints; "
-              "the re-executed\nfraction (parenthesised) falls as "
-              "checkpoints densify.");
-    return 0;
+    return msp::bench::runScenarioMain("ablation-checkpoints");
 }

@@ -5,50 +5,16 @@
  * Paper claim being reproduced: growing CPR's file from 192 to 256 or
  * 512 registers gains only ~1% / ~1.3% IPC — so the MSP's advantage
  * is NOT its larger register file, but its management of it.
+ *
+ * The sweep itself is the "ablation-cpr-regs" entry in the scenario
+ * registry (src/driver/scenario.cc); `msp_sim ablation-cpr-regs` runs
+ * the same campaign.
  */
 
-#include <cstdio>
-
 #include "bench/bench_util.hh"
-#include "common/table.hh"
-#include "sim/presets.hh"
-#include "workload/spec.hh"
 
 int
 main()
 {
-    using namespace msp;
-    std::printf("Ablation: CPR physical-register sweep (TAGE). "
-                "Budget: %llu insts/run.\n\n",
-                static_cast<unsigned long long>(bench::instBudget()));
-
-    const unsigned sizes[] = {192, 256, 512};
-
-    Table t("SPECint IPC vs CPR register-file size (TAGE)");
-    t.header({"benchmark", "CPR-192", "CPR-256", "CPR-512"});
-
-    std::vector<double> avg(3, 0.0);
-    const auto &benches = spec::intBenchmarks();
-    for (const auto &bn : benches) {
-        Program prog = spec::build(bn);
-        std::vector<std::string> row = {bn};
-        for (std::size_t si = 0; si < 3; ++si) {
-            RunResult r = bench::runOne(
-                cprConfig(PredictorKind::Tage, sizes[si]), prog);
-            avg[si] += r.ipc();
-            row.push_back(Table::num(r.ipc(), 3));
-        }
-        t.row(row);
-        std::fprintf(stderr, "  [%s done]\n", bn.c_str());
-    }
-    t.row({"Average", Table::num(avg[0] / benches.size(), 3),
-           Table::num(avg[1] / benches.size(), 3),
-           Table::num(avg[2] / benches.size(), 3)});
-    std::fputs(t.str().c_str(), stdout);
-
-    std::printf("\nCPR-256 vs CPR-192: %+.1f%% (paper: ~+1%%)\n",
-                100.0 * (avg[1] / avg[0] - 1.0));
-    std::printf("CPR-512 vs CPR-192: %+.1f%% (paper: ~+1.3%%)\n",
-                100.0 * (avg[2] / avg[0] - 1.0));
-    return 0;
+    return msp::bench::runScenarioMain("ablation-cpr-regs");
 }

@@ -5,59 +5,16 @@
  * Paper claim being reproduced: the pipelined LCS comparator tree is
  * not timing-critical — "even a 4-cycle LCS computation degrades
  * performance by less than 1% compared to a 1-cycle computation".
+ *
+ * The sweep itself is the "ablation-lcs" entry in the scenario
+ * registry (src/driver/scenario.cc); `msp_sim ablation-lcs` runs the
+ * same campaign.
  */
 
-#include <cstdio>
-
 #include "bench/bench_util.hh"
-#include "common/table.hh"
-#include "sim/presets.hh"
-#include "workload/spec.hh"
 
 int
 main()
 {
-    using namespace msp;
-    std::printf("Ablation: LCS latency sweep on 16-SP (gshare). "
-                "Budget: %llu insts/run.\n\n",
-                static_cast<unsigned long long>(bench::instBudget()));
-
-    const unsigned lats[] = {0, 1, 2, 4, 8};
-    const char *benches[] = {"gzip", "gcc", "crafty", "bzip2", "swim"};
-
-    Table t("IPC vs LCS propagation delay (16-SP+Arb)");
-    std::vector<std::string> head = {"benchmark"};
-    for (unsigned l : lats)
-        head.push_back(std::to_string(l) + " cyc");
-    t.header(head);
-
-    std::vector<double> base, worst;
-    for (const char *bn : benches) {
-        Program prog = spec::build(bn);
-        std::vector<std::string> row = {bn};
-        double ipc1 = 0.0;
-        for (unsigned l : lats) {
-            MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
-            cfg.core.lcsLatency = l;
-            RunResult r = bench::runOne(cfg, prog);
-            row.push_back(Table::num(r.ipc(), 3));
-            if (l == 1)
-                ipc1 = r.ipc();
-            if (l == 4) {
-                base.push_back(ipc1);
-                worst.push_back(r.ipc());
-            }
-        }
-        t.row(row);
-        std::fprintf(stderr, "  [%s done]\n", bn);
-    }
-    std::fputs(t.str().c_str(), stdout);
-
-    double degr = 0.0;
-    for (std::size_t i = 0; i < base.size(); ++i)
-        degr += 1.0 - worst[i] / base[i];
-    degr = 100.0 * degr / base.size();
-    std::printf("\n4-cycle vs 1-cycle LCS: %.2f%% average degradation "
-                "(paper: <1%%)\n", degr);
-    return 0;
+    return msp::bench::runScenarioMain("ablation-lcs");
 }

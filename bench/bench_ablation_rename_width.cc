@@ -6,72 +6,16 @@
  * assigning the same logical register per cycle is sufficient.
  * Allowing three or more does not improve performance. However,
  * allowing only one leads to a 5% reduction in IPC."
+ *
+ * The sweep itself is the "ablation-rename" entry in the scenario
+ * registry (src/driver/scenario.cc); `msp_sim ablation-rename` runs
+ * the same campaign.
  */
 
-#include <cstdio>
-
 #include "bench/bench_util.hh"
-#include "common/table.hh"
-#include "sim/presets.hh"
-#include "workload/micro.hh"
-#include "workload/spec.hh"
 
 int
 main()
 {
-    using namespace msp;
-    std::printf("Ablation: same-register renames/cycle on 16-SP "
-                "(gshare). Budget: %llu insts/run.\n\n",
-                static_cast<unsigned long long>(bench::instBudget()));
-
-    const unsigned widths[] = {1, 2, 3, 4};
-    const char *benches[] = {"gzip", "bzip2", "twolf", "crafty",
-                             "swim", "mgrid"};
-
-    Table t("IPC vs same-logical-register renames per cycle "
-            "(16-SP+Arb)");
-    std::vector<std::string> head = {"benchmark"};
-    for (unsigned w : widths)
-        head.push_back(std::to_string(w) + "/cycle");
-    t.header(head);
-
-    std::vector<std::array<double, 4>> all;
-    auto sweep = [&](const char *name, const Program &prog) {
-        std::vector<std::string> row = {name};
-        std::array<double, 4> ipc{};
-        for (std::size_t wi = 0; wi < 4; ++wi) {
-            // Full ports (no arbitration): isolates the renaming-logic
-            // question of Sec. 3.3 from the banked-RF write port,
-            // which otherwise serialises same-register writebacks.
-            MachineConfig cfg =
-                nspConfig(16, PredictorKind::Gshare, false);
-            cfg.core.maxSameRegRenames = widths[wi];
-            RunResult r = bench::runOne(cfg, prog);
-            ipc[wi] = r.ipc();
-            row.push_back(Table::num(r.ipc(), 3));
-        }
-        all.push_back(ipc);
-        t.row(row);
-        std::fprintf(stderr, "  [%s done]\n", name);
-    };
-    for (const char *bn : benches) {
-        Program prog = spec::build(bn);
-        sweep(bn, prog);
-    }
-    // Back-to-back independent same-register writes (compiler
-    // temporaries): the case the dual-rename SCT port exists for.
-    Program tight = micro::tightRenameIndependent(1u << 30);
-    sweep("tight-loop", tight);
-    std::fputs(t.str().c_str(), stdout);
-
-    double loss1 = 0.0, gain3 = 0.0;
-    for (const auto &ipc : all) {
-        loss1 += 1.0 - ipc[0] / ipc[1];
-        gain3 += ipc[2] / ipc[1] - 1.0;
-    }
-    std::printf("\n1/cycle vs 2/cycle: %.1f%% loss (paper: ~5%%)\n",
-                100.0 * loss1 / all.size());
-    std::printf("3/cycle vs 2/cycle: %+.2f%% (paper: ~0%%)\n",
-                100.0 * gain3 / all.size());
-    return 0;
+    return msp::bench::runScenarioMain("ablation-rename");
 }

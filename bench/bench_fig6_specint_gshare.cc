@@ -6,21 +6,15 @@
  * Paper result being reproduced: every MSP configuration improves with
  * n; 8-SP averages ~+5% over CPR, 16-SP+Arb ~+14%, 128-SP is
  * essentially the ideal MSP, and the baseline trails everything.
+ *
+ * The sweep itself is the "fig6" entry in the scenario registry
+ * (src/driver/scenario.cc); `msp_sim fig6` runs the same campaign.
  */
 
-#include <cstdio>
-
 #include "bench/bench_util.hh"
-#include "workload/spec.hh"
 
 int
 main()
 {
-    using namespace msp;
-    std::printf("Reproduction of Fig. 6 (SPECint, gshare 64K). "
-                "Budget: %llu insts/run.\n\n",
-                static_cast<unsigned long long>(bench::instBudget()));
-    bench::runIpcFigure("Fig. 6: SPECint IPC, gshare",
-                        spec::intBenchmarks(), PredictorKind::Gshare);
-    return 0;
+    return msp::bench::runScenarioMain("fig6");
 }

@@ -5,21 +5,15 @@
  * Paper result being reproduced: a better predictor helps CPR far more
  * than the MSP (fewer rollbacks to pay for): 8-SP drops to ~-10% vs
  * CPR and 16-SP+Arb to ~+1%, with the same overall trend in n.
+ *
+ * The sweep itself is the "fig7" entry in the scenario registry
+ * (src/driver/scenario.cc); `msp_sim fig7` runs the same campaign.
  */
 
-#include <cstdio>
-
 #include "bench/bench_util.hh"
-#include "workload/spec.hh"
 
 int
 main()
 {
-    using namespace msp;
-    std::printf("Reproduction of Fig. 7 (SPECint, TAGE). "
-                "Budget: %llu insts/run.\n\n",
-                static_cast<unsigned long long>(bench::instBudget()));
-    bench::runIpcFigure("Fig. 7: SPECint IPC, TAGE",
-                        spec::intBenchmarks(), PredictorKind::Tage);
-    return 0;
+    return msp::bench::runScenarioMain("fig7");
 }

@@ -5,21 +5,15 @@
  * Paper result being reproduced: fp loops reuse very few registers, so
  * small banks starve — MSP only overtakes CPR at ~64 registers per
  * logical register; low-stall programs (fma3d) win even at 8-SP.
+ *
+ * The sweep itself is the "fig8" entry in the scenario registry
+ * (src/driver/scenario.cc); `msp_sim fig8` runs the same campaign.
  */
 
-#include <cstdio>
-
 #include "bench/bench_util.hh"
-#include "workload/spec.hh"
 
 int
 main()
 {
-    using namespace msp;
-    std::printf("Reproduction of Fig. 8 (SPECfp, TAGE). "
-                "Budget: %llu insts/run.\n\n",
-                static_cast<unsigned long long>(bench::instBudget()));
-    bench::runIpcFigure("Fig. 8: SPECfp IPC, TAGE",
-                        spec::fpBenchmarks(), PredictorKind::Tage);
-    return 0;
+    return msp::bench::runScenarioMain("fig8");
 }

@@ -8,68 +8,15 @@
  * instructions than CPR with gshare (~9.5 points from precise
  * recovery) and ~12% fewer with TAGE (~7 points from precise
  * recovery). MSP's re-executed component is (near) zero.
+ *
+ * The sweep itself is the "fig9" entry in the scenario registry
+ * (src/driver/scenario.cc); `msp_sim fig9` runs the same campaign.
  */
 
-#include <cstdio>
-
 #include "bench/bench_util.hh"
-#include "common/table.hh"
-#include "sim/presets.hh"
-#include "workload/spec.hh"
 
 int
 main()
 {
-    using namespace msp;
-    std::printf("Reproduction of Fig. 9 (executed-instruction "
-                "breakdown). Budget: %llu insts/run.\n\n",
-                static_cast<unsigned long long>(bench::instBudget()));
-
-    struct Cfg
-    {
-        const char *label;
-        MachineConfig cfg;
-    };
-    const Cfg cfgs[] = {
-        {"CPR gshare", cprConfig(PredictorKind::Gshare)},
-        {"CPR TAGE", cprConfig(PredictorKind::Tage)},
-        {"16-SP gshare", nspConfig(16, PredictorKind::Gshare)},
-        {"16-SP TAGE", nspConfig(16, PredictorKind::Tage)},
-    };
-
-    Table t("Fig. 9: executed instructions per config "
-            "(normalised to committed = 1.0)");
-    t.header({"benchmark", "config", "correct", "re-executed",
-              "wrong-path", "total"});
-
-    double totals[4] = {0, 0, 0, 0};
-    double reexecs[4] = {0, 0, 0, 0};
-    for (const auto &bn : spec::intBenchmarks()) {
-        Program prog = spec::build(bn);
-        for (int ci = 0; ci < 4; ++ci) {
-            RunResult r = bench::runOne(cfgs[ci].cfg, prog);
-            const double c = static_cast<double>(r.committed);
-            t.row({bn, cfgs[ci].label, "1.000",
-                   Table::num(r.reExecuted / c, 3),
-                   Table::num(r.wrongPathExec / c, 3),
-                   Table::num(r.totalExecuted / c, 3)});
-            totals[ci] += r.totalExecuted / c;
-            reexecs[ci] += r.reExecuted / c;
-        }
-        std::fprintf(stderr, "  [%s done]\n", bn.c_str());
-    }
-    std::fputs(t.str().c_str(), stdout);
-
-    const double n = spec::intBenchmarks().size();
-    std::printf("\nAverage executed (x committed):\n");
-    for (int ci = 0; ci < 4; ++ci) {
-        std::printf("  %-13s total %.3f  (re-executed %.3f)\n",
-                    cfgs[ci].label, totals[ci] / n, reexecs[ci] / n);
-    }
-    std::printf("\n16-SP vs CPR executed instructions:\n");
-    std::printf("  gshare: %+.1f%% (paper: -16.5%%)\n",
-                100.0 * (totals[2] / totals[0] - 1.0));
-    std::printf("  TAGE:   %+.1f%% (paper: -12%%)\n",
-                100.0 * (totals[3] / totals[1] - 1.0));
-    return 0;
+    return msp::bench::runScenarioMain("fig9");
 }

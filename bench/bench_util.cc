@@ -1,13 +1,9 @@
 #include "bench/bench_util.hh"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
 
-#include "common/table.hh"
-#include "sim/presets.hh"
-#include "workload/spec.hh"
+#include "driver/campaign.hh"
+#include "driver/scenario.hh"
 
 namespace msp {
 namespace bench {
@@ -15,14 +11,7 @@ namespace bench {
 std::uint64_t
 instBudget()
 {
-    if (const char *env = std::getenv("MSP_BENCH_INSTRS")) {
-        const long long v = std::atoll(env);
-        if (v > 0)
-            return static_cast<std::uint64_t>(v);
-    }
-    // Keeps the full "for b in bench/*" sweep under ~10 minutes.
-    // Raise (e.g. MSP_BENCH_INSTRS=300000) for tighter numbers.
-    return 60000;
+    return driver::defaultInstBudget();
 }
 
 RunResult
@@ -32,100 +21,17 @@ runOne(const MachineConfig &cfg, const Program &prog)
     return m.run(instBudget());
 }
 
-std::uint64_t
-top3BankStalls(const RunResult &r)
+int
+runScenarioMain(const std::string &scenario)
 {
-    std::vector<std::uint64_t> v(r.bankStallCycles.begin(),
-                                 r.bankStallCycles.end());
-    std::sort(v.begin(), v.end(), std::greater<>());
-    return v[0] + v[1] + v[2];
-}
-
-double
-geoMean(const std::vector<double> &xs)
-{
-    if (xs.empty())
-        return 0.0;
-    double logSum = 0.0;
-    for (double x : xs)
-        logSum += std::log(x);
-    return std::exp(logSum / xs.size());
-}
-
-double
-mean(const std::vector<double> &xs)
-{
-    if (xs.empty())
-        return 0.0;
-    double s = 0.0;
-    for (double x : xs)
-        s += x;
-    return s / xs.size();
-}
-
-std::vector<MachineConfig>
-figureConfigs(PredictorKind p)
-{
-    return {
-        baselineConfig(p),  cprConfig(p),
-        nspConfig(8, p),    nspConfig(16, p), nspConfig(32, p),
-        nspConfig(64, p),   nspConfig(128, p),
-        idealMspConfig(p),
-    };
-}
-
-void
-runIpcFigure(const std::string &title,
-             const std::vector<std::string> &benchNames,
-             PredictorKind predictor)
-{
-    const auto configs = figureConfigs(predictor);
-
-    Table t(title);
-    std::vector<std::string> head = {"benchmark"};
-    for (const auto &c : configs)
-        head.push_back(c.name);
-    t.header(head);
-
-    std::vector<std::vector<double>> ipc(configs.size());
-    std::vector<std::uint64_t> stalls16;
-
-    for (const auto &bn : benchNames) {
-        Program prog = spec::build(bn);
-        std::vector<std::string> row = {bn};
-        for (std::size_t ci = 0; ci < configs.size(); ++ci) {
-            RunResult r = runOne(configs[ci], prog);
-            ipc[ci].push_back(r.ipc());
-            row.push_back(Table::num(r.ipc(), 3));
-            if (configs[ci].name.rfind("16-SP", 0) == 0)
-                stalls16.push_back(top3BankStalls(r));
-        }
-        t.row(row);
-        std::fprintf(stderr, "  [%s done]\n", bn.c_str());
+    unsigned threads = 0;   // all hardware threads
+    if (const char *env = std::getenv("MSP_BENCH_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            threads = static_cast<unsigned>(v);
     }
-
-    std::vector<std::string> avg = {"Average"};
-    for (auto &col : ipc)
-        avg.push_back(Table::num(mean(col), 3));
-    t.row(avg);
-    std::fputs(t.str().c_str(), stdout);
-
-    // The per-benchmark 16-SP stall series plotted in the figures.
-    Table st("16-SP register-stall cycles (top-3 banks summed)");
-    st.header({"benchmark", "stall cycles"});
-    for (std::size_t i = 0; i < benchNames.size(); ++i)
-        st.row({benchNames[i], std::to_string(stalls16[i])});
-    std::fputs(st.str().c_str(), stdout);
-
-    // Headline ratios quoted in the paper's text.
-    const double cprAvg = mean(ipc[1]);
-    const double sp8 = mean(ipc[2]);
-    const double sp16 = mean(ipc[3]);
-    const double sp128 = mean(ipc[6]);
-    const double ideal = mean(ipc[7]);
-    std::printf("\n8-SP vs CPR:    %+.1f%%\n", 100.0 * (sp8 / cprAvg - 1));
-    std::printf("16-SP vs CPR:   %+.1f%%\n", 100.0 * (sp16 / cprAvg - 1));
-    std::printf("128-SP / ideal: %.3f\n", sp128 / ideal);
+    driver::runScenario(scenario, threads, instBudget());
+    return 0;
 }
 
 } // namespace bench

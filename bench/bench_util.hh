@@ -1,6 +1,11 @@
 /**
  * @file
  * Shared helpers for the table/figure benchmark harnesses.
+ *
+ * The figure and ablation sweeps themselves live in the scenario
+ * registry (src/driver/scenario.hh); the bench_* binaries are thin
+ * wrappers over runScenarioMain(). Statistics helpers (mean, geoMean,
+ * top3BankStalls) moved to driver/scenario.hh alongside the sweeps.
  */
 
 #ifndef MSPLIB_BENCH_BENCH_UTIL_HH
@@ -17,39 +22,23 @@ namespace msp {
 namespace bench {
 
 /**
- * Per-run committed-instruction budget. Defaults to 200000; override
+ * Per-run committed-instruction budget. Defaults to 60000; override
  * with the MSP_BENCH_INSTRS environment variable to trade time for
- * fidelity.
+ * fidelity. (Alias of driver::defaultInstBudget().)
  */
 std::uint64_t instBudget();
 
 /** Run @p cfg on @p prog for the standard budget. */
 RunResult runOne(const MachineConfig &cfg, const Program &prog);
 
-/** Sum of the three largest per-bank stall-cycle counts (Figs. 6-8). */
-std::uint64_t top3BankStalls(const RunResult &r);
-
-/** Geometric-mean helper for "Average" rows. */
-double geoMean(const std::vector<double> &xs);
-
-/** Arithmetic mean. */
-double mean(const std::vector<double> &xs);
-
-/** The machine ladder of Figs. 6-8 for one predictor. */
-std::vector<MachineConfig> figureConfigs(PredictorKind predictor);
-
 /**
- * Run the full IPC figure (one row per benchmark, one column per
- * machine) and print it, followed by the 16-SP register-stall report
- * and the summary ratios the paper quotes in the text.
+ * main() body shared by every figure/ablation benchmark: run the
+ * named scenario on all hardware threads (override with the
+ * MSP_BENCH_THREADS environment variable) at the standard budget.
  *
- * @param title      Figure caption.
- * @param benchNames Workload names (spec::build is used).
- * @param predictor  gshare or TAGE.
+ * @return Process exit code.
  */
-void runIpcFigure(const std::string &title,
-                  const std::vector<std::string> &benchNames,
-                  PredictorKind predictor);
+int runScenarioMain(const std::string &scenario);
 
 } // namespace bench
 } // namespace msp

@@ -1,0 +1,177 @@
+#include "driver/campaign.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "workload/spec.hh"
+
+namespace msp {
+namespace driver {
+
+std::uint64_t
+defaultInstBudget()
+{
+    if (const char *env = std::getenv("MSP_BENCH_INSTRS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
+    }
+    // Keeps the full "for b in bench/*" sweep under ~10 minutes.
+    // Raise (e.g. MSP_BENCH_INSTRS=300000) for tighter numbers.
+    return 60000;
+}
+
+std::uint64_t
+jobSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z ? z : 1;
+}
+
+SimCampaign::SimCampaign(unsigned threads) : requestedThreads(threads)
+{
+}
+
+std::size_t
+SimCampaign::add(CampaignJob job)
+{
+    jobs.push_back(std::move(job));
+    return jobs.size() - 1;
+}
+
+std::vector<CampaignJob>
+matrixJobs(const std::string &scenario,
+           const std::vector<std::string> &workloads,
+           const std::vector<MachineConfig> &configs,
+           std::uint64_t maxInsts, std::uint64_t seed)
+{
+    std::vector<CampaignJob> out;
+    out.reserve(workloads.size() * configs.size());
+    for (const auto &w : workloads) {
+        for (const auto &c : configs) {
+            CampaignJob j;
+            j.scenario = scenario;
+            j.workload = w;
+            j.config = c;
+            j.maxInsts = maxInsts;
+            j.seed = seed;
+            out.push_back(std::move(j));
+        }
+    }
+    return out;
+}
+
+void
+SimCampaign::addMatrix(const std::vector<std::string> &workloads,
+                       const std::vector<MachineConfig> &configs,
+                       std::uint64_t maxInsts, std::uint64_t seed,
+                       const std::string &scenario)
+{
+    for (auto &j : matrixJobs(scenario, workloads, configs, maxInsts, seed))
+        add(std::move(j));
+}
+
+unsigned
+SimCampaign::effectiveThreads() const
+{
+    unsigned n = requestedThreads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    if (n > jobs.size())
+        n = static_cast<unsigned>(jobs.size());
+    return n ? n : 1;
+}
+
+std::vector<JobResult>
+SimCampaign::run(const ProgressFn &progress)
+{
+    // Synthesise each distinct workload once, sequentially, so the
+    // generation order (and thus every program image) never depends on
+    // worker scheduling.
+    std::map<std::pair<std::string, std::uint64_t>,
+             std::shared_ptr<const Program>> programs;
+    for (auto &j : jobs) {
+        if (j.program)
+            continue;
+        const auto key = std::make_pair(j.workload, j.seed);
+        auto it = programs.find(key);
+        if (it == programs.end()) {
+            it = programs.emplace(key, std::make_shared<Program>(
+                                      spec::build(j.workload, j.seed)))
+                     .first;
+        }
+        j.program = it->second;
+    }
+
+    std::vector<JobResult> out(jobs.size());
+    std::atomic<std::size_t> nextJob{0};
+    std::size_t done = 0;
+    std::mutex mu;              // guards done + progress callback
+    std::exception_ptr firstError;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = nextJob.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            const CampaignJob &j = jobs[i];
+            try {
+                Machine m(j.config, *j.program);
+                RunResult r =
+                    m.run(j.maxInsts ? j.maxInsts : defaultInstBudget(),
+                          j.maxCycles);
+                out[i] = JobResult{i, j, std::move(r)};
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!firstError)
+                    firstError = std::current_exception();
+                return;
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            ++done;
+            if (progress)
+                progress(out[i], done, jobs.size());
+        }
+    };
+
+    const unsigned n = effectiveThreads();
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n - 1);
+        for (unsigned t = 0; t + 1 < n; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &t : pool)
+            t.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return out;
+}
+
+ProgressFn
+SimCampaign::stderrProgress()
+{
+    return [](const JobResult &jr, std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "  [%zu/%zu %s/%s done]\n", done, total,
+                     jr.job.config.name.c_str(),
+                     jr.result.workload.c_str());
+    };
+}
+
+} // namespace driver
+} // namespace msp

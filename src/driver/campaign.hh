@@ -1,0 +1,134 @@
+/**
+ * @file
+ * SimCampaign — a multi-threaded simulation-campaign driver.
+ *
+ * A campaign is a declarative list of jobs, each pairing one machine
+ * configuration (see sim/presets.hh) with one workload. run() fans the
+ * jobs across a pool of worker threads; every job owns its Machine,
+ * its Program copy and its RNG state, so results are bit-identical
+ * regardless of the thread count or scheduling order (the property
+ * tests/test_campaign.cc asserts).
+ */
+
+#ifndef MSPLIB_DRIVER_CAMPAIGN_HH
+#define MSPLIB_DRIVER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/machine.hh"
+
+namespace msp {
+namespace driver {
+
+/** One cell of the campaign matrix: a machine running a workload. */
+struct CampaignJob
+{
+    std::string scenario;      ///< grouping label in reports ("fig6", ...)
+    std::string workload;      ///< spec::build() benchmark name
+    MachineConfig config;
+    std::uint64_t maxInsts = 0;///< committed-instruction budget (0 = default)
+    std::uint64_t maxCycles = ~std::uint64_t{0};
+    std::uint64_t seed = 1;    ///< workload-synthesis seed
+
+    /**
+     * Pre-built program; overrides @c workload / @c seed when set.
+     * Shared across jobs without copying: Machine takes its own copy.
+     */
+    std::shared_ptr<const Program> program;
+};
+
+/** A finished job, in submission order. */
+struct JobResult
+{
+    std::size_t index = 0;     ///< position in submission order
+    CampaignJob job;
+    RunResult result;
+};
+
+/**
+ * Called after each job finishes (under a lock, so it may print).
+ *
+ * @param done  Jobs finished so far, including this one.
+ * @param total Total jobs in the campaign.
+ */
+using ProgressFn =
+    std::function<void(const JobResult &, std::size_t done,
+                       std::size_t total)>;
+
+/**
+ * Per-run committed-instruction budget used when a job leaves
+ * maxInsts at 0. Defaults to 60000; override with the
+ * MSP_BENCH_INSTRS environment variable to trade time for fidelity.
+ */
+std::uint64_t defaultInstBudget();
+
+/**
+ * Deterministic per-job seed derivation (splitmix64 of base and
+ * index) for campaigns that want independent streams per repetition.
+ */
+std::uint64_t jobSeed(std::uint64_t base, std::uint64_t index);
+
+/**
+ * The full cross product workloads × configs as a job list,
+ * workload-major (all configs of workloads[0] first). This ordering
+ * is a contract: scenario reports rebuild their figure grid from it.
+ */
+std::vector<CampaignJob>
+matrixJobs(const std::string &scenario,
+           const std::vector<std::string> &workloads,
+           const std::vector<MachineConfig> &configs,
+           std::uint64_t maxInsts = 0, std::uint64_t seed = 1);
+
+/** A batch of simulation jobs run on a worker pool. */
+class SimCampaign
+{
+  public:
+    /**
+     * @param threads Worker count; 0 means one per hardware thread.
+     *                A value of 1 runs every job inline on the calling
+     *                thread (the single-threaded reference).
+     */
+    explicit SimCampaign(unsigned threads = 0);
+
+    /** Append one job; returns its submission index. */
+    std::size_t add(CampaignJob job);
+
+    /** Append matrixJobs(scenario, workloads, configs, ...). */
+    void addMatrix(const std::vector<std::string> &workloads,
+                   const std::vector<MachineConfig> &configs,
+                   std::uint64_t maxInsts = 0, std::uint64_t seed = 1,
+                   const std::string &scenario = "");
+
+    std::size_t size() const { return jobs.size(); }
+    const std::vector<CampaignJob> &pending() const { return jobs; }
+
+    /** Effective worker count for @c size() jobs. */
+    unsigned effectiveThreads() const;
+
+    /**
+     * Run every job and return results in submission order.
+     *
+     * Workloads are synthesised once per distinct (name, seed) pair —
+     * sequentially, before the pool starts — then shared read-only.
+     * The first exception thrown by any job is re-thrown here after
+     * all workers have drained.
+     */
+    std::vector<JobResult> run(const ProgressFn &progress = nullptr);
+
+    /** A ProgressFn that prints "[done/total config/workload]" lines. */
+    static ProgressFn stderrProgress();
+
+  private:
+    unsigned requestedThreads;
+    std::vector<CampaignJob> jobs;
+};
+
+} // namespace driver
+} // namespace msp
+
+#endif // MSPLIB_DRIVER_CAMPAIGN_HH

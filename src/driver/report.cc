@@ -1,0 +1,184 @@
+#include "driver/report.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "sim/presets.hh"
+
+namespace msp {
+namespace driver {
+
+namespace {
+
+/** The flat per-job record shared by both serialisers. */
+struct Field
+{
+    const char *name;
+    enum { Str, U64, F64 } kind;
+    std::string s;
+    std::uint64_t u = 0;
+    double f = 0.0;
+};
+
+std::vector<Field>
+fieldsOf(const JobResult &jr)
+{
+    const RunResult &r = jr.result;
+    auto str = [](const char *n, std::string v) {
+        return Field{n, Field::Str, std::move(v)};
+    };
+    auto u64 = [](const char *n, std::uint64_t v) {
+        Field f{n, Field::U64};
+        f.u = v;
+        return f;
+    };
+    auto f64 = [](const char *n, double v) {
+        Field f{n, Field::F64};
+        f.f = v;
+        return f;
+    };
+    return {
+        u64("index", jr.index),
+        str("scenario", jr.job.scenario),
+        str("workload", r.workload),
+        str("config", r.config),
+        str("predictor", predictorName(jr.job.config.predictor)),
+        u64("seed", jr.job.seed),
+        u64("max_insts",
+            jr.job.maxInsts ? jr.job.maxInsts : defaultInstBudget()),
+        u64("cycles", r.cycles),
+        u64("committed", r.committed),
+        f64("ipc", r.ipc()),
+        u64("branches", r.branches),
+        u64("mispredicts", r.mispredicts),
+        f64("mispredict_rate", r.mispredictRate()),
+        u64("recoveries", r.recoveries),
+        u64("wrong_path_exec", r.wrongPathExec),
+        u64("re_executed", r.reExecuted),
+        u64("total_executed", r.totalExecuted),
+        u64("rename_stall_cycles", r.renameStallCycles),
+        u64("reg_stall_cycles", r.regStallCycles),
+        u64("sq_stall_cycles", r.sqStallCycles),
+        u64("iq_stall_cycles", r.iqStallCycles),
+        u64("checkpoints_taken", r.checkpointsTaken),
+        u64("l2_misses", r.l2Misses),
+    };
+}
+
+std::string
+numStr(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+toJson(const std::vector<JobResult> &results)
+{
+    std::string out = "{\n  \"jobs\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out += i ? ",\n    {" : "\n    {";
+        const auto fields = fieldsOf(results[i]);
+        for (std::size_t fi = 0; fi < fields.size(); ++fi) {
+            const Field &f = fields[fi];
+            out += fi ? ", " : "";
+            out += '"';
+            out += f.name;
+            out += "\": ";
+            switch (f.kind) {
+              case Field::Str:
+                out += '"' + jsonEscape(f.s) + '"';
+                break;
+              case Field::U64:
+                out += std::to_string(f.u);
+                break;
+              case Field::F64:
+                out += numStr(f.f);
+                break;
+            }
+        }
+        out += '}';
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+toCsv(const std::vector<JobResult> &results)
+{
+    std::string out;
+    if (results.empty())
+        return out;
+    auto csvQuote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char c : s) {
+            if (c == '"')
+                q += '"';
+            q += c;
+        }
+        q += '"';
+        return q;
+    };
+    const auto head = fieldsOf(results.front());
+    for (std::size_t fi = 0; fi < head.size(); ++fi) {
+        out += fi ? "," : "";
+        out += head[fi].name;
+    }
+    out += '\n';
+    for (const auto &jr : results) {
+        const auto fields = fieldsOf(jr);
+        for (std::size_t fi = 0; fi < fields.size(); ++fi) {
+            const Field &f = fields[fi];
+            out += fi ? "," : "";
+            switch (f.kind) {
+              case Field::Str: out += csvQuote(f.s); break;
+              case Field::U64: out += std::to_string(f.u); break;
+              case Field::F64: out += numStr(f.f); break;
+            }
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        msp_fatal("cannot open %s for writing", path.c_str());
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    if (std::fclose(f) != 0 || n != content.size())
+        msp_fatal("short write to %s", path.c_str());
+}
+
+} // namespace driver
+} // namespace msp

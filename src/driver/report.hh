@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Campaign result serialisation: JSON and CSV reports.
+ *
+ * Both formats carry the same per-job record (identity, configuration
+ * axes, headline metrics and stall counters) so a campaign's output
+ * can feed plotting scripts or be diffed between runs.
+ */
+
+#ifndef MSPLIB_DRIVER_REPORT_HH
+#define MSPLIB_DRIVER_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/campaign.hh"
+
+namespace msp {
+namespace driver {
+
+/** Serialise results as a JSON document: {"jobs": [{...}, ...]}. */
+std::string toJson(const std::vector<JobResult> &results);
+
+/** Serialise results as CSV with a header row. */
+std::string toCsv(const std::vector<JobResult> &results);
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string jsonEscape(const std::string &s);
+
+/** Write @p content to @p path; msp_fatal on I/O failure. */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace driver
+} // namespace msp
+
+#endif // MSPLIB_DRIVER_REPORT_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for sim/presets.cc: the four Table I machine configurations
+ * must encode the paper's parameters — baseline ROB 128 / IQ 48 /
+ * 96+96 registers, CPR with 8 out-of-order-release checkpoints and
+ * 192+192 registers, n-SP banking with the arbitration pipeline
+ * stage, and the idealised MSP limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hh"
+
+namespace msp {
+namespace {
+
+TEST(Presets, BaselineMatchesTableI)
+{
+    const MachineConfig m = baselineConfig(PredictorKind::Gshare);
+    EXPECT_EQ(m.name, "Baseline");
+    EXPECT_EQ(m.predictor, PredictorKind::Gshare);
+    EXPECT_EQ(m.core.kind, CoreKind::Baseline);
+    EXPECT_EQ(m.core.robSize, 128u);
+    EXPECT_EQ(m.core.iqSize, 48u);
+    EXPECT_EQ(m.core.numIntPhys, 96u);
+    EXPECT_EQ(m.core.numFpPhys, 96u);
+    EXPECT_EQ(m.core.ldqSize, 48u);
+    EXPECT_EQ(m.core.sq1Size, 24u);
+    EXPECT_EQ(m.core.sq2Size, 0u);
+    // ROB semantics: load-queue entries hold until retire.
+    EXPECT_FALSE(m.core.ldqReleaseAtExec);
+}
+
+TEST(Presets, TableIWidthsAreSharedByAllMachines)
+{
+    for (const auto &m :
+         {baselineConfig(PredictorKind::Gshare),
+          cprConfig(PredictorKind::Gshare),
+          nspConfig(16, PredictorKind::Gshare),
+          idealMspConfig(PredictorKind::Gshare)}) {
+        SCOPED_TRACE(m.name);
+        EXPECT_EQ(m.core.fetchWidth, 3u);
+        EXPECT_EQ(m.core.renameWidth, 3u);
+        EXPECT_EQ(m.core.issueWidth, 5u);
+        EXPECT_EQ(m.core.intUnits, 4u);
+        EXPECT_EQ(m.core.fpUnits, 4u);
+        EXPECT_EQ(m.core.memUnits, 2u);
+    }
+}
+
+TEST(Presets, CprMatchesTableI)
+{
+    const MachineConfig m = cprConfig(PredictorKind::Tage);
+    EXPECT_EQ(m.name, "CPR");
+    EXPECT_EQ(m.predictor, PredictorKind::Tage);
+    EXPECT_EQ(m.core.kind, CoreKind::Cpr);
+    EXPECT_EQ(m.core.numCheckpoints, 8u);
+    EXPECT_EQ(m.core.numIntPhys, 192u);
+    EXPECT_EQ(m.core.numFpPhys, 192u);
+    EXPECT_EQ(m.core.iqSize, 128u);
+    // Hierarchical store queue: 48-entry L1 backed by a 256-entry L2.
+    EXPECT_EQ(m.core.sq1Size, 48u);
+    EXPECT_EQ(m.core.sq2Size, 256u);
+    EXPECT_EQ(m.core.frontendDepth, 5u);
+}
+
+TEST(Presets, CprRegisterSweepRenames)
+{
+    EXPECT_EQ(cprConfig(PredictorKind::Tage, 256).name, "CPR-256");
+    EXPECT_EQ(cprConfig(PredictorKind::Tage, 512).core.numIntPhys, 512u);
+    EXPECT_EQ(cprConfig(PredictorKind::Gshare, 192, 16).core
+                  .numCheckpoints, 16u);
+}
+
+TEST(Presets, NspBankingMatchesTableI)
+{
+    const MachineConfig m = nspConfig(16, PredictorKind::Gshare);
+    EXPECT_EQ(m.name, "16-SP+Arb");
+    EXPECT_EQ(m.core.kind, CoreKind::Msp);
+    EXPECT_EQ(m.core.regsPerBank, 16u);
+    EXPECT_FALSE(m.core.infiniteBanks);
+    EXPECT_TRUE(m.core.arbitration);
+    EXPECT_EQ(m.core.lcsLatency, 1u);
+    EXPECT_EQ(m.core.iqSize, 128u);
+    // The arbitration stage deepens the front end by one cycle.
+    EXPECT_EQ(m.core.frontendDepth, 6u);
+
+    const MachineConfig noArb =
+        nspConfig(8, PredictorKind::Gshare, false);
+    EXPECT_EQ(noArb.name, "8-SP");
+    EXPECT_EQ(noArb.core.regsPerBank, 8u);
+    EXPECT_FALSE(noArb.core.arbitration);
+    EXPECT_EQ(noArb.core.frontendDepth, 5u);
+}
+
+TEST(Presets, IdealMspLiftsEveryLimit)
+{
+    const MachineConfig m = idealMspConfig(PredictorKind::Tage);
+    EXPECT_EQ(m.name, "ideal MSP");
+    EXPECT_EQ(m.core.kind, CoreKind::Msp);
+    EXPECT_TRUE(m.core.infiniteBanks);
+    EXPECT_TRUE(m.core.infiniteSq);
+    EXPECT_EQ(m.core.lcsLatency, 0u);
+    EXPECT_FALSE(m.core.arbitration);
+    EXPECT_EQ(m.core.frontendDepth, 5u);
+}
+
+TEST(Presets, PredictorNames)
+{
+    EXPECT_STREQ(predictorName(PredictorKind::Gshare), "gshare");
+    EXPECT_STREQ(predictorName(PredictorKind::Tage), "TAGE");
+}
+
+} // namespace
+} // namespace msp
