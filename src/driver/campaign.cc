@@ -81,17 +81,63 @@ SimCampaign::addMatrix(const std::vector<std::string> &workloads,
 }
 
 unsigned
+effectivePoolThreads(unsigned threads, std::size_t n)
+{
+    unsigned t = threads;
+    if (t == 0) {
+        t = std::thread::hardware_concurrency();
+        if (t == 0)
+            t = 1;
+    }
+    if (t > n)
+        t = static_cast<unsigned>(n);
+    return t ? t : 1;
+}
+
+void
+parallelFor(unsigned threads, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;              // guards firstError
+    std::exception_ptr firstError;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!firstError)
+                    firstError = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    const unsigned t = effectivePoolThreads(threads, n);
+    if (t <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(t - 1);
+        for (unsigned k = 0; k + 1 < t; ++k)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &th : pool)
+            th.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+unsigned
 SimCampaign::effectiveThreads() const
 {
-    unsigned n = requestedThreads;
-    if (n == 0) {
-        n = std::thread::hardware_concurrency();
-        if (n == 0)
-            n = 1;
-    }
-    if (n > jobs.size())
-        n = static_cast<unsigned>(jobs.size());
-    return n ? n : 1;
+    return effectivePoolThreads(requestedThreads, jobs.size());
 }
 
 std::vector<JobResult>
@@ -116,50 +162,22 @@ SimCampaign::run(const ProgressFn &progress)
     }
 
     std::vector<JobResult> out(jobs.size());
-    std::atomic<std::size_t> nextJob{0};
     std::size_t done = 0;
     std::mutex mu;              // guards done + progress callback
-    std::exception_ptr firstError;
 
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = nextJob.fetch_add(1);
-            if (i >= jobs.size())
-                return;
-            const CampaignJob &j = jobs[i];
-            try {
-                Machine m(j.config, *j.program);
-                RunResult r =
-                    m.run(j.maxInsts ? j.maxInsts : defaultInstBudget(),
-                          j.maxCycles);
-                out[i] = JobResult{i, j, std::move(r)};
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(mu);
-                if (!firstError)
-                    firstError = std::current_exception();
-                return;
-            }
-            std::lock_guard<std::mutex> lock(mu);
-            ++done;
-            if (progress)
-                progress(out[i], done, jobs.size());
-        }
-    };
+    parallelFor(requestedThreads, jobs.size(), [&](std::size_t i) {
+        const CampaignJob &j = jobs[i];
+        Machine m(j.config, *j.program);
+        RunResult r =
+            m.run(j.maxInsts ? j.maxInsts : defaultInstBudget(),
+                  j.maxCycles);
+        out[i] = JobResult{i, j, std::move(r)};
 
-    const unsigned n = effectiveThreads();
-    if (n <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n - 1);
-        for (unsigned t = 0; t + 1 < n; ++t)
-            pool.emplace_back(worker);
-        worker();
-        for (auto &t : pool)
-            t.join();
-    }
-    if (firstError)
-        std::rethrow_exception(firstError);
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        if (progress)
+            progress(out[i], done, jobs.size());
+    });
     return out;
 }
 

@@ -74,6 +74,24 @@ std::uint64_t defaultInstBudget();
 std::uint64_t jobSeed(std::uint64_t base, std::uint64_t index);
 
 /**
+ * Run @p fn(0) .. @p fn(n-1) across a pool of @p threads workers (0 =
+ * one per hardware thread; the pool never exceeds @p n). Indices are
+ * claimed atomically, so @p fn runs exactly once per index but in no
+ * particular order — callers index into pre-sized output slots for
+ * order-independent results. The first exception thrown by any index
+ * is re-thrown after all workers drain; the throwing worker stops,
+ * the others finish their remaining indices.
+ *
+ * This is the shared worker pool under SimCampaign and
+ * verify::DiffCampaign.
+ */
+void parallelFor(unsigned threads, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/** The worker count parallelFor(threads, n, ...) actually uses. */
+unsigned effectivePoolThreads(unsigned threads, std::size_t n);
+
+/**
  * The full cross product workloads × configs as a job list,
  * workload-major (all configs of workloads[0] first). This ordering
  * is a contract: scenario reports rebuild their figure grid from it.

@@ -1,0 +1,165 @@
+#include "driver/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "driver/scenario.hh"
+#include "sim/presets.hh"
+#include "verify/fuzzer.hh"
+
+namespace msp {
+namespace driver {
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::string item =
+            s.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+MachineConfig
+configByName(const std::string &name, PredictorKind predictor)
+{
+    if (name == "baseline")
+        return baselineConfig(predictor);
+    if (name == "cpr")
+        return cprConfig(predictor);
+    if (name == "ideal")
+        return idealMspConfig(predictor);
+    // <n>sp or <n>sp-noarb, e.g. "16sp", "64sp-noarb".
+    const std::size_t sp = name.find("sp");
+    if (sp != std::string::npos && sp > 0) {
+        const unsigned n =
+            static_cast<unsigned>(std::atoi(name.substr(0, sp).c_str()));
+        const std::string suffix = name.substr(sp);
+        if (n > 0 && (suffix == "sp" || suffix == "sp-noarb"))
+            return nspConfig(n, predictor, suffix == "sp");
+    }
+    throw CliError(csprintf("unknown config '%s' (want baseline, cpr, "
+                            "ideal, <n>sp or <n>sp-noarb)",
+                            name.c_str()));
+}
+
+CliOptions
+parseCliArgs(const std::vector<std::string> &args)
+{
+    CliOptions o;
+    bool predictorSet = false;
+    bool seedSet = false;
+    bool seedsSet = false;
+
+    auto value = [&](std::size_t &i) -> const std::string & {
+        if (i + 1 >= args.size())
+            throw CliError(args[i] + " needs a value");
+        return args[++i];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--help" || a == "-h") {
+            o.help = true;
+        } else if (a == "--list") {
+            o.list = true;
+        } else if (a == "--threads") {
+            o.threads = static_cast<unsigned>(
+                std::atoi(value(i).c_str()));
+        } else if (a == "--instrs") {
+            o.instrs = std::strtoull(value(i).c_str(), nullptr, 10);
+        } else if (a == "--seed") {
+            o.seed = std::strtoull(value(i).c_str(), nullptr, 10);
+            seedSet = true;
+        } else if (a == "--seeds") {
+            o.seeds = static_cast<unsigned>(
+                std::strtoull(value(i).c_str(), nullptr, 10));
+            seedsSet = true;
+        } else if (a == "--json") {
+            o.jsonPath = value(i);
+        } else if (a == "--csv") {
+            o.csvPath = value(i);
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else if (a == "--workloads") {
+            o.workloads = splitCommas(value(i));
+        } else if (a == "--configs") {
+            o.configNames = splitCommas(value(i));
+        } else if (a == "--mixes") {
+            o.mixNames = splitCommas(value(i));
+        } else if (a == "--predictor") {
+            const std::string &p = value(i);
+            if (p == "gshare")
+                o.predictor = PredictorKind::Gshare;
+            else if (p == "tage")
+                o.predictor = PredictorKind::Tage;
+            else
+                throw CliError(csprintf("unknown predictor '%s'",
+                                        p.c_str()));
+            predictorSet = true;
+        } else if (!a.empty() && a[0] == '-') {
+            throw CliError("unknown option " + a);
+        } else if (o.mode.empty()) {
+            o.mode = a;
+        } else {
+            throw CliError("unexpected argument " + a);
+        }
+    }
+
+    if (o.help || o.list)
+        return o;
+    if (o.mode.empty())
+        throw CliError("missing scenario or mode");
+
+    // Every config name must resolve (fail at parse, not mid-campaign).
+    for (const std::string &c : o.configNames)
+        (void)configByName(c, o.predictor);
+
+    if (o.mode == "matrix") {
+        if (o.workloads.empty() || o.configNames.empty())
+            throw CliError("matrix mode needs --workloads and --configs");
+        if (seedsSet || !o.mixNames.empty())
+            throw CliError("--seeds/--mixes only apply to verify mode");
+    } else if (o.mode == "verify") {
+        if (o.seeds == 0)
+            throw CliError("verify mode needs --seeds > 0");
+        if (!o.workloads.empty())
+            throw CliError("--workloads does not apply to verify mode "
+                           "(programs are fuzzed)");
+        if (!o.csvPath.empty())
+            throw CliError("--csv does not apply to verify mode "
+                           "(use --json)");
+        for (const std::string &m : o.mixNames) {
+            if (!verify::findMix(m))
+                throw CliError(csprintf("unknown mix '%s' (want mixed, "
+                                        "branchy, memory or fploop)",
+                                        m.c_str()));
+        }
+    } else {
+        if (!findScenario(o.mode))
+            throw CliError(csprintf("unknown scenario '%s' (see --list)",
+                                    o.mode.c_str()));
+        // Scenarios fix their own matrix; silently ignoring these
+        // flags would mislabel the results the user asked for.
+        if (!o.workloads.empty() || !o.configNames.empty() ||
+            predictorSet || seedSet || seedsSet || !o.mixNames.empty()) {
+            throw CliError(csprintf(
+                "--workloads/--configs/--predictor/--seed/--seeds/"
+                "--mixes only apply to matrix or verify mode, not "
+                "scenario '%s'", o.mode.c_str()));
+        }
+    }
+    return o;
+}
+
+} // namespace driver
+} // namespace msp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * msp_sim command-line parsing, split from the binary so the argument
+ * grammar and its error paths are unit-testable (tests/test_cli.cc).
+ *
+ * Parsing never exits the process: every user error throws CliError,
+ * which tools/msp_sim.cc turns into a message plus usage text.
+ */
+
+#ifndef MSPLIB_DRIVER_CLI_HH
+#define MSPLIB_DRIVER_CLI_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace msp {
+namespace driver {
+
+/** A user error in the command line (bad flag, bad value, bad combo). */
+struct CliError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Parsed msp_sim invocation. */
+struct CliOptions
+{
+    std::string mode;          ///< scenario name, "matrix" or "verify"
+    bool help = false;         ///< --help: print usage, exit 0
+    bool list = false;         ///< --list: print scenarios, exit 0
+    unsigned threads = 0;      ///< 0 = all hardware threads
+    std::uint64_t instrs = 0;  ///< per-run budget (0 = mode default)
+    std::uint64_t seed = 1;    ///< workload / fuzz base seed
+    unsigned seeds = 100;      ///< verify: fuzz seeds per mix
+    std::string jsonPath;
+    std::string csvPath;
+    bool quiet = false;
+    std::vector<std::string> workloads;    ///< matrix
+    std::vector<std::string> configNames;  ///< matrix + verify
+    std::vector<std::string> mixNames;     ///< verify
+    PredictorKind predictor = PredictorKind::Gshare;
+};
+
+/** "a,b,,c" -> {"a","b","c"} (empty items dropped). */
+std::vector<std::string> splitCommas(const std::string &s);
+
+/**
+ * Resolve a preset name: baseline, cpr, ideal, <n>sp or <n>sp-noarb.
+ * @throws CliError on anything else.
+ */
+MachineConfig configByName(const std::string &name,
+                           PredictorKind predictor);
+
+/**
+ * Parse and validate argv[1..] (program name excluded).
+ *
+ * Validation is mode-aware: matrix requires --workloads/--configs,
+ * verify accepts --seeds/--mixes/--configs, and scenario modes reject
+ * every matrix/verify-only flag so a mislabelled sweep cannot run
+ * silently. Unknown scenario names are rejected here against the
+ * scenario registry.
+ *
+ * @throws CliError on any user error.
+ */
+CliOptions parseCliArgs(const std::vector<std::string> &args);
+
+} // namespace driver
+} // namespace msp
+
+#endif // MSPLIB_DRIVER_CLI_HH

@@ -1,5 +1,8 @@
 #include "functional/semantics.hh"
 
+#include <cmath>
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace msp {
@@ -43,8 +46,19 @@ aluResult(const Instruction &in, std::uint64_t a, std::uint64_t b, Addr pc)
       case Opcode::FNEG: return asBits(-asDouble(a));
       case Opcode::FITOF:
         return asBits(static_cast<double>(static_cast<S>(a)));
-      case Opcode::FFTOI:
-        return static_cast<U>(static_cast<S>(asDouble(a)));
+      case Opcode::FFTOI: {
+        // Saturating conversion: a plain static_cast is undefined
+        // behaviour for NaN and out-of-range doubles, which randomly
+        // generated fp values (fuzzer, wrong-path garbage) do produce.
+        const double d = asDouble(a);
+        if (std::isnan(d))
+            return 0;
+        if (d >= 9223372036854775808.0)            // 2^63
+            return static_cast<U>(std::numeric_limits<S>::max());
+        if (d < -9223372036854775808.0)
+            return static_cast<U>(std::numeric_limits<S>::min());
+        return static_cast<U>(static_cast<S>(d));
+      }
       case Opcode::FCMPLT:
         return asDouble(a) < asDouble(b) ? 1 : 0;
 

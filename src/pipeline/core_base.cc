@@ -342,8 +342,14 @@ CoreBase::doWritebackStage()
 void
 CoreBase::squashAndRedirect(SeqNum boundary, SeqNum classifySeq, Addr newPc,
                             Cycle extraPenalty, bool exception,
-                            const DynInst &trigger)
+                            const DynInst &triggerRef)
 {
+    // The trigger may itself be squashed (a CPR rollback restarts at a
+    // checkpoint *older* than the mispredicted branch), and callers
+    // pass a reference into the window this function pops — so copy it
+    // before any entry is freed.
+    const DynInst trigger = triggerRef;
+
     // Collect the doomed instructions youngest-first.
     std::vector<DynInst *> dead;
     for (auto it = window.rbegin();
@@ -407,8 +413,20 @@ CoreBase::commitOne()
     msp_assert(!d.squashed, "committing a squashed instruction");
     msp_assert(d.executed, "committing an unexecuted instruction");
 
-    // The oracle always steps: loads read committed memory through it.
-    StepResult sr = oracle.step();
+    // The oracle steps with every commit: loads read committed memory
+    // through it. A core bug can commit *past* the architectural HALT;
+    // stepping the halted oracle would abort, so freeze it instead —
+    // with the lock-step check on that bug is fatal here, with it off
+    // (differential verification) the run continues and the external
+    // oracle reports the commit-count/stream divergence.
+    StepResult sr{};
+    if (!oracle.halted()) {
+        sr = oracle.step();
+    } else if (params.oracleCheck) {
+        msp_panic("commit past the oracle's HALT (pc %llu, seq %llu)",
+                  static_cast<unsigned long long>(d.pc),
+                  static_cast<unsigned long long>(d.seq));
+    }
     if (params.oracleCheck) {
         msp_assert(sr.pc == d.pc,
                    "commit pc mismatch: core @%llu oracle @%llu (seq %llu)",
@@ -436,6 +454,13 @@ CoreBase::commitOne()
                        static_cast<unsigned long long>(d.pc));
         }
     }
+
+    if (params.commitFaultAt != 0 && d.si.writesReg() &&
+        ++commitFaultSeen == params.commitFaultAt) {
+        d.result ^= 1;
+    }
+    if (commitObserver)
+        commitObserver(d);
 
     if (d.isStore()) {
         sq.drainOldest(d.seq);

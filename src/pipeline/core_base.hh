@@ -20,6 +20,7 @@
 #define MSPLIB_PIPELINE_CORE_BASE_HH
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "bpred/branch_unit.hh"
@@ -66,8 +67,26 @@ class CoreBase
     /** Committed instruction count so far. */
     std::uint64_t committed() const { return committedCount; }
 
+    /** True once a HALT instruction has committed. */
+    bool halted() const { return haltCommitted; }
+
     /** The lock-step functional oracle (for final-state checks). */
     const FunctionalExecutor &oracleRef() const { return oracle; }
+
+    /**
+     * Observer invoked for every committed instruction, in commit
+     * order, with the retiring DynInst (pc, result, effAddr, storeData,
+     * actualNextPc all final). The differential-verification subsystem
+     * uses this to reconstruct the core's committed architectural state
+     * without trusting the internal oracle.
+     */
+    using CommitObserver = std::function<void(const DynInst &)>;
+
+    /** Install @p obs (replacing any previous observer). */
+    void setCommitObserver(CommitObserver obs)
+    {
+        commitObserver = std::move(obs);
+    }
 
   protected:
     // ---- per-core policy hooks ------------------------------------------
@@ -241,6 +260,8 @@ class CoreBase
     std::size_t lastSqScanned = 0;
     SeqNum lastSquashBoundary = invalidSeqNum;
     Cycle lastCommitCycle = 0;
+    CommitObserver commitObserver;
+    std::uint64_t commitFaultSeen = 0;  ///< commitFaultAt progress counter
 };
 
 } // namespace msp

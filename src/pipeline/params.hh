@@ -77,6 +77,16 @@ struct CoreParams
     bool oracleCheck = true;       ///< lock-step functional comparison
     Cycle recoveryPenalty = 2;     ///< extra cycles on any recovery
     std::uint64_t maxIntraStateId = 31; ///< 5-bit same-state ordering ids
+
+    // ---- verification-only fault injection --------------------------------
+    /**
+     * When nonzero, flip the low bit of the result of the Nth committed
+     * register-writing instruction. The corruption is applied *after*
+     * the internal lock-step check, so it models a silent commit-path
+     * bug that only an external differential oracle (src/verify/) can
+     * observe. Test-only; must stay 0 in real runs.
+     */
+    std::uint64_t commitFaultAt = 0;
 };
 
 /** Statistics of one simulation run. */

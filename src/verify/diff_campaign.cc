@@ -1,0 +1,94 @@
+#include "verify/diff_campaign.hh"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "driver/campaign.hh"
+
+namespace msp {
+namespace verify {
+
+DiffCampaign::DiffCampaign(unsigned threads) : requestedThreads(threads)
+{
+}
+
+std::size_t
+DiffCampaign::add(DiffJob job)
+{
+    jobs.push_back(std::move(job));
+    return jobs.size() - 1;
+}
+
+void
+DiffCampaign::addSweep(const std::vector<FuzzMix> &mixes, unsigned seeds,
+                       std::uint64_t baseSeed,
+                       const std::vector<MachineConfig> &configs,
+                       std::uint64_t maxInsts)
+{
+    std::uint64_t index = 0;
+    for (const FuzzMix &mix : mixes) {
+        for (unsigned s = 0; s < seeds; ++s) {
+            const std::uint64_t seed = driver::jobSeed(baseSeed, index++);
+            for (const MachineConfig &cfg : configs) {
+                DiffJob j;
+                j.mix = mix;
+                j.seed = seed;
+                j.config = cfg;
+                j.maxInsts = maxInsts;
+                add(std::move(j));
+            }
+        }
+    }
+}
+
+unsigned
+DiffCampaign::effectiveThreads() const
+{
+    return driver::effectivePoolThreads(requestedThreads, jobs.size());
+}
+
+std::vector<DiffOutcome>
+DiffCampaign::run(const DiffProgressFn &progress)
+{
+    // Fuzz each distinct (mix, seed) program once, sequentially, before
+    // the pool starts: program images never depend on worker
+    // scheduling, and configs sharing a program share one image.
+    std::map<std::pair<std::string, std::uint64_t>,
+             std::shared_ptr<const Program>> programs;
+    for (DiffJob &j : jobs) {
+        if (j.program)
+            continue;
+        const auto key = std::make_pair(j.mix.name, j.seed);
+        auto it = programs.find(key);
+        if (it == programs.end()) {
+            it = programs.emplace(key, std::make_shared<Program>(
+                                      fuzzProgram(j.seed, j.mix)))
+                     .first;
+        }
+        j.program = it->second;
+    }
+
+    std::vector<DiffOutcome> out(jobs.size());
+    std::size_t done = 0;
+    std::mutex mu;              // guards done + progress callback
+
+    driver::parallelFor(requestedThreads, jobs.size(),
+                        [&](std::size_t i) {
+        const DiffJob &j = jobs[i];
+        DiffOutcome o =
+            diffRun(*j.program, j.config, j.maxInsts, j.maxCycles);
+        o.mix = j.mix.name;
+        o.seed = j.seed;
+        out[i] = std::move(o);
+
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        if (progress)
+            progress(out[i], done, jobs.size());
+    });
+    return out;
+}
+
+} // namespace verify
+} // namespace msp

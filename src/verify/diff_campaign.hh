@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DiffCampaign — fuzzed differential-verification batches on the
+ * driver worker pool.
+ *
+ * A campaign is the cross product (mix × seed × machine config); each
+ * job generates nothing itself — programs are synthesised once per
+ * (mix, seed) pair, sequentially, before the pool starts, then shared
+ * read-only — so outcomes are bit-identical regardless of thread count
+ * (the same contract SimCampaign keeps, asserted by
+ * tests/test_verify.cc).
+ */
+
+#ifndef MSPLIB_VERIFY_DIFF_CAMPAIGN_HH
+#define MSPLIB_VERIFY_DIFF_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "verify/fuzzer.hh"
+#include "verify/oracle.hh"
+
+namespace msp {
+namespace verify {
+
+/** One differential job: one generated program on one machine. */
+struct DiffJob
+{
+    FuzzMix mix;
+    std::uint64_t seed = 1;        ///< program-generation seed
+    MachineConfig config;
+    std::uint64_t maxInsts = 1u << 20;
+    std::uint64_t maxCycles = ~std::uint64_t{0};
+
+    /** Pre-built program; filled by run() (shared across configs). */
+    std::shared_ptr<const Program> program;
+};
+
+/** Called after each job finishes (under a lock, so it may print). */
+using DiffProgressFn =
+    std::function<void(const DiffOutcome &, std::size_t done,
+                       std::size_t total)>;
+
+/** A batch of differential runs on the driver worker pool. */
+class DiffCampaign
+{
+  public:
+    /** @param threads Worker count; 0 = one per hardware thread. */
+    explicit DiffCampaign(unsigned threads = 0);
+
+    /** Append one job; returns its submission index. */
+    std::size_t add(DiffJob job);
+
+    /**
+     * Append the full sweep mixes × seeds × configs. Job seeds are
+     * derived deterministically from @p baseSeed with driver::jobSeed,
+     * so sweep i of any base always fuzzes the same programs.
+     */
+    void addSweep(const std::vector<FuzzMix> &mixes, unsigned seeds,
+                  std::uint64_t baseSeed,
+                  const std::vector<MachineConfig> &configs,
+                  std::uint64_t maxInsts = 1u << 20);
+
+    std::size_t size() const { return jobs.size(); }
+    const std::vector<DiffJob> &pending() const { return jobs; }
+
+    /** Effective worker count for size() jobs. */
+    unsigned effectiveThreads() const;
+
+    /**
+     * Generate every distinct (mix, seed) program, fan the jobs across
+     * the pool, and return outcomes in submission order.
+     */
+    std::vector<DiffOutcome> run(const DiffProgressFn &progress = nullptr);
+
+  private:
+    unsigned requestedThreads;
+    std::vector<DiffJob> jobs;
+};
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_DIFF_CAMPAIGN_HH

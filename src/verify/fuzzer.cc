@@ -1,0 +1,393 @@
+#include "verify/fuzzer.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace msp {
+namespace verify {
+
+namespace {
+
+// Register convention of generated programs. Scratch registers carry
+// random data; everything the generator relies on for termination or
+// control flow (loop counters, bases, link) lives outside the scratch
+// pool so no random write can corrupt it.
+constexpr int firstScratch = 1;
+constexpr int lastScratch = 19;
+constexpr int loopCounterBase = 20;  ///< r20 + depth
+constexpr int hotBaseReg = 24;       ///< -> hot-region byte base
+constexpr int farBaseReg = 25;       ///< -> data byte 0
+constexpr int linkReg = 26;          ///< JAL / RET link
+constexpr int jrTargetReg = 27;      ///< indirect-call target
+constexpr int condTmpReg = 28;       ///< branch-condition temporary
+constexpr int numFpScratch = 12;     ///< f0..f11
+
+/** One in-progress generation: builder + RNG + dynamic-length budget. */
+class Gen
+{
+  public:
+    Gen(ProgramBuilder &b, Rng &rng, const FuzzMix &mix)
+        : b(b), rng(rng), mix(mix)
+    {}
+
+    /** Emit the helper functions callable from anywhere in the body. */
+    void
+    emitHelpers()
+    {
+        constexpr unsigned numHelpers = 4;
+        for (unsigned h = 0; h < numHelpers; ++h) {
+            helperPc.push_back(b.here());
+            const unsigned n = static_cast<unsigned>(rng.range(2, 5));
+            for (unsigned i = 0; i < n; ++i)
+                emitComputeOp();
+            b.ret(linkReg);
+        }
+    }
+
+    /** Initialise every register the body may read. */
+    void
+    emitInit()
+    {
+        for (int r = firstScratch; r <= lastScratch; ++r) {
+            // Mix small values (interesting for shifts, compares and
+            // loop-ish arithmetic) with full-width randoms.
+            const std::int64_t v =
+                rng.chance(0.5) ? rng.range(-512, 512)
+                                : static_cast<std::int64_t>(rng.next());
+            b.li(r, v);
+        }
+        b.li(hotBaseReg, 0);
+        b.li(farBaseReg,
+             static_cast<std::int64_t>(mix.hotWords) * wordBytes);
+        for (int f = 0; f < numFpScratch; ++f)
+            b.fitof(f, scratch());
+    }
+
+    /** Emit the top-level block sequence until the budget is spent. */
+    void
+    emitBody()
+    {
+        const unsigned blocks = static_cast<unsigned>(
+            rng.range(mix.blocksMin, mix.blocksMax));
+        for (unsigned i = 0; i < blocks && estDyn < mix.targetDynamic;
+             ++i) {
+            emitBlock(0, 1);
+        }
+    }
+
+  private:
+    int scratch() { return static_cast<int>(
+        rng.range(firstScratch, lastScratch)); }
+    int fpScratch() { return static_cast<int>(
+        rng.range(0, numFpScratch - 1)); }
+
+    /** Random non-memory, non-control op writing a scratch register. */
+    void
+    emitComputeOp()
+    {
+        if (rng.chance(mix.weights.fp /
+                       (mix.weights.fp + mix.weights.alu))) {
+            emitFpOp();
+        } else {
+            emitAluOp();
+        }
+    }
+
+    void
+    emitAluOp()
+    {
+        const int rd = scratch();
+        const int a = scratch();
+        const int c = scratch();
+        switch (rng.below(15)) {
+          case 0: b.add(rd, a, c); break;
+          case 1: b.sub(rd, a, c); break;
+          case 2: b.mul(rd, a, c); break;
+          case 3: b.div(rd, a, c); break;   // semantics guard /0
+          case 4: b.and_(rd, a, c); break;
+          case 5: b.or_(rd, a, c); break;
+          case 6: b.xor_(rd, a, c); break;
+          case 7: b.sll(rd, a, c); break;
+          case 8: b.srl(rd, a, c); break;
+          case 9: b.slt(rd, a, c); break;
+          case 10: b.addi(rd, a, rng.range(-1024, 1024)); break;
+          case 11: b.xori(rd, a, rng.range(0, 0xffff)); break;
+          case 12: b.slli(rd, a, rng.range(0, 63)); break;
+          case 13: b.srli(rd, a, rng.range(0, 63)); break;
+          default: b.slti(rd, a, rng.range(-64, 64)); break;
+        }
+    }
+
+    void
+    emitFpOp()
+    {
+        const int fd = fpScratch();
+        const int a = fpScratch();
+        const int c = fpScratch();
+        switch (rng.below(9)) {
+          case 0: b.fadd(fd, a, c); break;
+          case 1: b.fsub(fd, a, c); break;
+          case 2: b.fmul(fd, a, c); break;
+          case 3: b.fdiv(fd, a, c); break;  // semantics guard /0.0
+          case 4: b.fmov(fd, a); break;
+          case 5: b.fneg(fd, a); break;
+          case 6: b.fitof(fd, scratch()); break;
+          case 7: b.fftoi(scratch(), a); break;
+          default: b.fcmplt(scratch(), a, c); break;
+        }
+    }
+
+    /** Byte offset of a memory access (hot region or whole image). */
+    std::int64_t
+    memOffset(int &baseReg)
+    {
+        if (rng.chance(mix.hotProb)) {
+            baseReg = hotBaseReg;
+            return static_cast<std::int64_t>(rng.below(mix.hotWords)) *
+                   wordBytes;
+        }
+        baseReg = farBaseReg;
+        return static_cast<std::int64_t>(rng.below(mix.memWords)) *
+               wordBytes;
+    }
+
+    void
+    emitMemOp(bool isStore)
+    {
+        int base = 0;
+        const std::int64_t off = memOffset(base);
+        const bool fp = rng.chance(
+            mix.weights.fp / (mix.weights.fp + mix.weights.alu));
+        if (isStore) {
+            if (fp)
+                b.fst(fpScratch(), base, off);
+            else
+                b.st(scratch(), base, off);
+        } else {
+            if (fp)
+                b.fld(fpScratch(), base, off);
+            else
+                b.ld(scratch(), base, off);
+        }
+    }
+
+    /** A straight-line segment of weighted random instructions. */
+    void
+    emitSegment(std::uint64_t multiplier)
+    {
+        const unsigned n =
+            static_cast<unsigned>(rng.range(mix.segMin, mix.segMax));
+        const FuzzWeights &w = mix.weights;
+        const double total = w.alu + w.fp + w.load + w.store;
+        for (unsigned i = 0; i < n; ++i) {
+            if (mix.trapProb > 0.0 && rng.chance(mix.trapProb)) {
+                b.trap();
+                continue;
+            }
+            const double pick = rng.toDouble() * total;
+            if (pick < w.alu)
+                emitAluOp();
+            else if (pick < w.alu + w.fp)
+                emitFpOp();
+            else if (pick < w.alu + w.fp + w.load)
+                emitMemOp(false);
+            else
+                emitMemOp(true);
+        }
+        estDyn += static_cast<std::uint64_t>(n) * multiplier;
+    }
+
+    /**
+     * A data-dependent forward branch over a segment. The condition is
+     * derived from evolving scratch data, so the direction stream is
+     * effectively random — the high-misprediction case.
+     */
+    void
+    emitCondSkip(unsigned depth, std::uint64_t multiplier)
+    {
+        if (rng.chance(0.5))
+            b.andi(condTmpReg, scratch(), 1);
+        else
+            b.slt(condTmpReg, scratch(), scratch());
+        Label skip = b.newLabel();
+        if (rng.chance(0.5))
+            b.beq(condTmpReg, 0, skip);
+        else
+            b.bne(condTmpReg, 0, skip);
+        estDyn += 2 * multiplier;
+        emitSegment(multiplier);
+        if (depth < mix.maxLoopDepth && rng.chance(0.25))
+            emitBlock(depth, multiplier);
+        b.bind(skip);
+    }
+
+    /** A call to one of the pre-built helpers (direct or via JR). */
+    void
+    emitCall(std::uint64_t multiplier)
+    {
+        msp_assert(!helperPc.empty(), "helpers not emitted");
+        const Addr target = helperPc[rng.below(helperPc.size())];
+        if (rng.chance(mix.indirectProb)) {
+            // Data-dependent indirect call: pick between two helper
+            // addresses on a random bit, then JR. The link register is
+            // set with the (statically known) return pc.
+            const Addr alt = helperPc[rng.below(helperPc.size())];
+            b.li(jrTargetReg, static_cast<std::int64_t>(target));
+            b.andi(condTmpReg, scratch(), 1);
+            Label keep = b.newLabel();
+            b.beq(condTmpReg, 0, keep);
+            b.li(jrTargetReg, static_cast<std::int64_t>(alt));
+            b.bind(keep);
+            b.li(linkReg, static_cast<std::int64_t>(b.here() + 2));
+            b.jr(jrTargetReg);
+            estDyn += 6 * multiplier;
+        } else {
+            // Direct call. The helper pc is already known, so the jal
+            // is emitted raw with an absolute target (the Label fixup
+            // path is only needed for forward references).
+            Instruction jal;
+            jal.op = Opcode::JAL;
+            jal.rd = static_cast<std::int8_t>(linkReg);
+            jal.imm = static_cast<std::int64_t>(target);
+            b.emit(jal);
+            estDyn += 1 * multiplier;
+        }
+        // Helper body length is bounded by 6; count the average.
+        estDyn += 5 * multiplier;
+    }
+
+    /** A countdown loop with a reserved counter register. */
+    void
+    emitLoop(unsigned depth, std::uint64_t multiplier)
+    {
+        const int cnt = loopCounterBase + static_cast<int>(depth);
+        const std::int64_t trip = rng.range(mix.tripMin, mix.tripMax);
+        b.li(cnt, trip);
+        Label top = b.newLabel();
+        b.bind(top);
+        const std::uint64_t bodyMult =
+            multiplier * static_cast<std::uint64_t>(trip);
+        const unsigned bodyBlocks = static_cast<unsigned>(rng.range(1, 2));
+        for (unsigned i = 0; i < bodyBlocks; ++i)
+            emitBlock(depth + 1, bodyMult);
+        b.addi(cnt, cnt, -1);
+        b.bne(cnt, 0, top);
+        estDyn += 2 * bodyMult + multiplier;
+    }
+
+    /** One block: a loop, a conditional skip, a call, or a segment. */
+    void
+    emitBlock(unsigned depth, std::uint64_t multiplier)
+    {
+        if (estDyn >= mix.targetDynamic) {
+            emitSegment(multiplier);   // budget spent: no more nesting
+            return;
+        }
+        if (depth < mix.maxLoopDepth && rng.chance(mix.loopProb)) {
+            emitLoop(depth, multiplier);
+        } else if (rng.chance(mix.condProb)) {
+            emitCondSkip(depth, multiplier);
+        } else if (rng.chance(mix.callProb)) {
+            emitCall(multiplier);
+        } else {
+            emitSegment(multiplier);
+        }
+    }
+
+    ProgramBuilder &b;
+    Rng &rng;
+    const FuzzMix &mix;
+    std::vector<Addr> helperPc;
+    std::uint64_t estDyn = 0;
+};
+
+} // anonymous namespace
+
+Program
+fuzzProgram(std::uint64_t seed, const FuzzMix &mix)
+{
+    msp_assert(mix.segMin >= 1 && mix.segMax >= mix.segMin,
+               "bad segment bounds");
+    msp_assert(mix.tripMin >= 1 && mix.tripMax >= mix.tripMin,
+               "bad trip bounds");
+    msp_assert(mix.hotWords >= 1 && mix.memWords >= mix.hotWords,
+               "bad memory shape");
+
+    ProgramBuilder b(csprintf("fuzz/%s/%llu", mix.name.c_str(),
+                              static_cast<unsigned long long>(seed)));
+    Rng rng(seed);
+
+    b.memSize(mix.memWords);
+    b.dataFill(0, mix.memWords, [&](std::size_t) { return rng.next(); });
+
+    Gen gen(b, rng, mix);
+    Label start = b.newLabel();
+    b.j(start);
+    gen.emitHelpers();
+    b.bind(start);
+    gen.emitInit();
+    gen.emitBody();
+    b.halt();
+    return b.finish();
+}
+
+const std::vector<FuzzMix> &
+standardMixes()
+{
+    static const std::vector<FuzzMix> mixes = [] {
+        std::vector<FuzzMix> v;
+
+        FuzzMix mixed;             // the FuzzMix defaults *are* "mixed"
+        v.push_back(mixed);
+
+        FuzzMix branchy;
+        branchy.name = "branchy";
+        branchy.segMin = 1;
+        branchy.segMax = 4;
+        branchy.condProb = 0.8;
+        branchy.loopProb = 0.3;
+        branchy.callProb = 0.2;
+        branchy.weights.fp = 0.1;
+        branchy.weights.load = 0.2;
+        branchy.weights.store = 0.15;
+        branchy.blocksMax = 24;
+        v.push_back(branchy);
+
+        FuzzMix memory;
+        memory.name = "memory";
+        memory.weights.load = 1.2;
+        memory.weights.store = 0.9;
+        memory.weights.fp = 0.15;
+        memory.hotWords = 8;
+        memory.hotProb = 0.85;
+        memory.memWords = 256;
+        memory.loopProb = 0.45;
+        v.push_back(memory);
+
+        FuzzMix fploop;
+        fploop.name = "fploop";
+        fploop.weights.fp = 1.5;
+        fploop.weights.load = 0.4;
+        fploop.weights.store = 0.3;
+        fploop.loopProb = 0.55;
+        fploop.tripMax = 8;
+        fploop.trapProb = 0.005;
+        v.push_back(fploop);
+
+        return v;
+    }();
+    return mixes;
+}
+
+const FuzzMix *
+findMix(const std::string &name)
+{
+    for (const FuzzMix &m : standardMixes())
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+} // namespace verify
+} // namespace msp

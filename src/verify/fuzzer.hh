@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Seeded program fuzzer for differential verification.
+ *
+ * Generates well-formed random programs through isa/builder: every
+ * control transfer targets a bound label or a known helper pc, every
+ * backward branch is a countdown loop with a dedicated counter
+ * register, and every program ends in HALT — so generated programs are
+ * guaranteed to terminate with a statically bounded dynamic length,
+ * regardless of what the random data computes.
+ *
+ * The instruction mix (ALU / fp / memory / control weights, loop-nest
+ * depth, store-to-load aliasing pressure) is parameterised by FuzzMix
+ * so one generator covers branchy integer code, aliasing memory
+ * traffic and fp loop nests alike.
+ */
+
+#ifndef MSPLIB_VERIFY_FUZZER_HH
+#define MSPLIB_VERIFY_FUZZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace msp {
+namespace verify {
+
+/** Relative instruction-selection weights of one straight-line slot. */
+struct FuzzWeights
+{
+    double alu = 1.0;      ///< integer reg-reg / reg-imm ops
+    double fp = 0.35;      ///< fp arithmetic, converts, compares
+    double load = 0.35;    ///< LD / FLD
+    double store = 0.25;   ///< ST / FST
+};
+
+/** Everything that shapes one generated program. */
+struct FuzzMix
+{
+    std::string name = "mixed";   ///< mix id carried into reports
+
+    FuzzWeights weights;
+
+    // Control-flow shape.
+    unsigned blocksMin = 8;       ///< top-level blocks per program
+    unsigned blocksMax = 16;
+    unsigned segMin = 3;          ///< instructions per straight segment
+    unsigned segMax = 10;
+    double loopProb = 0.35;       ///< chance a block is a countdown loop
+    unsigned maxLoopDepth = 3;    ///< loop-nest depth limit
+    unsigned tripMin = 2;         ///< loop trip counts (static)
+    unsigned tripMax = 6;
+    double condProb = 0.45;       ///< chance a block is a forward branch
+    double callProb = 0.10;       ///< chance a block calls a helper
+    double indirectProb = 0.5;    ///< fraction of calls made via JR tables
+    double trapProb = 0.01;       ///< per-segment-slot TRAP probability
+
+    // Memory shape.
+    unsigned memWords = 512;      ///< data-memory words (rounded to 2^k)
+    unsigned hotWords = 12;       ///< aliasing hot-region size
+    double hotProb = 0.65;        ///< memory ops hitting the hot region
+
+    /** Stop opening new blocks past this estimated dynamic length. */
+    std::uint64_t targetDynamic = 6000;
+};
+
+/**
+ * Generate one program. The same (seed, mix) pair always produces a
+ * bit-identical image; the mix name and seed are encoded in the
+ * program name ("fuzz/<mix>/<seed>").
+ */
+Program fuzzProgram(std::uint64_t seed, const FuzzMix &mix = FuzzMix{});
+
+/**
+ * The standard mix set swept by `msp_sim verify`: "mixed" (everything),
+ * "branchy" (short segments, dense hard-to-predict control flow),
+ * "memory" (high load/store weight on a tiny hot region) and "fploop"
+ * (fp-heavy loop nests).
+ */
+const std::vector<FuzzMix> &standardMixes();
+
+/** Look up a standard mix by name; nullptr when unknown. */
+const FuzzMix *findMix(const std::string &name);
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_FUZZER_HH

@@ -1,0 +1,166 @@
+#include "verify/oracle.hh"
+
+#include "common/logging.hh"
+#include "functional/executor.hh"
+#include "pipeline/core_base.hh"
+
+namespace msp {
+namespace verify {
+
+namespace {
+
+/** FNV-1a, folded over 64-bit words of the commit stream. */
+struct StreamHasher
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void
+    word(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+
+    /** One commit record; identical layout for both models. */
+    void
+    commit(Addr pc, bool wroteReg, std::uint64_t value, bool isMem,
+           Addr memAddr, std::uint64_t storeValue)
+    {
+        word(pc);
+        word(wroteReg ? value : 0);
+        word(isMem ? memAddr : 0);
+        word(storeValue);
+    }
+};
+
+void
+addDivergence(DiffOutcome &out, const char *kind, std::string detail)
+{
+    if (out.divergences.size() < maxDivergencesPerJob)
+        out.divergences.push_back(Divergence{kind, std::move(detail)});
+}
+
+} // anonymous namespace
+
+DiffOutcome
+diffRun(const Program &prog, const MachineConfig &config,
+        std::uint64_t maxInsts, std::uint64_t maxCycles)
+{
+    DiffOutcome out;
+    out.config = config.name;
+    out.workload = prog.name;
+
+    // ---- golden pass: from-scratch functional execution ------------------
+    FunctionalExecutor ref(prog);
+    StreamHasher refHash;
+    while (!ref.halted() && ref.instCount() < maxInsts) {
+        const StepResult sr = ref.step();
+        refHash.commit(sr.pc, sr.wroteReg, sr.value,
+                       sr.isLoad || sr.isStore, sr.memAddr,
+                       sr.storeValue);
+    }
+    out.committedRef = ref.instCount();
+    if (!ref.halted()) {
+        addDivergence(out, "ref-no-halt",
+                      csprintf("functional model did not HALT within "
+                               "%llu instructions",
+                               static_cast<unsigned long long>(maxInsts)));
+        return out;
+    }
+
+    // ---- timing pass: commit stream replayed into its own state ----------
+    MachineConfig cfg = config;
+    // A divergence must surface as a report, not an internal assertion
+    // abort, so the lock-step check is off for differential runs.
+    cfg.core.oracleCheck = false;
+    Machine m(cfg, prog);
+
+    ArchState replay(prog);
+    StreamHasher coreHash;
+    std::uint64_t replayed = 0;
+    m.core().setCommitObserver([&](const DynInst &d) {
+        const bool isMem = d.isLoad() || d.isStore();
+        if (d.si.writesReg())
+            replay.write(d.si.info().dst, d.si.rd, d.result);
+        if (d.isStore())
+            replay.store(d.effAddr, d.storeData);
+        coreHash.commit(d.pc, d.si.writesReg(), d.result, isMem,
+                        d.effAddr, d.isStore() ? d.storeData : 0);
+        ++replayed;
+    });
+
+    const RunResult r = m.run(maxInsts, maxCycles);
+    out.committedCore = r.committed;
+    out.cycles = r.cycles;
+    out.streamHash = coreHash.h;
+    msp_assert(replayed == r.committed,
+               "commit observer saw %llu of %llu commits",
+               static_cast<unsigned long long>(replayed),
+               static_cast<unsigned long long>(r.committed));
+
+    // ---- cross-checks ----------------------------------------------------
+    if (!m.core().halted()) {
+        addDivergence(out, "no-halt",
+                      csprintf("core committed %llu instructions in %llu "
+                               "cycles without reaching HALT",
+                               static_cast<unsigned long long>(r.committed),
+                               static_cast<unsigned long long>(r.cycles)));
+    }
+    if (out.committedCore != out.committedRef) {
+        addDivergence(out, "commit-count",
+                      csprintf("core committed %llu, functional %llu",
+                               static_cast<unsigned long long>(
+                                   out.committedCore),
+                               static_cast<unsigned long long>(
+                                   out.committedRef)));
+    }
+    if (coreHash.h != refHash.h) {
+        addDivergence(out, "stream",
+                      csprintf("commit-stream hash %016llx != functional "
+                               "%016llx",
+                               static_cast<unsigned long long>(coreHash.h),
+                               static_cast<unsigned long long>(refHash.h)));
+    }
+
+    const ArchState &gold = ref.state();
+    for (int reg = 0; reg < numIntRegs; ++reg) {
+        if (replay.readInt(reg) != gold.readInt(reg)) {
+            addDivergence(out, "int-reg",
+                          csprintf("r%d: core %016llx functional %016llx",
+                                   reg,
+                                   static_cast<unsigned long long>(
+                                       replay.readInt(reg)),
+                                   static_cast<unsigned long long>(
+                                       gold.readInt(reg))));
+        }
+    }
+    for (int reg = 0; reg < numFpRegs; ++reg) {
+        if (replay.readFp(reg) != gold.readFp(reg)) {
+            addDivergence(out, "fp-reg",
+                          csprintf("f%d: core %016llx functional %016llx",
+                                   reg,
+                                   static_cast<unsigned long long>(
+                                       replay.readFp(reg)),
+                                   static_cast<unsigned long long>(
+                                       gold.readFp(reg))));
+        }
+    }
+    for (std::size_t w = 0; w < prog.memWords; ++w) {
+        const Addr a = static_cast<Addr>(w) * wordBytes;
+        if (replay.load(a) != gold.load(a)) {
+            addDivergence(out, "mem",
+                          csprintf("word %zu: core %016llx functional "
+                                   "%016llx", w,
+                                   static_cast<unsigned long long>(
+                                       replay.load(a)),
+                                   static_cast<unsigned long long>(
+                                       gold.load(a))));
+        }
+    }
+    return out;
+}
+
+} // namespace verify
+} // namespace msp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Commit-stream oracle: differential verification of one timing core
+ * against the functional executor.
+ *
+ * The timing cores carry an *internal* lock-step oracle
+ * (CoreBase::oracle) whose ArchState doubles as the committed data
+ * memory — so that state is correct by construction and useless as an
+ * external check. This module instead taps the commit stream through
+ * CoreBase::setCommitObserver, replays it into an independent
+ * ArchState, and cross-checks the result against a from-scratch
+ * functional execution of the same program: final architectural
+ * register state, final memory image, committed-instruction count, and
+ * an order-sensitive hash of the full commit stream (pc, value, store
+ * address/data per commit). Any silent commit-path corruption — wrong
+ * result, wrong store, wrong pc sequence, extra or missing commits —
+ * surfaces as a structured Divergence instead of an assertion abort.
+ */
+
+#ifndef MSPLIB_VERIFY_ORACLE_HH
+#define MSPLIB_VERIFY_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/machine.hh"
+
+namespace msp {
+namespace verify {
+
+/** One observed disagreement between a core and the functional model. */
+struct Divergence
+{
+    std::string kind;    ///< "commit-count" | "stream" | "int-reg" |
+                         ///< "fp-reg" | "mem" | "no-halt" | "ref-no-halt"
+    std::string detail;  ///< human-readable specifics
+};
+
+/** Outcome of one differential run (one program on one machine). */
+struct DiffOutcome
+{
+    std::string mix;         ///< fuzz mix name ("" for external programs)
+    std::uint64_t seed = 0;  ///< program-generation seed
+    std::string config;      ///< machine-configuration name
+    std::string workload;    ///< program name
+
+    std::uint64_t committedCore = 0;  ///< core committed-instruction count
+    std::uint64_t committedRef = 0;   ///< functional instruction count
+    std::uint64_t cycles = 0;         ///< core cycles
+    std::uint64_t streamHash = 0;     ///< FNV-1a over the commit stream
+
+    std::vector<Divergence> divergences;
+
+    bool ok() const { return divergences.empty(); }
+};
+
+/** Divergences recorded per job before truncation (bounded reports). */
+constexpr unsigned maxDivergencesPerJob = 8;
+
+/**
+ * Run @p prog on the functional executor (golden) and on a machine
+ * built from @p config with the internal oracle check disabled, then
+ * cross-check the two. @p maxInsts bounds both executions ("no-halt"
+ * divergence when either fails to HALT inside it); @p maxCycles bounds
+ * the timing run.
+ */
+DiffOutcome diffRun(const Program &prog, const MachineConfig &config,
+                    std::uint64_t maxInsts = 1u << 20,
+                    std::uint64_t maxCycles = ~std::uint64_t{0});
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_ORACLE_HH

@@ -1,0 +1,63 @@
+#include "verify/report.hh"
+
+#include "common/logging.hh"
+#include "driver/report.hh"
+
+namespace msp {
+namespace verify {
+
+std::size_t
+countDivergences(const std::vector<DiffOutcome> &outcomes)
+{
+    std::size_t n = 0;
+    for (const DiffOutcome &o : outcomes)
+        n += o.divergences.size();
+    return n;
+}
+
+std::string
+toJson(const std::vector<DiffOutcome> &outcomes)
+{
+    using driver::jsonEscape;
+
+    std::size_t divergent = 0;
+    for (const DiffOutcome &o : outcomes)
+        divergent += o.ok() ? 0 : 1;
+
+    std::string out = "{\n  \"verify\": {\n";
+    out += csprintf("    \"jobs\": %zu,\n", outcomes.size());
+    out += csprintf("    \"divergent\": %zu,\n", divergent);
+    out += "    \"results\": [";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const DiffOutcome &o = outcomes[i];
+        out += i ? ",\n      {" : "\n      {";
+        out += csprintf("\"mix\": \"%s\", ", jsonEscape(o.mix).c_str());
+        out += csprintf("\"seed\": %llu, ",
+                        static_cast<unsigned long long>(o.seed));
+        out += csprintf("\"config\": \"%s\", ",
+                        jsonEscape(o.config).c_str());
+        out += csprintf("\"workload\": \"%s\", ",
+                        jsonEscape(o.workload).c_str());
+        out += csprintf("\"committed_core\": %llu, ",
+                        static_cast<unsigned long long>(o.committedCore));
+        out += csprintf("\"committed_ref\": %llu, ",
+                        static_cast<unsigned long long>(o.committedRef));
+        out += csprintf("\"cycles\": %llu, ",
+                        static_cast<unsigned long long>(o.cycles));
+        out += csprintf("\"stream_hash\": \"%016llx\", ",
+                        static_cast<unsigned long long>(o.streamHash));
+        out += "\"divergences\": [";
+        for (std::size_t d = 0; d < o.divergences.size(); ++d) {
+            out += d ? ", {" : "{";
+            out += csprintf("\"kind\": \"%s\", \"detail\": \"%s\"}",
+                            jsonEscape(o.divergences[d].kind).c_str(),
+                            jsonEscape(o.divergences[d].detail).c_str());
+        }
+        out += "]}";
+    }
+    out += "\n    ]\n  }\n}\n";
+    return out;
+}
+
+} // namespace verify
+} // namespace msp

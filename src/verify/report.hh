@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Structured JSON serialisation of differential-verification outcomes.
+ *
+ * The report carries every job (so a clean sweep is still auditable:
+ * seeds, stream hashes, commit counts) plus the full divergence list
+ * of any failing job, in a shape plotting/triage scripts can consume.
+ */
+
+#ifndef MSPLIB_VERIFY_REPORT_HH
+#define MSPLIB_VERIFY_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "verify/oracle.hh"
+
+namespace msp {
+namespace verify {
+
+/**
+ * Serialise outcomes as one JSON document:
+ * {"verify": {"jobs": N, "divergent": M, "results": [{...}, ...]}}.
+ */
+std::string toJson(const std::vector<DiffOutcome> &outcomes);
+
+/** Total divergences across @p outcomes. */
+std::size_t countDivergences(const std::vector<DiffOutcome> &outcomes);
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_REPORT_HH

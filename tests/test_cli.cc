@@ -1,0 +1,167 @@
+/**
+ * @file
+ * msp_sim argument-grammar tests (src/driver/cli.cc): happy paths for
+ * all three modes plus every user-error path — unknown scenario,
+ * malformed matrix specs, bad preset/predictor/mix names, flag misuse
+ * across modes — which previously lived untested inside the binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/cli.hh"
+
+namespace msp {
+namespace {
+
+using driver::CliError;
+using driver::CliOptions;
+using driver::configByName;
+using driver::parseCliArgs;
+using driver::splitCommas;
+
+TEST(SplitCommas, SplitsAndDropsEmpties)
+{
+    EXPECT_EQ(splitCommas("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(splitCommas("a,,b,"), (std::vector<std::string>{"a", "b"}));
+    EXPECT_TRUE(splitCommas("").empty());
+    EXPECT_EQ(splitCommas("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(ConfigByName, ResolvesEveryPresetFamily)
+{
+    EXPECT_EQ(configByName("baseline", PredictorKind::Gshare).core.kind,
+              CoreKind::Baseline);
+    EXPECT_EQ(configByName("cpr", PredictorKind::Gshare).core.kind,
+              CoreKind::Cpr);
+    EXPECT_EQ(configByName("ideal", PredictorKind::Tage).core.kind,
+              CoreKind::Msp);
+
+    const MachineConfig sp = configByName("16sp", PredictorKind::Gshare);
+    EXPECT_EQ(sp.core.kind, CoreKind::Msp);
+    EXPECT_EQ(sp.core.regsPerBank, 16u);
+    EXPECT_TRUE(sp.core.arbitration);
+
+    const MachineConfig noarb =
+        configByName("64sp-noarb", PredictorKind::Gshare);
+    EXPECT_EQ(noarb.core.regsPerBank, 64u);
+    EXPECT_FALSE(noarb.core.arbitration);
+}
+
+TEST(ConfigByName, RejectsUnknownNames)
+{
+    EXPECT_THROW(configByName("turbo", PredictorKind::Gshare), CliError);
+    EXPECT_THROW(configByName("sp", PredictorKind::Gshare), CliError);
+    EXPECT_THROW(configByName("0sp", PredictorKind::Gshare), CliError);
+    EXPECT_THROW(configByName("16sp-bogus", PredictorKind::Gshare),
+                 CliError);
+}
+
+TEST(ParseCliArgs, ScenarioModeWithOptions)
+{
+    const CliOptions o =
+        parseCliArgs({"fig6", "--threads", "4", "--instrs", "5000",
+                      "--json", "out.json", "--quiet"});
+    EXPECT_EQ(o.mode, "fig6");
+    EXPECT_EQ(o.threads, 4u);
+    EXPECT_EQ(o.instrs, 5000u);
+    EXPECT_EQ(o.jsonPath, "out.json");
+    EXPECT_TRUE(o.quiet);
+}
+
+TEST(ParseCliArgs, MatrixMode)
+{
+    const CliOptions o = parseCliArgs(
+        {"matrix", "--workloads", "gzip,gcc", "--configs",
+         "baseline,16sp", "--predictor", "tage", "--seed", "7"});
+    EXPECT_EQ(o.mode, "matrix");
+    EXPECT_EQ(o.workloads, (std::vector<std::string>{"gzip", "gcc"}));
+    EXPECT_EQ(o.configNames,
+              (std::vector<std::string>{"baseline", "16sp"}));
+    EXPECT_EQ(o.predictor, PredictorKind::Tage);
+    EXPECT_EQ(o.seed, 7u);
+}
+
+TEST(ParseCliArgs, VerifyModeDefaultsAndFlags)
+{
+    const CliOptions defaults = parseCliArgs({"verify"});
+    EXPECT_EQ(defaults.seeds, 100u);
+    EXPECT_TRUE(defaults.configNames.empty());
+    EXPECT_TRUE(defaults.mixNames.empty());
+
+    const CliOptions o = parseCliArgs(
+        {"verify", "--seeds", "25", "--mixes", "branchy,memory",
+         "--configs", "cpr,8sp"});
+    EXPECT_EQ(o.seeds, 25u);
+    EXPECT_EQ(o.mixNames,
+              (std::vector<std::string>{"branchy", "memory"}));
+    EXPECT_EQ(o.configNames, (std::vector<std::string>{"cpr", "8sp"}));
+}
+
+TEST(ParseCliArgs, HelpAndListNeedNoMode)
+{
+    EXPECT_TRUE(parseCliArgs({"--help"}).help);
+    EXPECT_TRUE(parseCliArgs({"-h"}).help);
+    EXPECT_TRUE(parseCliArgs({"--list"}).list);
+}
+
+TEST(ParseCliArgs, MissingModeThrows)
+{
+    EXPECT_THROW(parseCliArgs({}), CliError);
+    EXPECT_THROW(parseCliArgs({"--threads", "2"}), CliError);
+}
+
+TEST(ParseCliArgs, UnknownScenarioThrows)
+{
+    EXPECT_THROW(parseCliArgs({"fig99"}), CliError);
+    EXPECT_THROW(parseCliArgs({"bogus-sweep"}), CliError);
+}
+
+TEST(ParseCliArgs, BadMatrixSpecThrows)
+{
+    // Missing both axes / either axis.
+    EXPECT_THROW(parseCliArgs({"matrix"}), CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--configs", "cpr"}), CliError);
+    // Unknown preset inside the list.
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "warp9"}),
+                 CliError);
+}
+
+TEST(ParseCliArgs, ScenarioModeRejectsMatrixAndVerifyFlags)
+{
+    EXPECT_THROW(parseCliArgs({"fig6", "--workloads", "gzip"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--configs", "cpr"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--predictor", "tage"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--seed", "3"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--seeds", "10"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--mixes", "branchy"}), CliError);
+}
+
+TEST(ParseCliArgs, VerifyModeFlagErrors)
+{
+    EXPECT_THROW(parseCliArgs({"verify", "--seeds", "0"}), CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--workloads", "gzip"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--csv", "out.csv"}), CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--mixes", "warp"}), CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr", "--seeds", "5"}),
+                 CliError);
+}
+
+TEST(ParseCliArgs, MalformedFlagsThrow)
+{
+    EXPECT_THROW(parseCliArgs({"fig6", "--bogus"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--threads"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "extra-positional"}), CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr", "--predictor",
+                               "oracle"}),
+                 CliError);
+}
+
+} // namespace
+} // namespace msp

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Golden-stats regression fixture: the Fig. 6-9 scenario IPCs at a
+ * reduced budget are checked into tests/golden/golden_stats.json;
+ * this test re-runs the scenarios and compares within a relative
+ * tolerance, so perf-affecting regressions fail CTest instead of
+ * passing silently.
+ *
+ * Refreshing the baselines after an *intended* perf change:
+ *
+ *   MSP_UPDATE_GOLDEN=1 ./build/test_golden_stats
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "driver/campaign.hh"
+#include "driver/report.hh"
+#include "driver/scenario.hh"
+
+namespace msp {
+namespace {
+
+// Small enough to keep the four sweeps a few seconds on one thread,
+// large enough that the predictors and register files warm up and the
+// IPC ladder looks like the full-budget one.
+constexpr std::uint64_t kBudget = 2000;
+
+// The simulator is bit-deterministic, so any drift is a real behaviour
+// change; 2% allows intended micro-tweaks while catching regressions.
+constexpr double kRelTol = 0.02;
+
+const char *const kScenarios[] = {"fig6", "fig7", "fig8", "fig9"};
+
+struct Entry
+{
+    std::string scenario, workload, config;
+    double ipc = 0.0;
+
+    std::string
+    key() const
+    {
+        return scenario + "/" + workload + "/" + config;
+    }
+};
+
+std::string
+goldenPath()
+{
+    return std::string(MSP_SOURCE_DIR) + "/tests/golden/golden_stats.json";
+}
+
+std::vector<Entry>
+collect()
+{
+    std::vector<Entry> entries;
+    for (const char *name : kScenarios) {
+        const driver::Scenario *s = driver::findScenario(name);
+        if (s == nullptr)
+            msp_panic("scenario %s vanished from the registry", name);
+        driver::SimCampaign campaign(0);
+        for (auto &j : s->build(kBudget))
+            campaign.add(std::move(j));
+        for (const auto &jr : campaign.run()) {
+            entries.push_back(Entry{name, jr.job.workload,
+                                    jr.job.config.name,
+                                    jr.result.ipc()});
+        }
+    }
+    return entries;
+}
+
+std::string
+serialize(const std::vector<Entry> &entries)
+{
+    std::string out = "{\n  \"budget\": " + std::to_string(kBudget) +
+                      ",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        out += csprintf("    {\"scenario\": \"%s\", \"workload\": "
+                        "\"%s\", \"config\": \"%s\", \"ipc\": %.6f}%s\n",
+                        e.scenario.c_str(), e.workload.c_str(),
+                        e.config.c_str(), e.ipc,
+                        i + 1 < entries.size() ? "," : "");
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+quotedField(const std::string &line, const std::string &field)
+{
+    const std::string tag = "\"" + field + "\": \"";
+    const std::size_t at = line.find(tag);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t start = at + tag.size();
+    const std::size_t end = line.find('"', start);
+    return line.substr(start, end - start);
+}
+
+std::vector<Entry>
+parse(std::istream &in)
+{
+    std::vector<Entry> entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"scenario\"") == std::string::npos)
+            continue;
+        Entry e;
+        e.scenario = quotedField(line, "scenario");
+        e.workload = quotedField(line, "workload");
+        e.config = quotedField(line, "config");
+        const std::size_t at = line.find("\"ipc\": ");
+        e.ipc = at == std::string::npos
+                    ? 0.0
+                    : std::strtod(line.c_str() + at + 7, nullptr);
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+TEST(GoldenStats, Fig6To9IpcsMatchTheCheckedInBaselines)
+{
+    const std::vector<Entry> current = collect();
+    ASSERT_FALSE(current.empty());
+
+    if (std::getenv("MSP_UPDATE_GOLDEN") != nullptr) {
+        driver::writeFile(goldenPath(), serialize(current));
+        GTEST_SKIP() << "golden baselines rewritten to " << goldenPath();
+    }
+
+    std::ifstream f(goldenPath());
+    ASSERT_TRUE(f.good())
+        << goldenPath() << " is missing — regenerate it with "
+        << "MSP_UPDATE_GOLDEN=1 ./test_golden_stats";
+    const std::vector<Entry> golden = parse(f);
+
+    ASSERT_EQ(current.size(), golden.size())
+        << "scenario job tables changed shape; refresh the golden file";
+    for (std::size_t i = 0; i < current.size(); ++i) {
+        SCOPED_TRACE(current[i].key());
+        ASSERT_EQ(current[i].key(), golden[i].key())
+            << "job ordering changed; refresh the golden file";
+        const double tol =
+            kRelTol * std::max(golden[i].ipc, 1e-6) + 1e-9;
+        EXPECT_NEAR(current[i].ipc, golden[i].ipc, tol)
+            << "IPC drifted beyond " << kRelTol * 100 << "% — a perf "
+            << "regression, or an intended change needing "
+            << "MSP_UPDATE_GOLDEN=1";
+    }
+}
+
+} // namespace
+} // namespace msp

@@ -12,7 +12,6 @@
 #include "isa/builder.hh"
 #include "sim/machine.hh"
 #include "sim/presets.hh"
-#include "workload/kernels.hh"
 #include "workload/micro.hh"
 
 namespace msp {
@@ -142,20 +141,8 @@ TEST(MspCore, BankStallsAreAttributedToTheTightRegister)
     EXPECT_GT(maxStall, 0u);
 }
 
-TEST(MspCore, MoreRegistersPerBankHelpStarvedLoops)
-{
-    // The Fig. 8 property: a register-starved fp loop (the original
-    // swim kernel reuses 2 fp registers) improves monotonically with n.
-    Program prog = kernels::build("swim", false);
-    double prev = 0.0;
-    for (unsigned n : {4u, 8u, 16u, 64u}) {
-        Machine m(nspConfig(n, PredictorKind::Tage), prog);
-        RunResult r = m.run(60000);
-        EXPECT_GE(r.ipc(), prev * 0.98)
-            << "IPC regressed growing banks to " << n;
-        prev = r.ipc();
-    }
-}
+// MspCore.MoreRegistersPerBankHelpStarvedLoops moved to
+// tests/test_slow_sweeps.cc (CTest label "slow").
 
 TEST(MspCore, PreciseRecoveryNeverReExecutes)
 {

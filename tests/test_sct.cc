@@ -153,6 +153,84 @@ TEST(SctBank, FlashClearSaturatesAtZero)
     EXPECT_EQ(b.entry(s2).stateId, 88u);    // shifted
 }
 
+// ---- exhaustion paths ------------------------------------------------------
+
+TEST(SctBank, ExhaustionIsVisibleBeforeAllocation)
+{
+    // The rename stage must gate on full() — a bank never reports
+    // full() while a slot is free, and always does once the last
+    // physical register is handed out.
+    SctBank b = freshBank(3);
+    EXPECT_FALSE(b.full());
+    b.allocate(1);
+    EXPECT_FALSE(b.full());
+    b.allocate(2);
+    EXPECT_TRUE(b.full());
+}
+
+TEST(SctBank, ExhaustedBankDrainsThroughCommitRelease)
+{
+    // Full bank, every entry locally complete: commit release (LCS
+    // passing the successors) must free all but the newest mapping,
+    // ending the stall without recovery.
+    SctBank b = freshBank(3);
+    int s1 = b.allocate(1);
+    int s2 = b.allocate(2);
+    b.entry(s1).ready = true;
+    b.entry(s2).ready = true;
+    ASSERT_TRUE(b.full());
+    EXPECT_EQ(b.releaseCommitted(3), 2);
+    EXPECT_FALSE(b.full());
+    EXPECT_EQ(b.renameSlot(), s2);
+}
+
+TEST(SctBank, ExhaustedBankDrainsThroughRecoveryRelease)
+{
+    // Full bank whose youngest allocator squashes: tail release frees
+    // the slot even while older entries are still in flight.
+    SctBank b = freshBank(3);
+    b.allocate(1);
+    int s2 = b.allocate(2);
+    ASSERT_TRUE(b.full());
+    b.releaseTail(s2);
+    EXPECT_FALSE(b.full());
+    EXPECT_EQ(b.entry(b.renameSlot()).stateId, 1u);
+}
+
+TEST(SctBankDeath, AllocateOnFullBankPanics)
+{
+    SctBank b = freshBank(2);
+    b.allocate(1);
+    ASSERT_TRUE(b.full());
+    EXPECT_DEATH(b.allocate(2), "full bank");
+}
+
+TEST(SctBankDeath, ReleaseTailWithPendingConsumersPanics)
+{
+    SctBank b = freshBank();
+    int s = b.allocate(1);
+    b.setUse(s, 3);
+    EXPECT_DEATH(b.releaseTail(s), "pending consumers");
+}
+
+TEST(SctBankDeath, CommitReleaseOfNotDoneEntryPanics)
+{
+    SctBank b = freshBank(4);
+    int s0 = b.allocate(1);        // never becomes ready
+    int s1 = b.allocate(2);
+    b.entry(s1).ready = true;
+    // Drop the architectural reset entry legally first.
+    b.entry(s0).ready = true;
+    b.releaseCommitted(2);
+    b.entry(s0).ready = false;     // oldest live entry not done again
+    EXPECT_DEATH(b.releaseCommitted(4), "not-done");
+}
+
+TEST(SctBankDeath, CapacityBelowTwoPanics)
+{
+    EXPECT_DEATH(SctBank(0, 1), "too small");
+}
+
 TEST(SctBankDeath, InvalidSlotAccessPanics)
 {
     SctBank b = freshBank();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Long-running sweep tests, carrying the CTest label "slow" (skip with
+ * `ctest -LE slow`). Budgets are trimmed to the smallest values at
+ * which the swept property still holds robustly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/scenario.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "verify/diff_campaign.hh"
+#include "workload/kernels.hh"
+
+namespace msp {
+namespace {
+
+TEST(SlowSweeps, MoreRegistersPerBankHelpStarvedLoops)
+{
+    // The Fig. 8 property: a register-starved fp loop (the original
+    // swim kernel reuses 2 fp registers) improves monotonically with n.
+    Program prog = kernels::build("swim", false);
+    double prev = 0.0;
+    for (unsigned n : {4u, 8u, 16u, 64u}) {
+        Machine m(nspConfig(n, PredictorKind::Tage), prog);
+        RunResult r = m.run(25000);
+        EXPECT_GE(r.ipc(), prev * 0.98)
+            << "IPC regressed growing banks to " << n;
+        prev = r.ipc();
+    }
+}
+
+TEST(SlowSweeps, DifferentialSweepAcrossTheFullLadder)
+{
+    // A fuzzed differential batch over every Table I machine — the
+    // open-ended scenario generator run at unit-test scale. The full
+    // campaign is `msp_sim verify --seeds 100`.
+    verify::DiffCampaign campaign(0);
+    campaign.addSweep(verify::standardMixes(), 4, 2024,
+                      driver::figureLadder(PredictorKind::Gshare));
+    const auto outcomes = campaign.run();
+    ASSERT_EQ(outcomes.size(),
+              verify::standardMixes().size() * 4 *
+                  driver::figureLadder(PredictorKind::Gshare).size());
+    for (const auto &out : outcomes) {
+        EXPECT_TRUE(out.ok())
+            << out.config << " mix=" << out.mix << " seed=" << out.seed
+            << ": "
+            << (out.divergences.empty() ? ""
+                                        : out.divergences[0].detail);
+    }
+}
+
+} // namespace
+} // namespace msp

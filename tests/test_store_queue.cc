@@ -96,6 +96,89 @@ TEST(StoreQueue, CapacityAndInfiniteMode)
     EXPECT_TRUE(inf.canAllocate());
 }
 
+// ---- full-queue behaviour --------------------------------------------------
+
+TEST(StoreQueue, FullQueueRecoversThroughDrain)
+{
+    HierStoreQueue sq(2, 2, false);
+    for (SeqNum s = 1; s <= 4; ++s) {
+        sq.allocate(s);
+        sq.resolve(s, 0x100 + 8 * s, s);
+    }
+    EXPECT_FALSE(sq.canAllocate());
+    sq.drainOldest(1);
+    EXPECT_TRUE(sq.canAllocate());
+    sq.allocate(5);
+    EXPECT_FALSE(sq.canAllocate());
+}
+
+TEST(StoreQueue, FullQueueRecoversThroughSquash)
+{
+    HierStoreQueue sq(2, 2, false);
+    for (SeqNum s = 1; s <= 4; ++s)
+        sq.allocate(s);
+    EXPECT_FALSE(sq.canAllocate());
+    sq.squashAfter(1);
+    EXPECT_EQ(sq.size(), 1u);
+    EXPECT_TRUE(sq.canAllocate());
+    // Re-filling after the squash keeps program order from seq 2 on.
+    sq.allocate(6);
+    sq.allocate(7);
+    sq.allocate(8);
+    EXPECT_FALSE(sq.canAllocate());
+}
+
+TEST(StoreQueue, SquashOfEverythingLeavesAnEmptyReusableQueue)
+{
+    HierStoreQueue sq(1, 1, false);
+    sq.allocate(3);
+    sq.allocate(4);
+    sq.squashAfter(0);
+    EXPECT_TRUE(sq.empty());
+    EXPECT_TRUE(sq.canAllocate());
+    sq.allocate(1);   // older seq is legal again: the queue is empty
+    EXPECT_EQ(sq.oldest()->seq, 1u);
+}
+
+TEST(StoreQueueDeath, AllocatePastCapacityPanics)
+{
+    HierStoreQueue sq(1, 1, false);
+    sq.allocate(1);
+    sq.allocate(2);
+    EXPECT_DEATH(sq.allocate(3), "overflow");
+}
+
+// ---- forwarding granularity and partial overlap ----------------------------
+
+TEST(StoreQueue, AdjacentWordsNeverForward)
+{
+    // The ISA is word-granular (every effective address is 8-byte
+    // aligned), so "partial overlap" means adjacent-word accesses —
+    // which must miss the queue and go to the cache, not forward.
+    HierStoreQueue sq(4, 4, false);
+    sq.allocate(1);
+    sq.resolve(1, 0x100, 77);
+    EXPECT_EQ(sq.probe(2, 0x0f8).kind, ForwardResult::Kind::None);
+    EXPECT_EQ(sq.probe(2, 0x108).kind, ForwardResult::Kind::None);
+    EXPECT_EQ(sq.probe(2, 0x100).kind, ForwardResult::Kind::Forward);
+}
+
+TEST(StoreQueue, YoungerResolvedMatchMasksOlderUnknown)
+{
+    // The youngest-first walk stops at the first *matching* resolved
+    // store; an older unresolved address only blocks loads that reach
+    // it. A load covered by a younger match forwards immediately.
+    HierStoreQueue sq(4, 4, false);
+    sq.allocate(1);                 // address still unknown
+    sq.allocate(2);
+    sq.resolve(2, 0x40, 22);
+    ForwardResult covered = sq.probe(3, 0x40);
+    EXPECT_EQ(covered.kind, ForwardResult::Kind::Forward);
+    EXPECT_EQ(covered.data, 22u);
+    // A different word walks past store 2 and hits the unknown.
+    EXPECT_EQ(sq.probe(3, 0x48).kind, ForwardResult::Kind::Unknown);
+}
+
 TEST(StoreQueueDeath, OutOfOrderAllocationPanics)
 {
     HierStoreQueue sq(4, 4, false);

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Differential-verification subsystem tests: fuzzer determinism and
+ * termination, clean cross-model runs, injected-fault detection (the
+ * "does the oracle actually catch bugs?" property), thread-count
+ * invariance of DiffCampaign, and the JSON divergence report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "functional/executor.hh"
+#include "sim/presets.hh"
+#include "verify/diff_campaign.hh"
+#include "verify/fuzzer.hh"
+#include "verify/oracle.hh"
+#include "verify/report.hh"
+
+namespace msp {
+namespace {
+
+using verify::DiffCampaign;
+using verify::DiffOutcome;
+using verify::FuzzMix;
+
+bool
+sameProgram(const Program &a, const Program &b)
+{
+    if (a.name != b.name || a.code.size() != b.code.size() ||
+        a.initData != b.initData || a.memWords != b.memWords) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.code.size(); ++i) {
+        const Instruction &x = a.code[i];
+        const Instruction &y = b.code[i];
+        if (x.op != y.op || x.rd != y.rd || x.rs1 != y.rs1 ||
+            x.rs2 != y.rs2 || x.imm != y.imm) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(Fuzzer, SameSeedIsBitIdentical)
+{
+    for (const FuzzMix &mix : verify::standardMixes()) {
+        Program a = verify::fuzzProgram(7, mix);
+        Program b = verify::fuzzProgram(7, mix);
+        EXPECT_TRUE(sameProgram(a, b)) << mix.name;
+    }
+}
+
+TEST(Fuzzer, DifferentSeedsDiffer)
+{
+    Program a = verify::fuzzProgram(1);
+    Program b = verify::fuzzProgram(2);
+    EXPECT_FALSE(sameProgram(a, b));
+}
+
+TEST(Fuzzer, GeneratedProgramsTerminate)
+{
+    // Every backward branch is a countdown loop, so any seed of any
+    // mix must reach HALT well inside the safety budget.
+    for (const FuzzMix &mix : verify::standardMixes()) {
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            Program p = verify::fuzzProgram(seed, mix);
+            FunctionalExecutor ref(p);
+            ref.run(1u << 20);
+            EXPECT_TRUE(ref.halted())
+                << mix.name << " seed " << seed << " did not halt";
+        }
+    }
+}
+
+TEST(Fuzzer, MixedMixCoversTheIsaFeatureClasses)
+{
+    // Across a handful of seeds the default mix must exercise every
+    // class the differential oracle is meant to stress.
+    bool condBranch = false, load = false, store = false, fp = false,
+         call = false, indirect = false, trap = false;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Program p = verify::fuzzProgram(seed);
+        for (const Instruction &in : p.code) {
+            const OpInfo &oi = in.info();
+            condBranch |= oi.isCondBranch;
+            load |= oi.isLoad;
+            store |= oi.isStore;
+            fp |= oi.fu == FuClass::FpAlu;
+            call |= oi.isCall;
+            indirect |= oi.isIndirect;
+            trap |= oi.isTrap;
+        }
+    }
+    EXPECT_TRUE(condBranch);
+    EXPECT_TRUE(load);
+    EXPECT_TRUE(store);
+    EXPECT_TRUE(fp);
+    EXPECT_TRUE(call);
+    EXPECT_TRUE(indirect);
+    EXPECT_TRUE(trap);
+}
+
+TEST(Fuzzer, MixLookup)
+{
+    EXPECT_NE(verify::findMix("branchy"), nullptr);
+    EXPECT_NE(verify::findMix("fploop"), nullptr);
+    EXPECT_EQ(verify::findMix("nope"), nullptr);
+    EXPECT_EQ(verify::standardMixes().size(), 4u);
+}
+
+TEST(DiffOracle, AllCoreKindsMatchTheFunctionalModel)
+{
+    const std::vector<MachineConfig> configs = {
+        baselineConfig(PredictorKind::Gshare),
+        cprConfig(PredictorKind::Gshare),
+        nspConfig(16, PredictorKind::Gshare),
+    };
+    for (const auto &cfg : configs) {
+        for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+            Program p = verify::fuzzProgram(seed);
+            DiffOutcome out = verify::diffRun(p, cfg);
+            EXPECT_TRUE(out.ok())
+                << cfg.name << " seed " << seed << ": "
+                << (out.divergences.empty()
+                        ? ""
+                        : out.divergences[0].kind + " " +
+                              out.divergences[0].detail);
+            EXPECT_EQ(out.committedCore, out.committedRef);
+            EXPECT_GT(out.committedCore, 0u);
+        }
+    }
+}
+
+// The acceptance property: an intentionally injected, *silent* commit-
+// path bug (applied after the internal lock-step check) must be caught
+// by the external differential oracle.
+TEST(DiffOracle, CatchesAnInjectedCommitFault)
+{
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.commitFaultAt = 100;
+    DiffOutcome out = verify::diffRun(p, cfg);
+    ASSERT_FALSE(out.ok());
+    // The stream hash always sees the corruption, even when a later
+    // write masks it from the final-state compare.
+    bool streamCaught = false;
+    for (const auto &d : out.divergences)
+        streamCaught |= d.kind == "stream";
+    EXPECT_TRUE(streamCaught);
+}
+
+TEST(DiffOracle, FaultInjectionCatchesOnEveryCoreKind)
+{
+    Program p = verify::fuzzProgram(43);
+    for (auto cfg : {baselineConfig(PredictorKind::Gshare),
+                     cprConfig(PredictorKind::Gshare),
+                     nspConfig(8, PredictorKind::Gshare)}) {
+        cfg.core.commitFaultAt = 37;
+        DiffOutcome out = verify::diffRun(p, cfg);
+        EXPECT_FALSE(out.ok()) << cfg.name;
+    }
+}
+
+TEST(DiffOracle, RefBudgetExhaustionIsReported)
+{
+    Program p = verify::fuzzProgram(5);
+    DiffOutcome out =
+        verify::diffRun(p, nspConfig(16, PredictorKind::Gshare), 50);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.divergences[0].kind, "ref-no-halt");
+}
+
+TEST(DiffCampaign, SweepShapeAndDistinctSeeds)
+{
+    DiffCampaign c(1);
+    const std::vector<FuzzMix> mixes = {verify::standardMixes()[0],
+                                        verify::standardMixes()[1]};
+    c.addSweep(mixes, 3, 1,
+               {baselineConfig(PredictorKind::Gshare),
+                nspConfig(16, PredictorKind::Gshare)});
+    ASSERT_EQ(c.size(), 2u * 3u * 2u);
+
+    std::set<std::uint64_t> seeds;
+    for (const auto &j : c.pending())
+        seeds.insert(j.seed);
+    EXPECT_EQ(seeds.size(), 6u);   // distinct per (mix, seed index)
+}
+
+TEST(DiffCampaign, ProgramsAreSharedAcrossConfigsOfOneSeed)
+{
+    DiffCampaign c(1);
+    c.addSweep({verify::standardMixes()[0]}, 1, 1,
+               {baselineConfig(PredictorKind::Gshare),
+                nspConfig(16, PredictorKind::Gshare)});
+    (void)c.run();
+    ASSERT_EQ(c.pending().size(), 2u);
+    EXPECT_EQ(c.pending()[0].program.get(), c.pending()[1].program.get());
+    EXPECT_NE(c.pending()[0].program.get(), nullptr);
+}
+
+// The headline property, mirrored from SimCampaign: outcomes are
+// bit-identical regardless of worker count.
+TEST(DiffCampaign, ParallelRunMatchesSingleThreaded)
+{
+    auto sweep = [](unsigned threads) {
+        DiffCampaign c(threads);
+        c.addSweep({verify::standardMixes()[0],
+                    verify::standardMixes()[2]},
+                   4, 9,
+                   {baselineConfig(PredictorKind::Gshare),
+                    nspConfig(16, PredictorKind::Gshare)});
+        return c.run();
+    };
+    const auto ref = sweep(1);
+    for (unsigned threads : {2u, 4u}) {
+        const auto par = sweep(threads);
+        ASSERT_EQ(par.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            SCOPED_TRACE(ref[i].config + "/" + ref[i].workload);
+            EXPECT_EQ(par[i].streamHash, ref[i].streamHash);
+            EXPECT_EQ(par[i].committedCore, ref[i].committedCore);
+            EXPECT_EQ(par[i].cycles, ref[i].cycles);
+            EXPECT_EQ(par[i].divergences.size(),
+                      ref[i].divergences.size());
+        }
+    }
+}
+
+TEST(DiffCampaign, ProgressReportsEveryJobOnce)
+{
+    DiffCampaign c(2);
+    c.addSweep({verify::standardMixes()[0]}, 3, 2,
+               {nspConfig(16, PredictorKind::Gshare)});
+    std::set<std::uint64_t> seen;
+    std::size_t calls = 0;
+    (void)c.run([&](const DiffOutcome &o, std::size_t done,
+                    std::size_t total) {
+        EXPECT_EQ(total, 3u);
+        EXPECT_LE(done, total);
+        seen.insert(o.seed);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 3u);
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(VerifyReport, JsonCarriesOutcomesAndDivergences)
+{
+    Program p = verify::fuzzProgram(42);
+    MachineConfig good = nspConfig(16, PredictorKind::Gshare);
+    MachineConfig bad = good;
+    bad.core.commitFaultAt = 100;
+
+    std::vector<DiffOutcome> outcomes;
+    outcomes.push_back(verify::diffRun(p, good));
+    outcomes.back().mix = "mixed";
+    outcomes.back().seed = 42;
+    outcomes.push_back(verify::diffRun(p, bad));
+    outcomes.back().mix = "mixed";
+    outcomes.back().seed = 42;
+
+    EXPECT_GE(verify::countDivergences(outcomes), 1u);
+
+    const std::string json = verify::toJson(outcomes);
+    EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"divergent\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"mix\": \"mixed\""), std::string::npos);
+    EXPECT_NE(json.find("\"config\": \"16-SP+Arb\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"stream\""), std::string::npos);
+    EXPECT_NE(json.find("\"stream_hash\": "), std::string::npos);
+}
+
+} // namespace
+} // namespace msp

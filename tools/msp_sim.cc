@@ -3,49 +3,56 @@
  * msp_sim — the simulation-campaign CLI.
  *
  * One multi-threaded invocation reproduces any registered scenario
- * (the paper's Figs. 6-9 and the ablation sweeps) or runs a custom
- * preset × workload matrix, with optional JSON/CSV reports:
+ * (the paper's Figs. 6-9 and the ablation sweeps), runs a custom
+ * preset × workload matrix, or differentially verifies every core
+ * against the functional executor on fuzzed programs:
  *
  *   msp_sim --list
  *   msp_sim fig6 --threads 8 --json fig6.json
  *   msp_sim matrix --workloads gzip,gcc --configs baseline,cpr,16sp \
  *           --predictor tage --instrs 100000 --csv out.csv
+ *   msp_sim verify --seeds 100 --json divergences.json
+ *
+ * Argument parsing lives in src/driver/cli.{hh,cc} (unit-tested);
+ * this file only renders usage/reports and wires the campaigns.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "common/logging.hh"
 #include "common/table.hh"
 #include "driver/campaign.hh"
+#include "driver/cli.hh"
 #include "driver/report.hh"
 #include "driver/scenario.hh"
 #include "sim/presets.hh"
-#include "workload/spec.hh"
+#include "verify/diff_campaign.hh"
+#include "verify/report.hh"
 
 namespace {
 
 using namespace msp;
 using namespace msp::driver;
 
-[[noreturn]] void
-usage(int code)
+void
+printUsage(std::FILE *to)
 {
     std::fputs(
         "usage: msp_sim <scenario> [options]\n"
         "       msp_sim matrix --workloads A,B --configs C,D [options]\n"
+        "       msp_sim verify [--seeds N] [--mixes M,N] [options]\n"
         "       msp_sim --list\n"
         "\n"
         "options:\n"
         "  --threads N    worker threads (default: all hardware threads;\n"
         "                 1 = single-threaded reference run)\n"
         "  --instrs N     committed-instruction budget per run\n"
-        "                 (default: 60000, or MSP_BENCH_INSTRS)\n"
+        "                 (default: 60000, or MSP_BENCH_INSTRS;\n"
+        "                 verify default: 1M as a safety bound)\n"
         "  --json FILE    write per-job results as JSON\n"
-        "  --csv FILE     write per-job results as CSV\n"
+        "  --csv FILE     write per-job results as CSV (not verify)\n"
         "  --quiet        suppress the header and per-job progress\n"
         "\n"
         "matrix mode:\n"
@@ -54,140 +61,24 @@ usage(int code)
         "  --configs      comma-separated presets: baseline, cpr, ideal,\n"
         "                 <n>sp (e.g. 16sp), <n>sp-noarb\n"
         "  --predictor    gshare (default) or tage\n"
-        "  --seed N       workload-synthesis seed (default 1)\n",
-        code == 0 ? stdout : stderr);
-    std::exit(code);
-}
-
-std::vector<std::string>
-splitCommas(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= s.size()) {
-        const std::size_t comma = s.find(',', start);
-        const std::string item =
-            s.substr(start, comma == std::string::npos ? std::string::npos
-                                                       : comma - start);
-        if (!item.empty())
-            out.push_back(item);
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
-    return out;
-}
-
-MachineConfig
-configByName(const std::string &name, PredictorKind predictor)
-{
-    if (name == "baseline")
-        return baselineConfig(predictor);
-    if (name == "cpr")
-        return cprConfig(predictor);
-    if (name == "ideal")
-        return idealMspConfig(predictor);
-    // <n>sp or <n>sp-noarb, e.g. "16sp", "64sp-noarb".
-    const std::size_t sp = name.find("sp");
-    if (sp != std::string::npos && sp > 0) {
-        const unsigned n =
-            static_cast<unsigned>(std::atoi(name.substr(0, sp).c_str()));
-        const std::string suffix = name.substr(sp);
-        if (n > 0 && (suffix == "sp" || suffix == "sp-noarb"))
-            return nspConfig(n, predictor, suffix == "sp");
-    }
-    msp_fatal("unknown config '%s' (want baseline, cpr, ideal, <n>sp "
-              "or <n>sp-noarb)", name.c_str());
-}
-
-struct Options
-{
-    std::string mode;          // scenario name or "matrix"
-    unsigned threads = 0;
-    std::uint64_t instrs = 0;
-    std::uint64_t seed = 1;
-    std::string jsonPath;
-    std::string csvPath;
-    bool quiet = false;
-    std::vector<std::string> workloads;
-    std::vector<std::string> configNames;
-    PredictorKind predictor = PredictorKind::Gshare;
-};
-
-Options
-parseArgs(int argc, char **argv)
-{
-    Options o;
-    auto value = [&](int &i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "msp_sim: %s needs a value\n", argv[i]);
-            usage(2);
-        }
-        return argv[++i];
-    };
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        if (a == "--help" || a == "-h") {
-            usage(0);
-        } else if (a == "--list") {
-            for (const auto &s : scenarios())
-                std::printf("%-22s %s\n", s.name.c_str(),
-                            s.title.c_str());
-            std::exit(0);
-        } else if (a == "--threads") {
-            o.threads = static_cast<unsigned>(std::atoi(value(i)));
-        } else if (a == "--instrs") {
-            o.instrs = std::strtoull(value(i), nullptr, 10);
-        } else if (a == "--seed") {
-            o.seed = std::strtoull(value(i), nullptr, 10);
-        } else if (a == "--json") {
-            o.jsonPath = value(i);
-        } else if (a == "--csv") {
-            o.csvPath = value(i);
-        } else if (a == "--quiet") {
-            o.quiet = true;
-        } else if (a == "--workloads") {
-            o.workloads = splitCommas(value(i));
-        } else if (a == "--configs") {
-            o.configNames = splitCommas(value(i));
-        } else if (a == "--predictor") {
-            const std::string p = value(i);
-            if (p == "gshare")
-                o.predictor = PredictorKind::Gshare;
-            else if (p == "tage")
-                o.predictor = PredictorKind::Tage;
-            else
-                msp_fatal("unknown predictor '%s'", p.c_str());
-        } else if (!a.empty() && a[0] == '-') {
-            std::fprintf(stderr, "msp_sim: unknown option %s\n",
-                         argv[i]);
-            usage(2);
-        } else if (o.mode.empty()) {
-            o.mode = a;
-        } else {
-            std::fprintf(stderr, "msp_sim: unexpected argument %s\n",
-                         argv[i]);
-            usage(2);
-        }
-    }
-    if (o.mode.empty())
-        usage(2);
-    if (o.mode != "matrix" &&
-        (!o.workloads.empty() || !o.configNames.empty() ||
-         o.predictor != PredictorKind::Gshare || o.seed != 1)) {
-        // Scenarios fix their own matrix; silently ignoring these
-        // flags would mislabel the results the user asked for.
-        msp_fatal("--workloads/--configs/--predictor/--seed only apply "
-                  "to matrix mode, not scenario '%s'", o.mode.c_str());
-    }
-    return o;
+        "  --seed N       workload-synthesis seed (default 1)\n"
+        "\n"
+        "verify mode (differential fuzzing against the functional "
+        "executor):\n"
+        "  --seeds N      fuzzed programs per mix (default 100)\n"
+        "  --mixes A,B    fuzz mixes: mixed, branchy, memory, fploop\n"
+        "                 (default: all)\n"
+        "  --configs      presets to verify (default: the full Table I\n"
+        "                 ladder incl. Baseline and CPR)\n"
+        "  --predictor    gshare (default) or tage\n"
+        "  --seed N       base seed for program generation (default 1)\n"
+        "  exit status 1 when any run diverges\n",
+        to);
 }
 
 std::vector<JobResult>
-runMatrix(const Options &o)
+runMatrix(const CliOptions &o)
 {
-    if (o.workloads.empty() || o.configNames.empty())
-        msp_fatal("matrix mode needs --workloads and --configs");
     std::vector<MachineConfig> configs;
     for (const auto &n : o.configNames)
         configs.push_back(configByName(n, o.predictor));
@@ -218,12 +109,114 @@ runMatrix(const Options &o)
     return results;
 }
 
+int
+runVerify(const CliOptions &o)
+{
+    std::vector<MachineConfig> configs;
+    if (o.configNames.empty()) {
+        configs = figureLadder(o.predictor);
+    } else {
+        for (const auto &n : o.configNames)
+            configs.push_back(configByName(n, o.predictor));
+    }
+
+    std::vector<verify::FuzzMix> mixes;
+    if (o.mixNames.empty()) {
+        mixes = verify::standardMixes();
+    } else {
+        for (const auto &n : o.mixNames)
+            mixes.push_back(*verify::findMix(n));   // validated by parse
+    }
+
+    verify::DiffCampaign campaign(o.threads);
+    campaign.addSweep(mixes, o.seeds, o.seed, configs,
+                      o.instrs ? o.instrs : (1u << 20));
+    if (!o.quiet) {
+        std::printf("Differential verification: %u seed(s) x %zu "
+                    "mix(es) x %zu config(s) (%s). Jobs: %zu on %u "
+                    "thread(s).\n\n",
+                    o.seeds, mixes.size(), configs.size(),
+                    predictorName(o.predictor), campaign.size(),
+                    campaign.effectiveThreads());
+        std::fflush(stdout);
+    }
+
+    // Progress: stay silent per job (campaigns run thousands), but
+    // report every divergence the moment it is found.
+    auto progress = [&](const verify::DiffOutcome &out, std::size_t done,
+                        std::size_t total) {
+        if (!out.ok()) {
+            std::fprintf(stderr,
+                         "  DIVERGENCE [%zu/%zu] %s seed=%llu %s:\n",
+                         done, total, out.mix.c_str(),
+                         static_cast<unsigned long long>(out.seed),
+                         out.config.c_str());
+            for (const auto &d : out.divergences)
+                std::fprintf(stderr, "    %-12s %s\n", d.kind.c_str(),
+                             d.detail.c_str());
+        }
+    };
+    const auto outcomes = campaign.run(progress);
+
+    // Per-config summary.
+    struct Tally { std::size_t jobs = 0, divergent = 0; };
+    std::vector<std::pair<std::string, Tally>> tallies;
+    for (const auto &out : outcomes) {
+        Tally *t = nullptr;
+        for (auto &[name, tally] : tallies)
+            if (name == out.config)
+                t = &tally;
+        if (!t) {
+            tallies.emplace_back(out.config, Tally{});
+            t = &tallies.back().second;
+        }
+        ++t->jobs;
+        t->divergent += out.ok() ? 0 : 1;
+    }
+    msp::Table t("Differential verification");
+    t.header({"config", "runs", "divergent"});
+    for (const auto &[name, tally] : tallies)
+        t.row({name, std::to_string(tally.jobs),
+               std::to_string(tally.divergent)});
+    if (!o.quiet)
+        std::fputs(t.str().c_str(), stdout);
+
+    if (!o.jsonPath.empty())
+        driver::writeFile(o.jsonPath, verify::toJson(outcomes));
+
+    const std::size_t divergences = verify::countDivergences(outcomes);
+    if (!o.quiet) {
+        std::printf("\n%zu run(s), %zu divergence(s).\n",
+                    outcomes.size(), divergences);
+    }
+    return divergences == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const Options o = parseArgs(argc, argv);
+    CliOptions o;
+    try {
+        o = parseCliArgs(std::vector<std::string>(argv + 1, argv + argc));
+    } catch (const CliError &e) {
+        std::fprintf(stderr, "msp_sim: %s\n", e.what());
+        printUsage(stderr);
+        return 2;
+    }
+
+    if (o.help) {
+        printUsage(stdout);
+        return 0;
+    }
+    if (o.list) {
+        for (const auto &s : scenarios())
+            std::printf("%-22s %s\n", s.name.c_str(), s.title.c_str());
+        return 0;
+    }
+    if (o.mode == "verify")
+        return runVerify(o);
 
     std::vector<JobResult> results;
     if (o.mode == "matrix")
