@@ -59,6 +59,7 @@ parseCliArgs(const std::vector<std::string> &args)
     bool predictorSet = false;
     bool seedSet = false;
     bool seedsSet = false;
+    bool threadsSet = false;
 
     auto value = [&](std::size_t &i) -> const std::string & {
         if (i + 1 >= args.size())
@@ -75,6 +76,7 @@ parseCliArgs(const std::vector<std::string> &args)
         } else if (a == "--threads") {
             o.threads = static_cast<unsigned>(
                 std::atoi(value(i).c_str()));
+            threadsSet = true;
         } else if (a == "--instrs") {
             o.instrs = std::strtoull(value(i).c_str(), nullptr, 10);
         } else if (a == "--seed") {
@@ -90,6 +92,18 @@ parseCliArgs(const std::vector<std::string> &args)
             o.csvPath = value(i);
         } else if (a == "--quiet") {
             o.quiet = true;
+        } else if (a == "--fail-fast") {
+            o.failFast = true;
+        } else if (a == "--snapshot-every") {
+            o.snapshotEvery = std::strtoull(value(i).c_str(), nullptr, 10);
+            if (o.snapshotEvery == 0)
+                throw CliError("--snapshot-every needs a value > 0");
+        } else if (a == "--budget-sec") {
+            o.budgetSec = std::strtod(value(i).c_str(), nullptr);
+            if (o.budgetSec <= 0.0)
+                throw CliError("--budget-sec needs a value > 0");
+        } else if (a == "--repro") {
+            o.reproPath = value(i);
         } else if (a == "--workloads") {
             o.workloads = splitCommas(value(i));
         } else if (a == "--configs") {
@@ -124,11 +138,16 @@ parseCliArgs(const std::vector<std::string> &args)
     for (const std::string &c : o.configNames)
         (void)configByName(c, o.predictor);
 
+    const bool triageFlags = o.failFast || o.snapshotEvery != 0 ||
+                             o.budgetSec > 0.0 || !o.reproPath.empty();
     if (o.mode == "matrix") {
         if (o.workloads.empty() || o.configNames.empty())
             throw CliError("matrix mode needs --workloads and --configs");
         if (seedsSet || !o.mixNames.empty())
             throw CliError("--seeds/--mixes only apply to verify mode");
+        if (triageFlags)
+            throw CliError("--fail-fast/--snapshot-every/--budget-sec/"
+                           "--repro only apply to verify mode");
     } else if (o.mode == "verify") {
         if (o.seeds == 0)
             throw CliError("verify mode needs --seeds > 0");
@@ -141,8 +160,21 @@ parseCliArgs(const std::vector<std::string> &args)
         for (const std::string &m : o.mixNames) {
             if (!verify::findMix(m))
                 throw CliError(csprintf("unknown mix '%s' (want mixed, "
-                                        "branchy, memory or fploop)",
-                                        m.c_str()));
+                                        "branchy, memory, fploop or "
+                                        "fpedge)", m.c_str()));
+        }
+        if (!o.reproPath.empty() &&
+            (seedsSet || seedSet || !o.mixNames.empty() ||
+             !o.configNames.empty() || predictorSet)) {
+            throw CliError("--repro replays the report's own seed/mix/"
+                           "config; --seeds/--seed/--mixes/--configs/"
+                           "--predictor do not combine with it");
+        }
+        if (!o.reproPath.empty() &&
+            (o.failFast || o.budgetSec > 0.0 || threadsSet)) {
+            throw CliError("--fail-fast/--budget-sec/--threads do not "
+                           "apply to --repro replay (it runs every "
+                           "recorded reproducer sequentially)");
         }
     } else {
         if (!findScenario(o.mode))
@@ -151,10 +183,12 @@ parseCliArgs(const std::vector<std::string> &args)
         // Scenarios fix their own matrix; silently ignoring these
         // flags would mislabel the results the user asked for.
         if (!o.workloads.empty() || !o.configNames.empty() ||
-            predictorSet || seedSet || seedsSet || !o.mixNames.empty()) {
+            predictorSet || seedSet || seedsSet || !o.mixNames.empty() ||
+            triageFlags) {
             throw CliError(csprintf(
                 "--workloads/--configs/--predictor/--seed/--seeds/"
-                "--mixes only apply to matrix or verify mode, not "
+                "--mixes/--fail-fast/--snapshot-every/--budget-sec/"
+                "--repro only apply to matrix or verify mode, not "
                 "scenario '%s'", o.mode.c_str()));
         }
     }

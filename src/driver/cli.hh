@@ -43,6 +43,12 @@ struct CliOptions
     std::vector<std::string> configNames;  ///< matrix + verify
     std::vector<std::string> mixNames;     ///< verify
     PredictorKind predictor = PredictorKind::Gshare;
+
+    // ---- verify-mode triage knobs -----------------------------------------
+    bool failFast = false;             ///< stop starting jobs on divergence
+    std::uint64_t snapshotEvery = 0;   ///< mid-run state compare cadence
+    double budgetSec = 0.0;            ///< wall-clock budget (0 = none)
+    std::string reproPath;             ///< replay repros from this report
 };
 
 /** "a,b,,c" -> {"a","b","c"} (empty items dropped). */

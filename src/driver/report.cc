@@ -180,5 +180,23 @@ writeFile(const std::string &path, const std::string &content)
         msp_fatal("short write to %s", path.c_str());
 }
 
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        msp_fatal("cannot open %s for reading", path.c_str());
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, n);
+    const bool bad = std::ferror(f);
+    std::fclose(f);
+    if (bad)
+        msp_fatal("read error on %s", path.c_str());
+    return content;
+}
+
 } // namespace driver
 } // namespace msp

@@ -30,6 +30,9 @@ std::string jsonEscape(const std::string &s);
 /** Write @p content to @p path; msp_fatal on I/O failure. */
 void writeFile(const std::string &path, const std::string &content);
 
+/** Read all of @p path; msp_fatal on I/O failure. */
+std::string readFile(const std::string &path);
+
 } // namespace driver
 } // namespace msp
 

@@ -459,7 +459,10 @@ CoreBase::commitOne()
         ++commitFaultSeen == params.commitFaultAt) {
         d.result ^= 1;
     }
-    if (commitObserver)
+    const bool dropObserved =
+        params.observerFaultAt != 0 &&
+        ++observerFaultSeen == params.observerFaultAt;
+    if (commitObserver && !dropObserved)
         commitObserver(d);
 
     if (d.isStore()) {

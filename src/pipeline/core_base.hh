@@ -262,6 +262,7 @@ class CoreBase
     Cycle lastCommitCycle = 0;
     CommitObserver commitObserver;
     std::uint64_t commitFaultSeen = 0;  ///< commitFaultAt progress counter
+    std::uint64_t observerFaultSeen = 0;///< observerFaultAt progress counter
 };
 
 } // namespace msp

@@ -87,6 +87,15 @@ struct CoreParams
      * observe. Test-only; must stay 0 in real runs.
      */
     std::uint64_t commitFaultAt = 0;
+
+    /**
+     * When nonzero, silently drop the commit-observer callback of the
+     * Nth committed instruction. Models commit-path work that bypasses
+     * the observer tap (the failure the differential oracle reports as
+     * an "observer-count" divergence). Test-only; must stay 0 in real
+     * runs.
+     */
+    std::uint64_t observerFaultAt = 0;
 };
 
 /** Statistics of one simulation run. */

@@ -91,4 +91,75 @@ idealMspConfig(PredictorKind predictor)
     return m;
 }
 
+namespace {
+
+/** Field-by-field CoreParams equality (no operator== on the struct). */
+bool
+sameCore(const CoreParams &a, const CoreParams &b)
+{
+    return a.kind == b.kind && a.fetchWidth == b.fetchWidth &&
+           a.renameWidth == b.renameWidth &&
+           a.issueWidth == b.issueWidth &&
+           a.retireWidth == b.retireWidth &&
+           a.frontendDepth == b.frontendDepth && a.iqSize == b.iqSize &&
+           a.robSize == b.robSize && a.numIntPhys == b.numIntPhys &&
+           a.numFpPhys == b.numFpPhys && a.ldqSize == b.ldqSize &&
+           a.sq1Size == b.sq1Size && a.sq2Size == b.sq2Size &&
+           a.infiniteSq == b.infiniteSq && a.intUnits == b.intUnits &&
+           a.fpUnits == b.fpUnits && a.memUnits == b.memUnits &&
+           a.regsPerBank == b.regsPerBank &&
+           a.infiniteBanks == b.infiniteBanks &&
+           a.lcsLatency == b.lcsLatency &&
+           a.arbitration == b.arbitration &&
+           a.maxSameRegRenames == b.maxSameRegRenames &&
+           a.maxRenameDests == b.maxRenameDests &&
+           a.numCheckpoints == b.numCheckpoints &&
+           a.ckptInterval == b.ckptInterval &&
+           a.minCkptDist == b.minCkptDist &&
+           a.sqScanPenaltyPerEntry == b.sqScanPenaltyPerEntry &&
+           a.rollbackRestorePenalty == b.rollbackRestorePenalty &&
+           a.ldqReleaseAtExec == b.ldqReleaseAtExec &&
+           a.oracleCheck == b.oracleCheck &&
+           a.recoveryPenalty == b.recoveryPenalty &&
+           a.maxIntraStateId == b.maxIntraStateId &&
+           a.commitFaultAt == b.commitFaultAt &&
+           a.observerFaultAt == b.observerFaultAt;
+}
+
+} // anonymous namespace
+
+std::string
+presetNameFor(const MachineConfig &config)
+{
+    // Derive the candidate name from the identity fields, then prove
+    // it by rebuilding the preset and comparing *every* core knob — a
+    // name that rebuilds a different machine (tweaked ablation config,
+    // injected test fault) would make a replayed repro silently lie.
+    const CoreParams &c = config.core;
+    std::string name;
+    MachineConfig rebuilt;
+    switch (c.kind) {
+      case CoreKind::Baseline:
+        name = "baseline";
+        rebuilt = baselineConfig(config.predictor);
+        break;
+      case CoreKind::Cpr:
+        name = "cpr";
+        rebuilt = cprConfig(config.predictor);
+        break;
+      case CoreKind::Msp:
+        if (c.infiniteBanks) {
+            name = "ideal";
+            rebuilt = idealMspConfig(config.predictor);
+        } else {
+            name = csprintf("%usp%s", c.regsPerBank,
+                            c.arbitration ? "" : "-noarb");
+            rebuilt = nspConfig(c.regsPerBank, config.predictor,
+                                c.arbitration);
+        }
+        break;
+    }
+    return sameCore(rebuilt.core, c) ? name : "";
+}
+
 } // namespace msp

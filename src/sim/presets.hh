@@ -37,6 +37,14 @@ MachineConfig idealMspConfig(PredictorKind predictor);
 /** Predictor name for table headers ("gshare" / "TAGE"). */
 const char *predictorName(PredictorKind predictor);
 
+/**
+ * The CLI preset name ("baseline", "cpr", "ideal", "<n>sp",
+ * "<n>sp-noarb") that rebuilds @p config, or "" when the configuration
+ * is not CLI-reachable (divergence repros record this so a report can
+ * be replayed with `msp_sim verify --repro`).
+ */
+std::string presetNameFor(const MachineConfig &config);
+
 } // namespace msp
 
 #endif // MSPLIB_SIM_PRESETS_HH

@@ -1,5 +1,7 @@
 #include "verify/diff_campaign.hh"
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -48,16 +50,36 @@ DiffCampaign::effectiveThreads() const
     return driver::effectivePoolThreads(requestedThreads, jobs.size());
 }
 
+void
+DiffCampaign::setSnapshotEvery(std::uint64_t every)
+{
+    for (DiffJob &j : jobs)
+        j.snapshotEvery = every;
+}
+
 std::vector<DiffOutcome>
 DiffCampaign::run(const DiffProgressFn &progress)
 {
+    // The wall clock starts before program generation: fuzzing the
+    // images is part of the work --budget-sec promises to bound.
+    const auto startTime = std::chrono::steady_clock::now();
+    const auto overBudget = [&] {
+        if (budgetSec <= 0.0)
+            return false;
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - startTime;
+        return elapsed.count() >= budgetSec;
+    };
+
     // Fuzz each distinct (mix, seed) program once, sequentially, before
     // the pool starts: program images never depend on worker
-    // scheduling, and configs sharing a program share one image.
+    // scheduling, and configs sharing a program share one image. An
+    // expired budget stops generation too — jobs left without a
+    // program are skipped below.
     std::map<std::pair<std::string, std::uint64_t>,
              std::shared_ptr<const Program>> programs;
     for (DiffJob &j : jobs) {
-        if (j.program)
+        if (j.program || overBudget())
             continue;
         const auto key = std::make_pair(j.mix.name, j.seed);
         auto it = programs.find(key);
@@ -73,11 +95,29 @@ DiffCampaign::run(const DiffProgressFn &progress)
     std::size_t done = 0;
     std::mutex mu;              // guards done + progress callback
 
+    // Cooperative cancellation for fail-fast / budget: checked before a
+    // job *starts*; running jobs always finish, so executed outcomes
+    // stay bit-identical for any thread count.
+    std::atomic<bool> stop{false};
+
     driver::parallelFor(requestedThreads, jobs.size(),
                         [&](std::size_t i) {
         const DiffJob &j = jobs[i];
-        DiffOutcome o =
-            diffRun(*j.program, j.config, j.maxInsts, j.maxCycles);
+        DiffOutcome o;
+        if (stop.load(std::memory_order_relaxed) || !j.program ||
+            overBudget()) {
+            o.skipped = true;
+            o.config = j.config.name;
+            o.workload = j.program ? j.program->name : "";
+        } else {
+            DiffOptions opt;
+            opt.maxInsts = j.maxInsts;
+            opt.maxCycles = j.maxCycles;
+            opt.snapshotEvery = j.snapshotEvery;
+            o = diffRun(*j.program, j.config, opt);
+            if (failFast && !o.ok())
+                stop.store(true, std::memory_order_relaxed);
+        }
         o.mix = j.mix.name;
         o.seed = j.seed;
         out[i] = std::move(o);

@@ -35,6 +35,9 @@ struct DiffJob
     std::uint64_t maxInsts = 1u << 20;
     std::uint64_t maxCycles = ~std::uint64_t{0};
 
+    /** Mid-run snapshot-compare cadence (see DiffOptions); 0 = off. */
+    std::uint64_t snapshotEvery = 0;
+
     /** Pre-built program; filled by run() (shared across configs). */
     std::shared_ptr<const Program> program;
 };
@@ -70,14 +73,36 @@ class DiffCampaign
     /** Effective worker count for size() jobs. */
     unsigned effectiveThreads() const;
 
+    /** Apply a snapshot-compare cadence to every job (0 = off). */
+    void setSnapshotEvery(std::uint64_t every);
+
+    /**
+     * Stop starting new jobs once any job diverges (already-running
+     * jobs finish; unstarted jobs come back with skipped=true). For CI
+     * bisection loops; trades the full sweep for a fast first answer.
+     */
+    void setFailFast(bool on) { failFast = on; }
+
+    /**
+     * Wall-clock budget: jobs not *started* within @p seconds of run()
+     * come back with skipped=true. 0 disables the budget.
+     */
+    void setBudgetSec(double seconds) { budgetSec = seconds; }
+
     /**
      * Generate every distinct (mix, seed) program, fan the jobs across
      * the pool, and return outcomes in submission order.
+     *
+     * Note fail-fast and budget make the *set of skipped jobs* depend
+     * on scheduling; executed jobs still produce bit-identical
+     * outcomes for any thread count.
      */
     std::vector<DiffOutcome> run(const DiffProgressFn &progress = nullptr);
 
   private:
     unsigned requestedThreads;
+    bool failFast = false;
+    double budgetSec = 0.0;
     std::vector<DiffJob> jobs;
 };
 

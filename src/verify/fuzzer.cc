@@ -60,8 +60,24 @@ class Gen
         b.li(hotBaseReg, 0);
         b.li(farBaseReg,
              static_cast<std::int64_t>(mix.hotWords) * wordBytes);
-        for (int f = 0; f < numFpScratch; ++f)
-            b.fitof(f, scratch());
+        for (int f = 0; f < numFpScratch; ++f) {
+            if (rng.chance(mix.fpEdgeProb)) {
+                // There is no int->fp bit-move op, so bounce the
+                // pattern through memory: li + st + fld. The store also
+                // plants the pattern in the aliasing hot region, where
+                // later loads and stores will churn it.
+                const std::vector<std::uint64_t> &pats = fpEdgePatterns();
+                const std::uint64_t bits = pats[rng.below(pats.size())];
+                const std::int64_t off =
+                    static_cast<std::int64_t>(rng.below(mix.hotWords)) *
+                    wordBytes;
+                b.li(condTmpReg, static_cast<std::int64_t>(bits));
+                b.st(condTmpReg, hotBaseReg, off);
+                b.fld(f, hotBaseReg, off);
+            } else {
+                b.fitof(f, scratch());
+            }
+        }
     }
 
     /** Emit the top-level block sequence until the budget is spent. */
@@ -319,7 +335,13 @@ fuzzProgram(std::uint64_t seed, const FuzzMix &mix)
     Rng rng(seed);
 
     b.memSize(mix.memWords);
-    b.dataFill(0, mix.memWords, [&](std::size_t) { return rng.next(); });
+    b.dataFill(0, mix.memWords, [&](std::size_t) -> std::uint64_t {
+        if (rng.chance(mix.fpEdgeProb)) {
+            const std::vector<std::uint64_t> &pats = fpEdgePatterns();
+            return pats[rng.below(pats.size())];
+        }
+        return rng.next();
+    });
 
     Gen gen(b, rng, mix);
     Label start = b.newLabel();
@@ -330,6 +352,30 @@ fuzzProgram(std::uint64_t seed, const FuzzMix &mix)
     gen.emitBody();
     b.halt();
     return b.finish();
+}
+
+const std::vector<std::uint64_t> &
+fpEdgePatterns()
+{
+    static const std::vector<std::uint64_t> patterns = {
+        0x0000000000000000ull,  // +0.0
+        0x8000000000000000ull,  // -0.0
+        0x0000000000000001ull,  // smallest subnormal
+        0x000fffffffffffffull,  // largest subnormal
+        0x0010000000000000ull,  // smallest normal
+        0x7fefffffffffffffull,  // largest finite
+        0x7ff0000000000000ull,  // +inf
+        0xfff0000000000000ull,  // -inf
+        0x7ff8000000000000ull,  // canonical qNaN
+        0x7ff8dead0000beefull,  // qNaN with payload
+        0xfff4000000000001ull,  // -sNaN with payload
+        0x43e0000000000000ull,  // 2^63 (FFTOI saturates)
+        0xc3e0000000000000ull,  // -2^63 (FFTOI boundary)
+        0x43dfffffffffffffull,  // largest double < 2^63
+        0xc3e0000000000001ull,  // first double < -2^63
+        0x3ff0000000000001ull,  // 1.0 + 1 ulp
+    };
+    return patterns;
 }
 
 const std::vector<FuzzMix> &
@@ -374,6 +420,18 @@ standardMixes()
         fploop.tripMax = 8;
         fploop.trapProb = 0.005;
         v.push_back(fploop);
+
+        // fploop shape, but data memory and the initial fp registers
+        // are salted with crafted corner-case bit patterns so every
+        // seed hits denormals, infinities, NaN payloads and the FFTOI
+        // saturation boundaries on purpose.
+        FuzzMix fpedge = fploop;
+        fpedge.name = "fpedge";
+        fpedge.weights.load = 0.6;
+        fpedge.weights.store = 0.4;
+        fpedge.fpEdgeProb = 0.35;
+        fpedge.memWords = 256;
+        v.push_back(fpedge);
 
         return v;
     }();

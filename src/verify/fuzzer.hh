@@ -62,6 +62,14 @@ struct FuzzMix
     unsigned hotWords = 12;       ///< aliasing hot-region size
     double hotProb = 0.65;        ///< memory ops hitting the hot region
 
+    /**
+     * Probability that a data word / initial fp register is seeded with
+     * a crafted fp bit pattern (denormals, ±0, ±inf, NaN payloads,
+     * FFTOI-saturation boundaries) instead of a uniform random, so fp
+     * corner cases are reached deliberately rather than by accident.
+     */
+    double fpEdgeProb = 0.0;
+
     /** Stop opening new blocks past this estimated dynamic length. */
     std::uint64_t targetDynamic = 6000;
 };
@@ -74,10 +82,19 @@ struct FuzzMix
 Program fuzzProgram(std::uint64_t seed, const FuzzMix &mix = FuzzMix{});
 
 /**
+ * The crafted IEEE-754 bit patterns fpEdgeProb draws from: signed
+ * zeros, min/max subnormals, min normal, max finite, ±inf, quiet and
+ * signalling NaNs with payloads, and the FFTOI saturation boundaries
+ * around ±2^63.
+ */
+const std::vector<std::uint64_t> &fpEdgePatterns();
+
+/**
  * The standard mix set swept by `msp_sim verify`: "mixed" (everything),
  * "branchy" (short segments, dense hard-to-predict control flow),
- * "memory" (high load/store weight on a tiny hot region) and "fploop"
- * (fp-heavy loop nests).
+ * "memory" (high load/store weight on a tiny hot region), "fploop"
+ * (fp-heavy loop nests) and "fpedge" (fp loops over data and registers
+ * seeded with crafted corner-case bit patterns).
  */
 const std::vector<FuzzMix> &standardMixes();
 

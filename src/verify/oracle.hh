@@ -15,6 +15,11 @@
  * address/data per commit). Any silent commit-path corruption — wrong
  * result, wrong store, wrong pc sequence, extra or missing commits —
  * surfaces as a structured Divergence instead of an assertion abort.
+ *
+ * With DiffOptions::snapshotEvery set, the replayed state is also
+ * compared against a functional reference advanced to the same commit
+ * index every N commits, so a divergence is localised to a
+ * [badWindowLo, badWindowHi) commit range instead of a whole run.
  */
 
 #ifndef MSPLIB_VERIFY_ORACLE_HH
@@ -30,12 +35,65 @@
 namespace msp {
 namespace verify {
 
+/**
+ * FNV-1a over 64-bit words of the commit stream.
+ *
+ * Field masking happens *inside* commit(), from the isLoad/isStore
+ * flags, so both models can pass their raw per-commit records —
+ * including fields that are stale or meaningless for the opcode — and
+ * still hash identically. Masking at the call sites (the historical
+ * layout) made the hash depend on each side's incidental zeroing.
+ */
+struct StreamHasher
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void
+    word(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+
+    /** One commit record; identical layout for both models. */
+    void
+    commit(Addr pc, bool wroteReg, std::uint64_t value, bool isLoad,
+           bool isStore, Addr memAddr, std::uint64_t storeValue)
+    {
+        word(pc);
+        word(wroteReg ? value : 0);
+        word(isLoad || isStore ? memAddr : 0);
+        word(isStore ? storeValue : 0);
+    }
+};
+
 /** One observed disagreement between a core and the functional model. */
 struct Divergence
 {
     std::string kind;    ///< "commit-count" | "stream" | "int-reg" |
-                         ///< "fp-reg" | "mem" | "no-halt" | "ref-no-halt"
+                         ///< "fp-reg" | "mem" | "no-halt" | "ref-no-halt" |
+                         ///< "snapshot" | "observer-count"
     std::string detail;  ///< human-readable specifics
+};
+
+/** Knobs of one differential run. */
+struct DiffOptions
+{
+    /** Instruction bound for both executions ("no-halt" past it). */
+    std::uint64_t maxInsts = 1u << 20;
+
+    /** Hard cycle cap on the timing run. */
+    std::uint64_t maxCycles = ~std::uint64_t{0};
+
+    /**
+     * When nonzero, compare the replayed architectural state against a
+     * functional reference at every N commits and record the first bad
+     * [lo, hi) commit window as a "snapshot" divergence. 0 disables
+     * mid-run compares (final-state checks always run).
+     */
+    std::uint64_t snapshotEvery = 0;
 };
 
 /** Outcome of one differential run (one program on one machine). */
@@ -51,6 +109,15 @@ struct DiffOutcome
     std::uint64_t cycles = 0;         ///< core cycles
     std::uint64_t streamHash = 0;     ///< FNV-1a over the commit stream
 
+    /** Job skipped before running (campaign fail-fast / budget). */
+    bool skipped = false;
+
+    // ---- mid-run snapshot localisation (snapshotEvery only) --------------
+    std::uint64_t snapshotEvery = 0;  ///< cadence this run used (0 = off)
+    bool localized = false;           ///< a first bad window was found
+    std::uint64_t badWindowLo = 0;    ///< last commit index seen good
+    std::uint64_t badWindowHi = 0;    ///< first commit index seen bad
+
     std::vector<Divergence> divergences;
 
     bool ok() const { return divergences.empty(); }
@@ -62,10 +129,12 @@ constexpr unsigned maxDivergencesPerJob = 8;
 /**
  * Run @p prog on the functional executor (golden) and on a machine
  * built from @p config with the internal oracle check disabled, then
- * cross-check the two. @p maxInsts bounds both executions ("no-halt"
- * divergence when either fails to HALT inside it); @p maxCycles bounds
- * the timing run.
+ * cross-check the two (see DiffOptions for the knobs).
  */
+DiffOutcome diffRun(const Program &prog, const MachineConfig &config,
+                    const DiffOptions &opt);
+
+/** Convenience overload with the historical (maxInsts, maxCycles) form. */
 DiffOutcome diffRun(const Program &prog, const MachineConfig &config,
                     std::uint64_t maxInsts = 1u << 20,
                     std::uint64_t maxCycles = ~std::uint64_t{0});

@@ -1,10 +1,156 @@
 #include "verify/report.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "driver/report.hh"
 
 namespace msp {
 namespace verify {
+
+namespace {
+
+/** FuzzMix as a flat JSON object (the schema parseMix() reads back). */
+std::string
+mixToJson(const FuzzMix &m)
+{
+    std::string out = "{";
+    out += csprintf("\"name\": \"%s\", ",
+                    driver::jsonEscape(m.name).c_str());
+    out += csprintf("\"alu\": %.17g, \"fp\": %.17g, \"load\": %.17g, "
+                    "\"store\": %.17g, ",
+                    m.weights.alu, m.weights.fp, m.weights.load,
+                    m.weights.store);
+    out += csprintf("\"blocks_min\": %u, \"blocks_max\": %u, "
+                    "\"seg_min\": %u, \"seg_max\": %u, ",
+                    m.blocksMin, m.blocksMax, m.segMin, m.segMax);
+    out += csprintf("\"loop_prob\": %.17g, \"max_loop_depth\": %u, "
+                    "\"trip_min\": %u, \"trip_max\": %u, ",
+                    m.loopProb, m.maxLoopDepth, m.tripMin, m.tripMax);
+    out += csprintf("\"cond_prob\": %.17g, \"call_prob\": %.17g, "
+                    "\"indirect_prob\": %.17g, \"trap_prob\": %.17g, ",
+                    m.condProb, m.callProb, m.indirectProb, m.trapProb);
+    out += csprintf("\"mem_words\": %u, \"hot_words\": %u, "
+                    "\"hot_prob\": %.17g, \"fp_edge_prob\": %.17g, ",
+                    m.memWords, m.hotWords, m.hotProb, m.fpEdgeProb);
+    out += csprintf("\"target_dynamic\": %llu}",
+                    static_cast<unsigned long long>(m.targetDynamic));
+    return out;
+}
+
+// ---- minimal extraction for the schema this file emits --------------------
+
+/** Position of the value after "key": inside @p obj; npos if absent. */
+std::size_t
+valuePos(const std::string &obj, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = obj.find(needle);
+    if (at == std::string::npos)
+        return std::string::npos;
+    std::size_t p = at + needle.size();
+    while (p < obj.size() && (obj[p] == ' ' || obj[p] == '\n'))
+        ++p;
+    return p;
+}
+
+double
+getNum(const std::string &obj, const std::string &key, double def)
+{
+    const std::size_t p = valuePos(obj, key);
+    return p == std::string::npos ? def : std::strtod(obj.c_str() + p,
+                                                      nullptr);
+}
+
+std::uint64_t
+getU64(const std::string &obj, const std::string &key, std::uint64_t def)
+{
+    const std::size_t p = valuePos(obj, key);
+    return p == std::string::npos
+               ? def
+               : std::strtoull(obj.c_str() + p, nullptr, 10);
+}
+
+std::string
+getStr(const std::string &obj, const std::string &key,
+       const std::string &def = "")
+{
+    std::size_t p = valuePos(obj, key);
+    if (p == std::string::npos || p >= obj.size() || obj[p] != '"')
+        return def;
+    std::string out;
+    for (++p; p < obj.size() && obj[p] != '"'; ++p) {
+        if (obj[p] == '\\' && p + 1 < obj.size())
+            ++p;   // jsonEscape escapes: keep the char after backslash
+        out += obj[p];
+    }
+    return out;
+}
+
+/**
+ * The balanced {...} or [...] starting at @p open (which must index the
+ * opening bracket). Quote-aware, so braces inside strings don't count.
+ */
+std::string
+balancedSlice(const std::string &s, std::size_t open)
+{
+    const char up = s[open];
+    const char down = up == '{' ? '}' : ']';
+    int depth = 0;
+    bool inStr = false;
+    for (std::size_t p = open; p < s.size(); ++p) {
+        const char c = s[p];
+        if (inStr) {
+            if (c == '\\')
+                ++p;
+            else if (c == '"')
+                inStr = false;
+        } else if (c == '"') {
+            inStr = true;
+        } else if (c == up) {
+            ++depth;
+        } else if (c == down && --depth == 0) {
+            return s.substr(open, p - open + 1);
+        }
+    }
+    return "";
+}
+
+FuzzMix
+parseMix(const std::string &obj)
+{
+    FuzzMix m;
+    m.name = getStr(obj, "name", m.name);
+    m.weights.alu = getNum(obj, "alu", m.weights.alu);
+    m.weights.fp = getNum(obj, "fp", m.weights.fp);
+    m.weights.load = getNum(obj, "load", m.weights.load);
+    m.weights.store = getNum(obj, "store", m.weights.store);
+    m.blocksMin = static_cast<unsigned>(
+        getU64(obj, "blocks_min", m.blocksMin));
+    m.blocksMax = static_cast<unsigned>(
+        getU64(obj, "blocks_max", m.blocksMax));
+    m.segMin = static_cast<unsigned>(getU64(obj, "seg_min", m.segMin));
+    m.segMax = static_cast<unsigned>(getU64(obj, "seg_max", m.segMax));
+    m.loopProb = getNum(obj, "loop_prob", m.loopProb);
+    m.maxLoopDepth = static_cast<unsigned>(
+        getU64(obj, "max_loop_depth", m.maxLoopDepth));
+    m.tripMin = static_cast<unsigned>(getU64(obj, "trip_min", m.tripMin));
+    m.tripMax = static_cast<unsigned>(getU64(obj, "trip_max", m.tripMax));
+    m.condProb = getNum(obj, "cond_prob", m.condProb);
+    m.callProb = getNum(obj, "call_prob", m.callProb);
+    m.indirectProb = getNum(obj, "indirect_prob", m.indirectProb);
+    m.trapProb = getNum(obj, "trap_prob", m.trapProb);
+    m.memWords = static_cast<unsigned>(
+        getU64(obj, "mem_words", m.memWords));
+    m.hotWords = static_cast<unsigned>(
+        getU64(obj, "hot_words", m.hotWords));
+    m.hotProb = getNum(obj, "hot_prob", m.hotProb);
+    m.fpEdgeProb = getNum(obj, "fp_edge_prob", m.fpEdgeProb);
+    m.targetDynamic = getU64(obj, "target_dynamic", m.targetDynamic);
+    return m;
+}
+
+} // anonymous namespace
 
 std::size_t
 countDivergences(const std::vector<DiffOutcome> &outcomes)
@@ -15,8 +161,18 @@ countDivergences(const std::vector<DiffOutcome> &outcomes)
     return n;
 }
 
+std::size_t
+countSkipped(const std::vector<DiffOutcome> &outcomes)
+{
+    std::size_t n = 0;
+    for (const DiffOutcome &o : outcomes)
+        n += o.skipped ? 1 : 0;
+    return n;
+}
+
 std::string
-toJson(const std::vector<DiffOutcome> &outcomes)
+toJson(const std::vector<DiffOutcome> &outcomes,
+       const std::vector<ShrinkResult> &shrinks)
 {
     using driver::jsonEscape;
 
@@ -27,6 +183,7 @@ toJson(const std::vector<DiffOutcome> &outcomes)
     std::string out = "{\n  \"verify\": {\n";
     out += csprintf("    \"jobs\": %zu,\n", outcomes.size());
     out += csprintf("    \"divergent\": %zu,\n", divergent);
+    out += csprintf("    \"skipped\": %zu,\n", countSkipped(outcomes));
     out += "    \"results\": [";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const DiffOutcome &o = outcomes[i];
@@ -38,6 +195,8 @@ toJson(const std::vector<DiffOutcome> &outcomes)
                         jsonEscape(o.config).c_str());
         out += csprintf("\"workload\": \"%s\", ",
                         jsonEscape(o.workload).c_str());
+        if (o.skipped)
+            out += "\"skipped\": true, ";
         out += csprintf("\"committed_core\": %llu, ",
                         static_cast<unsigned long long>(o.committedCore));
         out += csprintf("\"committed_ref\": %llu, ",
@@ -46,6 +205,17 @@ toJson(const std::vector<DiffOutcome> &outcomes)
                         static_cast<unsigned long long>(o.cycles));
         out += csprintf("\"stream_hash\": \"%016llx\", ",
                         static_cast<unsigned long long>(o.streamHash));
+        if (o.snapshotEvery) {
+            out += csprintf("\"snapshot_every\": %llu, ",
+                            static_cast<unsigned long long>(
+                                o.snapshotEvery));
+        }
+        if (o.localized) {
+            out += csprintf("\"bad_window\": [%llu, %llu], ",
+                            static_cast<unsigned long long>(o.badWindowLo),
+                            static_cast<unsigned long long>(
+                                o.badWindowHi));
+        }
         out += "\"divergences\": [";
         for (std::size_t d = 0; d < o.divergences.size(); ++d) {
             out += d ? ", {" : "{";
@@ -55,8 +225,90 @@ toJson(const std::vector<DiffOutcome> &outcomes)
         }
         out += "]}";
     }
+    out += "\n    ],\n";
+    out += "    \"repros\": [";
+    for (std::size_t i = 0; i < shrinks.size(); ++i) {
+        const ShrinkResult &s = shrinks[i];
+        out += i ? ",\n      {" : "\n      {";
+        out += csprintf("\"kind\": \"%s\", ",
+                        jsonEscape(s.repro.kind).c_str());
+        out += csprintf("\"seed\": %llu, ",
+                        static_cast<unsigned long long>(s.repro.seed));
+        out += csprintf("\"preset\": \"%s\", ",
+                        jsonEscape(s.repro.preset).c_str());
+        out += csprintf("\"predictor\": \"%s\", ",
+                        jsonEscape(s.repro.predictor).c_str());
+        out += csprintf("\"max_insts\": %llu, ",
+                        static_cast<unsigned long long>(
+                            s.repro.maxInsts));
+        out += csprintf("\"snapshot_every\": %llu, ",
+                        static_cast<unsigned long long>(
+                            s.repro.snapshotEvery));
+        out += csprintf("\"reproduced\": %s, \"shrunk\": %s, ",
+                        s.reproduced ? "true" : "false",
+                        s.shrunk ? "true" : "false");
+        out += csprintf("\"attempts\": %u, ", s.attempts);
+        out += csprintf("\"orig_dynamic\": %llu, "
+                        "\"shrunk_dynamic\": %llu, ",
+                        static_cast<unsigned long long>(s.origDynamic),
+                        static_cast<unsigned long long>(s.shrunkDynamic));
+        out += csprintf("\"orig_static\": %llu, "
+                        "\"shrunk_static\": %llu, ",
+                        static_cast<unsigned long long>(s.origStatic),
+                        static_cast<unsigned long long>(s.shrunkStatic));
+        out += "\"mix\": " + mixToJson(s.repro.mix) + "}";
+    }
     out += "\n    ]\n  }\n}\n";
     return out;
+}
+
+std::vector<ReproSpec>
+parseRepros(const std::string &json)
+{
+    std::vector<ReproSpec> specs;
+    const std::size_t key = json.find("\"repros\":");
+    if (key == std::string::npos)
+        return specs;
+    const std::size_t open = json.find('[', key);
+    if (open == std::string::npos)
+        return specs;
+    const std::string arr = balancedSlice(json, open);
+
+    // Walk top-level objects of the array.
+    int depth = 0;
+    bool inStr = false;
+    for (std::size_t p = 0; p < arr.size(); ++p) {
+        const char c = arr[p];
+        if (inStr) {
+            if (c == '\\')
+                ++p;
+            else if (c == '"')
+                inStr = false;
+        } else if (c == '"') {
+            inStr = true;
+        } else if (c == '[') {
+            ++depth;
+        } else if (c == ']') {
+            --depth;
+        } else if (c == '{' && depth == 1) {
+            const std::string obj = balancedSlice(arr, p);
+            if (obj.empty())
+                break;
+            ReproSpec spec;
+            spec.kind = getStr(obj, "kind");
+            spec.seed = getU64(obj, "seed", 1);
+            spec.preset = getStr(obj, "preset");
+            spec.predictor = getStr(obj, "predictor", "gshare");
+            spec.maxInsts = getU64(obj, "max_insts", 1u << 20);
+            spec.snapshotEvery = getU64(obj, "snapshot_every", 0);
+            const std::size_t mixAt = valuePos(obj, "mix");
+            if (mixAt != std::string::npos && obj[mixAt] == '{')
+                spec.mix = parseMix(balancedSlice(obj, mixAt));
+            specs.push_back(std::move(spec));
+            p += obj.size() - 1;
+        }
+    }
+    return specs;
 }
 
 } // namespace verify

@@ -3,8 +3,11 @@
  * Structured JSON serialisation of differential-verification outcomes.
  *
  * The report carries every job (so a clean sweep is still auditable:
- * seeds, stream hashes, commit counts) plus the full divergence list
- * of any failing job, in a shape plotting/triage scripts can consume.
+ * seeds, stream hashes, commit counts), the full divergence list of any
+ * failing job — including the snapshot-localised commit window — and a
+ * "repros" array of shrunk reproducers (seed + reduced fuzz mix +
+ * machine preset) that parseRepros() reads back so
+ * `msp_sim verify --repro <report>` can replay a failure verbatim.
  */
 
 #ifndef MSPLIB_VERIFY_REPORT_HH
@@ -14,18 +17,31 @@
 #include <vector>
 
 #include "verify/oracle.hh"
+#include "verify/shrink.hh"
 
 namespace msp {
 namespace verify {
 
 /**
- * Serialise outcomes as one JSON document:
- * {"verify": {"jobs": N, "divergent": M, "results": [{...}, ...]}}.
+ * Serialise outcomes (plus any shrink results) as one JSON document:
+ * {"verify": {"jobs": N, "divergent": M, "skipped": K,
+ *             "results": [...], "repros": [...]}}.
  */
-std::string toJson(const std::vector<DiffOutcome> &outcomes);
+std::string toJson(const std::vector<DiffOutcome> &outcomes,
+                   const std::vector<ShrinkResult> &shrinks = {});
+
+/**
+ * Parse the "repros" array back out of a toJson() document (the
+ * `--repro` replay path). Only the schema toJson() emits is supported;
+ * a document without a repros array parses as empty.
+ */
+std::vector<ReproSpec> parseRepros(const std::string &json);
 
 /** Total divergences across @p outcomes. */
 std::size_t countDivergences(const std::vector<DiffOutcome> &outcomes);
+
+/** Jobs skipped (fail-fast / budget) across @p outcomes. */
+std::size_t countSkipped(const std::vector<DiffOutcome> &outcomes);
 
 } // namespace verify
 } // namespace msp

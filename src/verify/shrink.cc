@@ -1,0 +1,264 @@
+#include "verify/shrink.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "sim/presets.hh"
+
+namespace msp {
+namespace verify {
+
+namespace {
+
+/** First divergence kind of @p cand that @p orig also reported. */
+std::string
+sharedKind(const DiffOutcome &orig, const DiffOutcome &cand)
+{
+    for (const Divergence &c : cand.divergences)
+        for (const Divergence &o : orig.divergences)
+            if (c.kind == o.kind)
+                return c.kind;
+    return "";
+}
+
+/** Does @p orig contain any kind worth chasing with a re-fuzz? */
+bool
+shrinkable(const DiffOutcome &o)
+{
+    if (o.skipped)
+        return false;
+    for (const Divergence &d : o.divergences)
+        if (d.kind != "ref-no-halt")
+            return true;   // a core-vs-functional disagreement
+    return false;
+}
+
+} // anonymous namespace
+
+namespace {
+
+using ShrinkClock = std::chrono::steady_clock;
+
+ShrinkClock::time_point
+deadlineFrom(double budgetSec)
+{
+    return ShrinkClock::now() +
+           std::chrono::duration_cast<ShrinkClock::duration>(
+               std::chrono::duration<double>(
+                   budgetSec > 0 ? budgetSec : 1e9));
+}
+
+ShrinkResult
+shrinkToDeadline(const DiffJob &job, const DiffOutcome &orig,
+                 const ShrinkOptions &opt,
+                 ShrinkClock::time_point deadline)
+{
+    using Clock = ShrinkClock;
+
+    ShrinkResult res;
+    res.repro.seed = job.seed;
+    res.repro.mix = job.mix;
+    res.repro.preset = presetNameFor(job.config);
+    res.repro.predictor =
+        job.config.predictor == PredictorKind::Tage ? "tage" : "gshare";
+    res.repro.maxInsts = job.maxInsts;
+    res.repro.snapshotEvery = job.snapshotEvery;
+
+    DiffOptions dopt;
+    dopt.maxInsts = job.maxInsts;
+    dopt.maxCycles = job.maxCycles;
+    dopt.snapshotEvery = job.snapshotEvery;
+
+    // Re-fuzz + re-run one candidate mix; "" when it does not
+    // reproduce any of the original divergence kinds.
+    const auto attempt = [&](const FuzzMix &mix, DiffOutcome &outOut,
+                             std::uint64_t &staticOut) -> std::string {
+        ++res.attempts;
+        const Program p = fuzzProgram(job.seed, mix);
+        staticOut = p.code.size();
+        DiffOutcome o = diffRun(p, job.config, dopt);
+        o.mix = mix.name;
+        o.seed = job.seed;
+        outOut = o;
+        return sharedKind(orig, o);
+    };
+
+    // Confirm the divergence reproduces from (seed, mix) at all before
+    // spending a search on it.
+    DiffOutcome cur;
+    std::uint64_t curStatic = 0;
+    res.repro.kind = attempt(job.mix, cur, curStatic);
+    if (res.repro.kind.empty()) {
+        res.outcome = cur;
+        return res;
+    }
+    res.reproduced = true;
+    res.origDynamic = cur.committedRef;
+    res.origStatic = curStatic;
+
+    FuzzMix best = job.mix;
+    DiffOutcome bestOut = cur;
+    std::uint64_t bestStatic = curStatic;
+
+    // One reduction step per knob; the fixpoint loop below re-applies
+    // them (so e.g. targetDynamic keeps halving) until nothing that
+    // still reproduces can be reduced further.
+    using Reducer = bool (*)(FuzzMix &);
+    static const Reducer reducers[] = {
+        [](FuzzMix &m) {
+            if (m.targetDynamic <= 16)
+                return false;
+            m.targetDynamic = std::max<std::uint64_t>(16,
+                                                      m.targetDynamic / 2);
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.blocksMax <= 1)
+                return false;
+            m.blocksMax = std::max(1u, m.blocksMax / 2);
+            m.blocksMin = std::min(m.blocksMin, m.blocksMax);
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.segMax <= 1)
+                return false;
+            m.segMax = std::max(1u, m.segMax / 2);
+            m.segMin = std::min(m.segMin, m.segMax);
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.tripMax <= 1)
+                return false;
+            m.tripMax = std::max(1u, m.tripMax / 2);
+            m.tripMin = std::min(m.tripMin, m.tripMax);
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.maxLoopDepth == 0)
+                return false;
+            --m.maxLoopDepth;
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.memWords <= std::max(m.hotWords, 1u))
+                return false;
+            m.memWords = std::max(std::max(m.hotWords, 1u),
+                                  m.memWords / 2);
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.callProb == 0.0)
+                return false;
+            m.callProb = 0.0;
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.trapProb == 0.0)
+                return false;
+            m.trapProb = 0.0;
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.condProb == 0.0)
+                return false;
+            m.condProb = 0.0;
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.loopProb == 0.0)
+                return false;
+            m.loopProb = 0.0;
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.weights.fp == 0.0)
+                return false;
+            m.weights.fp = 0.0;
+            return true;
+        },
+        [](FuzzMix &m) {
+            if (m.weights.load == 0.0 && m.weights.store == 0.0)
+                return false;
+            m.weights.load = 0.0;
+            m.weights.store = 0.0;
+            return true;
+        },
+    };
+
+    bool improved = true;
+    while (improved && res.attempts < opt.maxAttempts &&
+           Clock::now() < deadline) {
+        improved = false;
+        for (const Reducer &reduce : reducers) {
+            if (res.attempts >= opt.maxAttempts ||
+                Clock::now() >= deadline) {
+                break;
+            }
+            FuzzMix cand = best;
+            if (!reduce(cand))
+                continue;
+            DiffOutcome candOut;
+            std::uint64_t candStatic = 0;
+            const std::string kind = attempt(cand, candOut, candStatic);
+            if (kind.empty())
+                continue;   // reduction lost the bug: keep the old mix
+            best = cand;
+            bestOut = candOut;
+            bestStatic = candStatic;
+            res.repro.kind = kind;
+            improved = true;
+        }
+    }
+
+    res.repro.mix = best;
+    res.outcome = bestOut;
+    res.shrunkDynamic = bestOut.committedRef;
+    res.shrunkStatic = bestStatic;
+    res.shrunk = res.shrunkDynamic < res.origDynamic;
+    return res;
+}
+
+} // anonymous namespace
+
+ShrinkResult
+shrinkDivergence(const DiffJob &job, const DiffOutcome &orig,
+                 const ShrinkOptions &opt)
+{
+    return shrinkToDeadline(job, orig, opt, deadlineFrom(opt.budgetSec));
+}
+
+std::vector<ShrinkResult>
+shrinkFailures(const std::vector<DiffJob> &jobs,
+               const std::vector<DiffOutcome> &outcomes,
+               const ShrinkOptions &opt, const ShrinkProgressFn &progress)
+{
+    msp_assert(jobs.size() == outcomes.size(),
+               "jobs/outcomes not parallel: %zu vs %zu", jobs.size(),
+               outcomes.size());
+
+    std::vector<std::size_t> failing;
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        if (shrinkable(outcomes[i]))
+            failing.push_back(i);
+
+    // One deadline across every failing job: the budget bounds the
+    // whole triage pass, not each search.
+    const ShrinkClock::time_point deadline = deadlineFrom(opt.budgetSec);
+
+    std::vector<ShrinkResult> results;
+    results.reserve(failing.size());
+    for (std::size_t n = 0; n < failing.size(); ++n) {
+        if (ShrinkClock::now() >= deadline)
+            break;   // budget spent: leave the remaining jobs unshrunk
+        const std::size_t i = failing[n];
+        results.push_back(
+            shrinkToDeadline(jobs[i], outcomes[i], opt, deadline));
+        if (progress)
+            progress(results.back(), n + 1, failing.size());
+    }
+    return results;
+}
+
+} // namespace verify
+} // namespace msp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Automatic shrinking of diverging differential jobs.
+ *
+ * A raw divergence is a whole-run fact: one stream-hash mismatch over a
+ * multi-thousand-instruction fuzzed program. The shrinker turns it into
+ * a minimal bug report by bisecting the fuzz mix — program length
+ * (targetDynamic), block/segment/trip shape, loop depth, memory
+ * footprint and feature probabilities — and re-fuzzing with the same
+ * seed until no reduction still reproduces a divergence of the original
+ * kind. The result is a ReproSpec (seed + reduced mix + machine preset)
+ * small enough to read, serialisable into the JSON report, and
+ * replayable with `msp_sim verify --repro <report>`.
+ */
+
+#ifndef MSPLIB_VERIFY_SHRINK_HH
+#define MSPLIB_VERIFY_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/diff_campaign.hh"
+#include "verify/fuzzer.hh"
+#include "verify/oracle.hh"
+
+namespace msp {
+namespace verify {
+
+/** Everything needed to regenerate and re-run one diverging program. */
+struct ReproSpec
+{
+    FuzzMix mix;                 ///< (possibly reduced) fuzz mix
+    std::uint64_t seed = 1;      ///< program-generation seed
+    std::string preset;          ///< CLI config name (e.g. "16sp")
+    std::string predictor;       ///< "gshare" or "tage"
+    std::string kind;            ///< divergence kind this reproduces
+    std::uint64_t maxInsts = 1u << 20;
+    std::uint64_t snapshotEvery = 0;
+};
+
+/** Bounds on one shrink search. */
+struct ShrinkOptions
+{
+    /** Hard cap on re-fuzz + re-run attempts (each is one diffRun). */
+    unsigned maxAttempts = 48;
+
+    /**
+     * Wall-clock budget in seconds; 0 = none. The budget spans one
+     * whole shrinkFailures() invocation — it is *not* re-granted per
+     * failing job — so a many-failure run stays bounded. On expiry the
+     * best reproducers found so far are returned and the remaining
+     * failing jobs are left unshrunk.
+     */
+    double budgetSec = 0.0;
+};
+
+/** Outcome of shrinking one diverging job. */
+struct ShrinkResult
+{
+    ReproSpec repro;             ///< minimal reproducing spec found
+    DiffOutcome outcome;         ///< outcome of replaying @ref repro
+
+    bool reproduced = false;     ///< re-fuzzing hit the original kind
+    bool shrunk = false;         ///< repro is strictly smaller
+
+    std::uint64_t origDynamic = 0;    ///< original dynamic length
+    std::uint64_t shrunkDynamic = 0;  ///< reproducer dynamic length
+    std::uint64_t origStatic = 0;     ///< original static instructions
+    std::uint64_t shrunkStatic = 0;   ///< reproducer static instructions
+    unsigned attempts = 0;            ///< diffRun re-executions spent
+};
+
+/**
+ * Shrink one diverging job. @p orig is the divergence being chased; a
+ * candidate counts as reproducing when it reports at least one
+ * divergence of a kind @p orig also reported.
+ */
+ShrinkResult shrinkDivergence(const DiffJob &job, const DiffOutcome &orig,
+                              const ShrinkOptions &opt = ShrinkOptions{});
+
+/** Called after each failing job finishes shrinking. */
+using ShrinkProgressFn =
+    std::function<void(const ShrinkResult &, std::size_t done,
+                       std::size_t total)>;
+
+/**
+ * Run every failing (non-skipped, non-"ref-no-halt") outcome of a
+ * campaign through the shrinker. @p jobs and @p outcomes are parallel
+ * arrays in submission order (DiffCampaign::pending() / run()).
+ */
+std::vector<ShrinkResult>
+shrinkFailures(const std::vector<DiffJob> &jobs,
+               const std::vector<DiffOutcome> &outcomes,
+               const ShrinkOptions &opt = ShrinkOptions{},
+               const ShrinkProgressFn &progress = nullptr);
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_SHRINK_HH

@@ -98,6 +98,61 @@ TEST(ParseCliArgs, VerifyModeDefaultsAndFlags)
     EXPECT_EQ(o.configNames, (std::vector<std::string>{"cpr", "8sp"}));
 }
 
+TEST(ParseCliArgs, VerifyTriageFlags)
+{
+    const CliOptions defaults = parseCliArgs({"verify"});
+    EXPECT_FALSE(defaults.failFast);
+    EXPECT_EQ(defaults.snapshotEvery, 0u);
+    EXPECT_EQ(defaults.budgetSec, 0.0);
+    EXPECT_TRUE(defaults.reproPath.empty());
+
+    const CliOptions o = parseCliArgs(
+        {"verify", "--fail-fast", "--snapshot-every", "256",
+         "--budget-sec", "1.5"});
+    EXPECT_TRUE(o.failFast);
+    EXPECT_EQ(o.snapshotEvery, 256u);
+    EXPECT_DOUBLE_EQ(o.budgetSec, 1.5);
+
+    const CliOptions r = parseCliArgs({"verify", "--repro", "div.json"});
+    EXPECT_EQ(r.reproPath, "div.json");
+
+    // Fpedge joined the standard mixes swept by verify.
+    EXPECT_EQ(parseCliArgs({"verify", "--mixes", "fpedge"}).mixNames,
+              (std::vector<std::string>{"fpedge"}));
+}
+
+TEST(ParseCliArgs, TriageFlagErrors)
+{
+    EXPECT_THROW(parseCliArgs({"verify", "--snapshot-every", "0"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--budget-sec", "0"}), CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--repro"}), CliError);
+    // Triage flags are verify-only.
+    EXPECT_THROW(parseCliArgs({"fig6", "--fail-fast"}), CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr", "--snapshot-every",
+                               "64"}),
+                 CliError);
+    // --repro replays the recorded spec; sweep axes don't combine.
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json", "--seeds",
+                               "5"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json", "--mixes",
+                               "branchy"}),
+                 CliError);
+    // --repro replays every recorded reproducer; campaign-shaping
+    // flags would be silently ignored, so they are rejected.
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
+                               "--fail-fast"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
+                               "--budget-sec", "5"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
+                               "--threads", "8"}),
+                 CliError);
+}
+
 TEST(ParseCliArgs, HelpAndListNeedNoMode)
 {
     EXPECT_TRUE(parseCliArgs({"--help"}).help);

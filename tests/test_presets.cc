@@ -111,5 +111,33 @@ TEST(Presets, PredictorNames)
     EXPECT_STREQ(predictorName(PredictorKind::Tage), "TAGE");
 }
 
+TEST(Presets, PresetNameForRoundTripsEveryCliPreset)
+{
+    for (const auto p : {PredictorKind::Gshare, PredictorKind::Tage}) {
+        EXPECT_EQ(presetNameFor(baselineConfig(p)), "baseline");
+        EXPECT_EQ(presetNameFor(cprConfig(p)), "cpr");
+        EXPECT_EQ(presetNameFor(idealMspConfig(p)), "ideal");
+        EXPECT_EQ(presetNameFor(nspConfig(16, p)), "16sp");
+        EXPECT_EQ(presetNameFor(nspConfig(8, p, false)), "8sp-noarb");
+    }
+}
+
+TEST(Presets, PresetNameForRejectsModifiedConfigs)
+{
+    // The contract: "" unless the name rebuilds this exact machine.
+    // A repro recorded under a near-miss name would replay the wrong
+    // config and could show clean for a still-live divergence.
+    MachineConfig m = nspConfig(16, PredictorKind::Gshare);
+    m.core.iqSize /= 2;
+    EXPECT_EQ(presetNameFor(m), "");
+
+    MachineConfig fault = nspConfig(16, PredictorKind::Gshare);
+    fault.core.commitFaultAt = 100;   // test-only injection knob
+    EXPECT_EQ(presetNameFor(fault), "");
+
+    MachineConfig cpr = cprConfig(PredictorKind::Gshare, 256);
+    EXPECT_EQ(presetNameFor(cpr), "");
+}
+
 } // namespace
 } // namespace msp

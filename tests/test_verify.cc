@@ -16,6 +16,7 @@
 #include "verify/fuzzer.hh"
 #include "verify/oracle.hh"
 #include "verify/report.hh"
+#include "verify/shrink.hh"
 
 namespace msp {
 namespace {
@@ -105,8 +106,75 @@ TEST(Fuzzer, MixLookup)
 {
     EXPECT_NE(verify::findMix("branchy"), nullptr);
     EXPECT_NE(verify::findMix("fploop"), nullptr);
+    EXPECT_NE(verify::findMix("fpedge"), nullptr);
     EXPECT_EQ(verify::findMix("nope"), nullptr);
-    EXPECT_EQ(verify::standardMixes().size(), 4u);
+    EXPECT_EQ(verify::standardMixes().size(), 5u);
+}
+
+TEST(Fuzzer, FpedgeSeedsCraftedBitPatterns)
+{
+    const verify::FuzzMix *fpedge = verify::findMix("fpedge");
+    ASSERT_NE(fpedge, nullptr);
+    EXPECT_GT(fpedge->fpEdgeProb, 0.0);
+
+    // Every seed's data image must carry several distinct crafted
+    // patterns — corner cases are reached by construction, not luck.
+    const auto &pats = verify::fpEdgePatterns();
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Program p = verify::fuzzProgram(seed, *fpedge);
+        std::set<std::uint64_t> found;
+        for (std::uint64_t w : p.initData)
+            for (std::uint64_t pat : pats)
+                if (w == pat && pat != 0)
+                    found.insert(w);
+        EXPECT_GE(found.size(), 3u) << "seed " << seed;
+    }
+}
+
+TEST(Fuzzer, FpedgeRunsCleanDifferentially)
+{
+    const verify::FuzzMix *fpedge = verify::findMix("fpedge");
+    ASSERT_NE(fpedge, nullptr);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        Program p = verify::fuzzProgram(seed, *fpedge);
+        verify::DiffOptions opt;
+        opt.snapshotEvery = 256;
+        DiffOutcome out =
+            verify::diffRun(p, nspConfig(16, PredictorKind::Gshare), opt);
+        EXPECT_TRUE(out.ok())
+            << "seed " << seed << ": "
+            << (out.divergences.empty()
+                    ? ""
+                    : out.divergences[0].kind + " " +
+                          out.divergences[0].detail);
+    }
+}
+
+// Regression for the hash asymmetry: the functional side used to feed
+// raw StepResult fields while the core side zeroed non-memory fields at
+// the call site. Masking now happens inside commit(), so records that
+// differ only in fields meaningless for the op hash identically.
+TEST(StreamHasher, StaleFieldsOfNonMemoryOpsDoNotChangeTheHash)
+{
+    verify::StreamHasher clean, stale;
+    // An ALU op: memAddr/storeValue are don't-care.
+    clean.commit(10, true, 42, false, false, 0, 0);
+    stale.commit(10, true, 42, false, false, 0xdeadbeef, 0x1234);
+    EXPECT_EQ(clean.h, stale.h);
+
+    // A load: storeValue is don't-care, memAddr is not.
+    verify::StreamHasher loadClean, loadStale, loadOther;
+    loadClean.commit(11, true, 7, true, false, 0x40, 0);
+    loadStale.commit(11, true, 7, true, false, 0x40, 0x9999);
+    loadOther.commit(11, true, 7, true, false, 0x48, 0);
+    EXPECT_EQ(loadClean.h, loadStale.h);
+    EXPECT_NE(loadClean.h, loadOther.h);
+
+    // A store hashes both address and data.
+    verify::StreamHasher st1, st2;
+    st1.commit(12, false, 0, false, true, 0x40, 5);
+    st2.commit(12, false, 0, false, true, 0x40, 6);
+    EXPECT_NE(st1.h, st2.h);
 }
 
 TEST(DiffOracle, AllCoreKindsMatchTheFunctionalModel)
@@ -160,6 +228,67 @@ TEST(DiffOracle, FaultInjectionCatchesOnEveryCoreKind)
         DiffOutcome out = verify::diffRun(p, cfg);
         EXPECT_FALSE(out.ok()) << cfg.name;
     }
+}
+
+TEST(DiffOracle, SnapshotCompareIsCleanOnCorrectCores)
+{
+    // Mid-run compares must never false-positive on a correct core.
+    for (const auto &cfg : {baselineConfig(PredictorKind::Gshare),
+                            cprConfig(PredictorKind::Gshare),
+                            nspConfig(16, PredictorKind::Gshare)}) {
+        Program p = verify::fuzzProgram(21);
+        verify::DiffOptions opt;
+        opt.snapshotEvery = 128;
+        DiffOutcome out = verify::diffRun(p, cfg, opt);
+        EXPECT_TRUE(out.ok()) << cfg.name;
+        EXPECT_FALSE(out.localized) << cfg.name;
+        EXPECT_EQ(out.snapshotEvery, 128u);
+    }
+}
+
+// The tentpole property: snapshot compare pins an injected fault to a
+// commit window no wider than the snapshot cadence, instead of "the
+// whole ~6k-instruction run diverged somewhere".
+TEST(DiffOracle, SnapshotCompareLocalizesAnInjectedFault)
+{
+    constexpr std::uint64_t cadence = 64;
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.commitFaultAt = 100;   // Nth reg-writing commit
+
+    verify::DiffOptions opt;
+    opt.snapshotEvery = cadence;
+    DiffOutcome out = verify::diffRun(p, cfg, opt);
+    ASSERT_FALSE(out.ok());
+    ASSERT_TRUE(out.localized);
+    EXPECT_LE(out.badWindowHi - out.badWindowLo, cadence);
+    // The corrupted commit is the 100th register write, so it cannot
+    // sit below commit index 100: the window must end past it...
+    EXPECT_GE(out.badWindowHi, 100u);
+    // ...and a correctly-localizing window starts well under the full
+    // run length.
+    EXPECT_LT(out.badWindowLo, out.committedRef);
+    bool snapshotKind = false;
+    for (const auto &d : out.divergences)
+        snapshotKind |= d.kind == "snapshot";
+    EXPECT_TRUE(snapshotKind);
+}
+
+// A commit bypassing the observer tap used to abort the whole campaign
+// process via msp_assert, contradicting the module contract that
+// divergences surface as reports. It must now be an "observer-count"
+// divergence.
+TEST(DiffOracle, DroppedObserverCallbackIsReportedNotFatal)
+{
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.observerFaultAt = 50;
+    DiffOutcome out = verify::diffRun(p, cfg);
+    ASSERT_FALSE(out.ok());
+    bool counted = false;
+    for (const auto &d : out.divergences)
+        counted |= d.kind == "observer-count";
+    EXPECT_TRUE(counted);
 }
 
 TEST(DiffOracle, RefBudgetExhaustionIsReported)
@@ -243,6 +372,253 @@ TEST(DiffCampaign, ProgressReportsEveryJobOnce)
     });
     EXPECT_EQ(calls, 3u);
     EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(DiffCampaign, FailFastSkipsAfterTheFirstDivergence)
+{
+    MachineConfig bad = nspConfig(16, PredictorKind::Gshare);
+    bad.core.commitFaultAt = 50;   // every job diverges
+
+    DiffCampaign c(1);             // deterministic in-order execution
+    c.addSweep({verify::standardMixes()[0]}, 4, 1, {bad});
+    c.setFailFast(true);
+    const auto outcomes = c.run();
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_FALSE(outcomes[0].ok());
+    EXPECT_FALSE(outcomes[0].skipped);
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].skipped) << i;
+        EXPECT_TRUE(outcomes[i].ok()) << i;
+    }
+    EXPECT_EQ(verify::countSkipped(outcomes), 3u);
+}
+
+TEST(DiffCampaign, ExhaustedBudgetSkipsEverything)
+{
+    DiffCampaign c(1);
+    c.addSweep({verify::standardMixes()[0]}, 3, 1,
+               {nspConfig(16, PredictorKind::Gshare)});
+    c.setBudgetSec(1e-9);          // expires before the first job starts
+    const auto outcomes = c.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (const auto &o : outcomes) {
+        EXPECT_TRUE(o.skipped);
+        EXPECT_TRUE(o.ok());
+    }
+    // Skipped jobs still carry their identity for the report.
+    EXPECT_EQ(outcomes[0].config, "16-SP+Arb");
+    EXPECT_NE(outcomes[0].seed, 0u);
+}
+
+TEST(DiffCampaign, SnapshotEveryIsAppliedToEveryJob)
+{
+    DiffCampaign c(1);
+    c.addSweep({verify::standardMixes()[0]}, 2, 1,
+               {nspConfig(16, PredictorKind::Gshare)});
+    c.setSnapshotEvery(128);
+    for (const auto &j : c.pending())
+        EXPECT_EQ(j.snapshotEvery, 128u);
+    const auto outcomes = c.run();
+    for (const auto &o : outcomes) {
+        EXPECT_TRUE(o.ok());
+        EXPECT_EQ(o.snapshotEvery, 128u);
+    }
+}
+
+// The shrinking acceptance property: from a diverging job, the shrinker
+// must emit a reproducing program strictly smaller than the original
+// that replays to the same divergence kind.
+TEST(Shrink, EmitsAStrictlySmallerReproducerOfTheSameKind)
+{
+    verify::DiffJob job;
+    job.mix = verify::standardMixes()[0];
+    job.seed = 42;
+    job.config = nspConfig(16, PredictorKind::Gshare);
+    job.config.core.commitFaultAt = 100;
+    job.snapshotEvery = 64;
+
+    Program p = verify::fuzzProgram(job.seed, job.mix);
+    verify::DiffOptions dopt;
+    dopt.snapshotEvery = job.snapshotEvery;
+    const DiffOutcome orig = verify::diffRun(p, job.config, dopt);
+    ASSERT_FALSE(orig.ok());
+
+    const verify::ShrinkResult res = verify::shrinkDivergence(job, orig);
+    EXPECT_TRUE(res.reproduced);
+    EXPECT_TRUE(res.shrunk);
+    EXPECT_LT(res.shrunkDynamic, res.origDynamic);
+    EXPECT_GT(res.attempts, 1u);
+    EXPECT_FALSE(res.repro.kind.empty());
+    // The injected fault makes this config deliberately *not*
+    // CLI-reachable, so no preset may be recorded — replaying "16sp"
+    // would show clean and the repro would lie.
+    EXPECT_EQ(res.repro.preset, "");
+    EXPECT_EQ(verify::shrinkDivergence(
+                  [&] {
+                      verify::DiffJob clean = job;
+                      clean.config = nspConfig(16, PredictorKind::Gshare);
+                      return clean;
+                  }(),
+                  orig)
+                  .repro.preset,
+              "16sp");
+
+    // The recorded kind is one the original run reported...
+    bool inOrig = false;
+    for (const auto &d : orig.divergences)
+        inOrig |= d.kind == res.repro.kind;
+    EXPECT_TRUE(inOrig);
+
+    // ...and regenerating the program from (seed, shrunk mix) replays
+    // to that same kind deterministically.
+    Program small = verify::fuzzProgram(res.repro.seed, res.repro.mix);
+    EXPECT_LT(small.code.size(), p.code.size());
+    const DiffOutcome replay = verify::diffRun(small, job.config, dopt);
+    bool sameKind = false;
+    for (const auto &d : replay.divergences)
+        sameKind |= d.kind == res.repro.kind;
+    EXPECT_TRUE(sameKind);
+
+    // The fault still fires in the shrunk program, so its dynamic
+    // length cannot go below the fault's commit index.
+    EXPECT_GE(res.shrunkDynamic, 100u);
+}
+
+TEST(Shrink, NonReproducingDivergenceIsReportedAsSuch)
+{
+    // A clean job handed to the shrinker (as if the divergence were a
+    // one-off of a flaky host) must come back reproduced=false rather
+    // than looping.
+    verify::DiffJob job;
+    job.mix = verify::standardMixes()[0];
+    job.seed = 7;
+    job.config = nspConfig(16, PredictorKind::Gshare);
+
+    DiffOutcome fake;
+    fake.divergences.push_back({"stream", "synthetic"});
+    const verify::ShrinkResult res = verify::shrinkDivergence(job, fake);
+    EXPECT_FALSE(res.reproduced);
+    EXPECT_FALSE(res.shrunk);
+    EXPECT_EQ(res.attempts, 1u);
+}
+
+TEST(Shrink, ShrinkFailuresSelectsOnlyShrinkableOutcomes)
+{
+    MachineConfig good = nspConfig(16, PredictorKind::Gshare);
+    MachineConfig bad = good;
+    bad.core.commitFaultAt = 60;
+
+    std::vector<verify::DiffJob> jobs(3);
+    for (auto &j : jobs) {
+        j.mix = verify::standardMixes()[0];
+        j.seed = 42;
+        j.config = good;
+    }
+    jobs[1].config = bad;
+
+    std::vector<DiffOutcome> outcomes(3);
+    Program p = verify::fuzzProgram(42, jobs[0].mix);
+    outcomes[0] = verify::diffRun(p, jobs[0].config);   // clean
+    outcomes[1] = verify::diffRun(p, jobs[1].config);   // divergent
+    outcomes[2].skipped = true;                         // never ran
+
+    std::size_t calls = 0;
+    const auto results = verify::shrinkFailures(
+        jobs, outcomes, verify::ShrinkOptions{},
+        [&](const verify::ShrinkResult &, std::size_t done,
+            std::size_t total) {
+            ++calls;
+            EXPECT_EQ(total, 1u);
+            EXPECT_LE(done, total);
+        });
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(calls, 1u);
+    EXPECT_TRUE(results[0].reproduced);
+}
+
+TEST(Shrink, BudgetSpansTheWholeFailureList)
+{
+    // The wall-clock budget is one deadline across every failing job,
+    // not a fresh grant per job: with an already-expired budget the
+    // pass gives up immediately instead of confirming each failure.
+    MachineConfig bad = nspConfig(16, PredictorKind::Gshare);
+    bad.core.commitFaultAt = 60;
+
+    std::vector<verify::DiffJob> jobs(2);
+    for (auto &j : jobs) {
+        j.mix = verify::standardMixes()[0];
+        j.seed = 42;
+        j.config = bad;
+    }
+    Program p = verify::fuzzProgram(42, jobs[0].mix);
+    std::vector<DiffOutcome> outcomes(2);
+    outcomes[0] = verify::diffRun(p, bad);
+    outcomes[1] = outcomes[0];
+    ASSERT_FALSE(outcomes[0].ok());
+
+    verify::ShrinkOptions sopt;
+    sopt.budgetSec = 1e-9;
+    const auto results = verify::shrinkFailures(jobs, outcomes, sopt);
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(VerifyReport, ReproRoundTripsThroughJson)
+{
+    verify::DiffJob job;
+    job.mix = verify::standardMixes()[0];
+    job.seed = 42;
+    job.config = nspConfig(16, PredictorKind::Gshare);
+    job.config.core.commitFaultAt = 100;
+
+    Program p = verify::fuzzProgram(job.seed, job.mix);
+    const DiffOutcome orig = verify::diffRun(p, job.config);
+    ASSERT_FALSE(orig.ok());
+    verify::ShrinkOptions sopt;
+    sopt.maxAttempts = 8;   // a partial shrink round-trips just as well
+    const verify::ShrinkResult res =
+        verify::shrinkDivergence(job, orig, sopt);
+    ASSERT_TRUE(res.reproduced);
+
+    const std::string json = verify::toJson({orig}, {res});
+    EXPECT_NE(json.find("\"repros\": ["), std::string::npos);
+
+    const auto specs = verify::parseRepros(json);
+    ASSERT_EQ(specs.size(), 1u);
+    const verify::ReproSpec &spec = specs[0];
+    EXPECT_EQ(spec.seed, res.repro.seed);
+    // Fault-injected configs are not CLI-reachable, so no preset is
+    // recorded (see presetNameFor); the mix/seed still round-trip.
+    EXPECT_EQ(spec.preset, "");
+    EXPECT_EQ(spec.predictor, "gshare");
+    EXPECT_EQ(spec.kind, res.repro.kind);
+    EXPECT_EQ(spec.mix.name, res.repro.mix.name);
+    EXPECT_EQ(spec.mix.targetDynamic, res.repro.mix.targetDynamic);
+    EXPECT_EQ(spec.mix.blocksMax, res.repro.mix.blocksMax);
+    EXPECT_EQ(spec.mix.segMax, res.repro.mix.segMax);
+    EXPECT_EQ(spec.mix.tripMax, res.repro.mix.tripMax);
+    EXPECT_EQ(spec.mix.memWords, res.repro.mix.memWords);
+    EXPECT_DOUBLE_EQ(spec.mix.loopProb, res.repro.mix.loopProb);
+    EXPECT_DOUBLE_EQ(spec.mix.weights.fp, res.repro.mix.weights.fp);
+    EXPECT_DOUBLE_EQ(spec.mix.fpEdgeProb, res.repro.mix.fpEdgeProb);
+
+    // The parsed spec regenerates a byte-identical program: replaying
+    // it on the same (faulty) machine reproduces the divergence.
+    Program replayProg = verify::fuzzProgram(spec.seed, spec.mix);
+    EXPECT_TRUE(sameProgram(
+        replayProg, verify::fuzzProgram(res.repro.seed, res.repro.mix)));
+    const DiffOutcome replay = verify::diffRun(replayProg, job.config);
+    bool sameKind = false;
+    for (const auto &d : replay.divergences)
+        sameKind |= d.kind == spec.kind;
+    EXPECT_TRUE(sameKind);
+}
+
+TEST(VerifyReport, ParseReprosToleratesForeignDocuments)
+{
+    EXPECT_TRUE(verify::parseRepros("").empty());
+    EXPECT_TRUE(verify::parseRepros("{\"jobs\": []}").empty());
+    EXPECT_TRUE(verify::parseRepros("{\"verify\": {\"repros\": []}}")
+                    .empty());
 }
 
 TEST(VerifyReport, JsonCarriesOutcomesAndDivergences)

@@ -17,6 +17,8 @@
  * this file only renders usage/reports and wires the campaigns.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +32,7 @@
 #include "sim/presets.hh"
 #include "verify/diff_campaign.hh"
 #include "verify/report.hh"
+#include "verify/shrink.hh"
 
 namespace {
 
@@ -66,12 +69,24 @@ printUsage(std::FILE *to)
         "verify mode (differential fuzzing against the functional "
         "executor):\n"
         "  --seeds N      fuzzed programs per mix (default 100)\n"
-        "  --mixes A,B    fuzz mixes: mixed, branchy, memory, fploop\n"
-        "                 (default: all)\n"
+        "  --mixes A,B    fuzz mixes: mixed, branchy, memory, fploop,\n"
+        "                 fpedge (default: all)\n"
         "  --configs      presets to verify (default: the full Table I\n"
         "                 ladder incl. Baseline and CPR)\n"
         "  --predictor    gshare (default) or tage\n"
         "  --seed N       base seed for program generation (default 1)\n"
+        "  --snapshot-every N\n"
+        "                 compare architectural state against the\n"
+        "                 functional model every N commits, localising\n"
+        "                 a divergence to a commit window\n"
+        "  --fail-fast    stop starting new jobs after the first\n"
+        "                 divergence (remaining jobs report skipped)\n"
+        "  --budget-sec S wall-clock budget; jobs not started in time\n"
+        "                 report skipped\n"
+        "  --repro FILE   replay the shrunk reproducers recorded in a\n"
+        "                 --json divergence report\n"
+        "  Divergent jobs are re-fuzzed through the shrinker; minimal\n"
+        "  reproducers land in the --json report under \"repros\".\n"
         "  exit status 1 when any run diverges\n",
         to);
 }
@@ -109,9 +124,102 @@ runMatrix(const CliOptions &o)
     return results;
 }
 
+void
+printDivergences(const verify::DiffOutcome &out, std::size_t done,
+                 std::size_t total)
+{
+    if (out.ok() || out.skipped)
+        return;
+    std::fprintf(stderr, "  DIVERGENCE [%zu/%zu] %s seed=%llu %s:\n",
+                 done, total, out.mix.c_str(),
+                 static_cast<unsigned long long>(out.seed),
+                 out.config.c_str());
+    for (const auto &d : out.divergences)
+        std::fprintf(stderr, "    %-14s %s\n", d.kind.c_str(),
+                     d.detail.c_str());
+}
+
+/** Replay the shrunk reproducers of a saved divergence report. */
+int
+runRepro(const CliOptions &o)
+{
+    const std::string doc = driver::readFile(o.reproPath);
+    const std::vector<verify::ReproSpec> specs = verify::parseRepros(doc);
+    if (specs.empty()) {
+        std::fprintf(stderr,
+                     "msp_sim: no repros found in %s (a clean report, "
+                     "or not a verify --json report)\n",
+                     o.reproPath.c_str());
+        return 2;
+    }
+
+    std::vector<verify::DiffOutcome> outcomes;
+    std::size_t unreplayable = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const verify::ReproSpec &spec = specs[i];
+        if (spec.preset.empty()) {
+            std::fprintf(stderr,
+                         "  repro %zu: config is not a CLI preset; "
+                         "skipping\n", i);
+            ++unreplayable;
+            continue;
+        }
+        const PredictorKind pred = spec.predictor == "tage"
+                                       ? PredictorKind::Tage
+                                       : PredictorKind::Gshare;
+        MachineConfig cfg;
+        try {
+            cfg = configByName(spec.preset, pred);
+        } catch (const CliError &e) {
+            // A hand-edited or cross-version report names a preset
+            // this binary does not know; skip it like a missing one.
+            std::fprintf(stderr, "  repro %zu: %s; skipping\n", i,
+                         e.what());
+            ++unreplayable;
+            continue;
+        }
+        const Program prog = verify::fuzzProgram(spec.seed, spec.mix);
+
+        verify::DiffOptions dopt;
+        dopt.maxInsts = o.instrs ? o.instrs : spec.maxInsts;
+        dopt.snapshotEvery =
+            o.snapshotEvery ? o.snapshotEvery : spec.snapshotEvery;
+        verify::DiffOutcome out = verify::diffRun(prog, cfg, dopt);
+        out.mix = spec.mix.name;
+        out.seed = spec.seed;
+
+        if (!o.quiet) {
+            std::printf("repro %zu/%zu: mix=%s seed=%llu %s expecting "
+                        "'%s' -> %s\n",
+                        i + 1, specs.size(), spec.mix.name.c_str(),
+                        static_cast<unsigned long long>(spec.seed),
+                        cfg.name.c_str(), spec.kind.c_str(),
+                        out.ok() ? "clean"
+                                 : out.divergences[0].kind.c_str());
+        }
+        printDivergences(out, i + 1, specs.size());
+        outcomes.push_back(std::move(out));
+    }
+
+    if (!o.jsonPath.empty())
+        driver::writeFile(o.jsonPath, verify::toJson(outcomes));
+    if (outcomes.empty()) {
+        // Exit 0 here would read as "replayed clean" when nothing ran.
+        std::fprintf(stderr,
+                     "msp_sim: none of the %zu repro(s) were "
+                     "replayable (%zu with no usable CLI preset)\n",
+                     specs.size(), unreplayable);
+        return 2;
+    }
+    return verify::countDivergences(outcomes) == 0 ? 0 : 1;
+}
+
 int
 runVerify(const CliOptions &o)
 {
+    if (!o.reproPath.empty())
+        return runRepro(o);
+
     std::vector<MachineConfig> configs;
     if (o.configNames.empty()) {
         configs = figureLadder(o.predictor);
@@ -131,6 +239,9 @@ runVerify(const CliOptions &o)
     verify::DiffCampaign campaign(o.threads);
     campaign.addSweep(mixes, o.seeds, o.seed, configs,
                       o.instrs ? o.instrs : (1u << 20));
+    campaign.setSnapshotEvery(o.snapshotEvery);
+    campaign.setFailFast(o.failFast);
+    campaign.setBudgetSec(o.budgetSec);
     if (!o.quiet) {
         std::printf("Differential verification: %u seed(s) x %zu "
                     "mix(es) x %zu config(s) (%s). Jobs: %zu on %u "
@@ -143,23 +254,51 @@ runVerify(const CliOptions &o)
 
     // Progress: stay silent per job (campaigns run thousands), but
     // report every divergence the moment it is found.
-    auto progress = [&](const verify::DiffOutcome &out, std::size_t done,
-                        std::size_t total) {
-        if (!out.ok()) {
-            std::fprintf(stderr,
-                         "  DIVERGENCE [%zu/%zu] %s seed=%llu %s:\n",
-                         done, total, out.mix.c_str(),
-                         static_cast<unsigned long long>(out.seed),
-                         out.config.c_str());
-            for (const auto &d : out.divergences)
-                std::fprintf(stderr, "    %-12s %s\n", d.kind.c_str(),
-                             d.detail.c_str());
+    const auto campaignStart = std::chrono::steady_clock::now();
+    const auto outcomes = campaign.run(printDivergences);
+
+    // Re-fuzz every divergent job through the shrinker so the report
+    // carries a minimal reproducer, not just a whole-run mismatch.
+    // --budget-sec bounds campaign *and* shrinking together: the
+    // shrinker gets whatever the campaign left over.
+    std::vector<verify::ShrinkResult> shrinks;
+    if (verify::countDivergences(outcomes) > 0) {
+        if (!o.quiet)
+            std::printf("\nShrinking divergent job(s)...\n");
+        verify::ShrinkOptions sopt;
+        if (o.budgetSec > 0.0) {
+            const std::chrono::duration<double> spent =
+                std::chrono::steady_clock::now() - campaignStart;
+            // Never go below a token slice: shrinkFailures treats an
+            // expired deadline as "skip everything", and 0 means
+            // "no budget" — an exhausted campaign should not unbound
+            // the shrinker.
+            sopt.budgetSec = std::max(1e-3, o.budgetSec - spent.count());
         }
-    };
-    const auto outcomes = campaign.run(progress);
+        shrinks = verify::shrinkFailures(
+            campaign.pending(), outcomes, sopt,
+            [&](const verify::ShrinkResult &s, std::size_t done,
+                std::size_t total) {
+                if (o.quiet)
+                    return;
+                std::printf("  [%zu/%zu] seed=%llu %s: %s '%s' "
+                            "dynamic %llu -> %llu (%u attempts)\n",
+                            done, total,
+                            static_cast<unsigned long long>(s.repro.seed),
+                            s.outcome.config.c_str(),
+                            s.reproduced
+                                ? (s.shrunk ? "shrunk" : "reproduced")
+                                : "did not re-reproduce",
+                            s.repro.kind.c_str(),
+                            static_cast<unsigned long long>(s.origDynamic),
+                            static_cast<unsigned long long>(
+                                s.shrunkDynamic),
+                            s.attempts);
+            });
+    }
 
     // Per-config summary.
-    struct Tally { std::size_t jobs = 0, divergent = 0; };
+    struct Tally { std::size_t jobs = 0, divergent = 0, skipped = 0; };
     std::vector<std::pair<std::string, Tally>> tallies;
     for (const auto &out : outcomes) {
         Tally *t = nullptr;
@@ -172,22 +311,42 @@ runVerify(const CliOptions &o)
         }
         ++t->jobs;
         t->divergent += out.ok() ? 0 : 1;
+        t->skipped += out.skipped ? 1 : 0;
     }
     msp::Table t("Differential verification");
-    t.header({"config", "runs", "divergent"});
+    t.header({"config", "runs", "divergent", "skipped"});
     for (const auto &[name, tally] : tallies)
         t.row({name, std::to_string(tally.jobs),
-               std::to_string(tally.divergent)});
+               std::to_string(tally.divergent),
+               std::to_string(tally.skipped)});
     if (!o.quiet)
         std::fputs(t.str().c_str(), stdout);
 
     if (!o.jsonPath.empty())
-        driver::writeFile(o.jsonPath, verify::toJson(outcomes));
+        driver::writeFile(o.jsonPath, verify::toJson(outcomes, shrinks));
 
     const std::size_t divergences = verify::countDivergences(outcomes);
+    const std::size_t skipped = verify::countSkipped(outcomes);
     if (!o.quiet) {
-        std::printf("\n%zu run(s), %zu divergence(s).\n",
-                    outcomes.size(), divergences);
+        std::printf("\n%zu run(s), %zu divergence(s), %zu skipped.\n",
+                    outcomes.size(), divergences, skipped);
+    }
+    if (divergences == 0 && skipped == outcomes.size() &&
+        !outcomes.empty()) {
+        // An exhausted --budget-sec must not read as a clean sweep:
+        // nothing was actually verified.
+        std::fprintf(stderr,
+                     "msp_sim: budget expired before any job ran — "
+                     "nothing was verified\n");
+        return 2;
+    }
+    if (skipped > 0) {
+        // Even under --quiet: a partial sweep that exits 0 must leave
+        // a trace that it was partial.
+        std::fprintf(stderr,
+                     "msp_sim: partial sweep — %zu of %zu job(s) "
+                     "skipped (fail-fast/budget)\n",
+                     skipped, outcomes.size());
     }
     return divergences == 0 ? 0 : 1;
 }
