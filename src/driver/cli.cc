@@ -3,8 +3,10 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "driver/report.hh"
 #include "driver/scenario.hh"
 #include "sim/presets.hh"
+#include "sim/spec.hh"
 #include "verify/fuzzer.hh"
 
 namespace msp {
@@ -32,24 +34,62 @@ splitCommas(const std::string &s)
 MachineConfig
 configByName(const std::string &name, PredictorKind predictor)
 {
-    if (name == "baseline")
-        return baselineConfig(predictor);
-    if (name == "cpr")
-        return cprConfig(predictor);
-    if (name == "ideal")
-        return idealMspConfig(predictor);
-    // <n>sp or <n>sp-noarb, e.g. "16sp", "64sp-noarb".
-    const std::size_t sp = name.find("sp");
-    if (sp != std::string::npos && sp > 0) {
-        const unsigned n =
-            static_cast<unsigned>(std::atoi(name.substr(0, sp).c_str()));
-        const std::string suffix = name.substr(sp);
-        if (n > 0 && (suffix == "sp" || suffix == "sp-noarb"))
-            return nspConfig(n, predictor, suffix == "sp");
+    try {
+        return presetByName(name, predictor);
+    } catch (const SpecError &e) {
+        throw CliError(e.what());
     }
-    throw CliError(csprintf("unknown config '%s' (want baseline, cpr, "
-                            "ideal, <n>sp or <n>sp-noarb)",
-                            name.c_str()));
+}
+
+void
+applySpecSets(std::vector<MachineConfig> &machines,
+              const std::vector<std::string> &sets)
+{
+    for (MachineConfig &m : machines) {
+        const MachineConfig before = m;
+        for (const std::string &kv : sets) {
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                throw CliError(csprintf("--set needs key=value, got "
+                                        "'%s'", kv.c_str()));
+            }
+            try {
+                setParamFromString(m, kv.substr(0, eq),
+                                   kv.substr(eq + 1));
+            } catch (const SpecError &e) {
+                throw CliError(std::string("--set ") + e.what());
+            }
+        }
+        // Overrides that changed the spec invalidate the preset label;
+        // a no-op --set keeps the machine's pretty name.
+        if (!sameSpec(before, m))
+            m.name = describeSpec(m);
+    }
+}
+
+std::vector<MachineConfig>
+resolveMachines(const CliOptions &o)
+{
+    std::vector<MachineConfig> machines;
+    for (const std::string &n : o.configNames)
+        machines.push_back(configByName(n, o.predictor));
+    if (!o.machinePath.empty()) {
+        std::string doc;
+        if (!tryReadFile(o.machinePath, doc)) {
+            throw CliError(csprintf("cannot read machine spec %s",
+                                    o.machinePath.c_str()));
+        }
+        try {
+            // --predictor seeds partial spec files; a file that sets
+            // its own "predictor" key keeps it (a spec is complete).
+            machines.push_back(specFromJson(doc, o.predictor));
+        } catch (const SpecError &e) {
+            throw CliError(csprintf("%s: %s", o.machinePath.c_str(),
+                                    e.what()));
+        }
+    }
+    applySpecSets(machines, o.sets);
+    return machines;
 }
 
 CliOptions
@@ -104,6 +144,10 @@ parseCliArgs(const std::vector<std::string> &args)
                 throw CliError("--budget-sec needs a value > 0");
         } else if (a == "--repro") {
             o.reproPath = value(i);
+        } else if (a == "--machine") {
+            o.machinePath = value(i);
+        } else if (a == "--set") {
+            o.sets.push_back(value(i));
         } else if (a == "--workloads") {
             o.workloads = splitCommas(value(i));
         } else if (a == "--configs") {
@@ -138,11 +182,34 @@ parseCliArgs(const std::vector<std::string> &args)
     for (const std::string &c : o.configNames)
         (void)configByName(c, o.predictor);
 
+    // Every --set override must name a registered parameter and carry a
+    // valid value (proven against a scratch machine) — fail at parse,
+    // not mid-campaign.
+    {
+        std::vector<MachineConfig> scratch(1);
+        applySpecSets(scratch, o.sets);
+    }
+
     const bool triageFlags = o.failFast || o.snapshotEvery != 0 ||
                              o.budgetSec > 0.0 || !o.reproPath.empty();
-    if (o.mode == "matrix") {
-        if (o.workloads.empty() || o.configNames.empty())
-            throw CliError("matrix mode needs --workloads and --configs");
+    const bool specSources = !o.machinePath.empty() || !o.sets.empty();
+    if (o.mode == "spec") {
+        if (o.configNames.size() + (o.machinePath.empty() ? 0 : 1) != 1) {
+            throw CliError("spec mode needs exactly one machine: one "
+                           "--configs preset or one --machine FILE");
+        }
+        if (!o.workloads.empty() || seedsSet || seedSet ||
+            !o.mixNames.empty() || !o.csvPath.empty() || triageFlags ||
+            threadsSet || o.instrs != 0) {
+            throw CliError("spec mode only takes --configs/--machine/"
+                           "--set/--predictor/--json/--quiet");
+        }
+    } else if (o.mode == "matrix") {
+        if (o.workloads.empty() ||
+            (o.configNames.empty() && o.machinePath.empty())) {
+            throw CliError("matrix mode needs --workloads and a machine "
+                           "(--configs and/or --machine)");
+        }
         if (seedsSet || !o.mixNames.empty())
             throw CliError("--seeds/--mixes only apply to verify mode");
         if (triageFlags)
@@ -165,10 +232,11 @@ parseCliArgs(const std::vector<std::string> &args)
         }
         if (!o.reproPath.empty() &&
             (seedsSet || seedSet || !o.mixNames.empty() ||
-             !o.configNames.empty() || predictorSet)) {
+             !o.configNames.empty() || predictorSet || specSources)) {
             throw CliError("--repro replays the report's own seed/mix/"
-                           "config; --seeds/--seed/--mixes/--configs/"
-                           "--predictor do not combine with it");
+                           "machine spec; --seeds/--seed/--mixes/"
+                           "--configs/--machine/--set/--predictor do "
+                           "not combine with it");
         }
         if (!o.reproPath.empty() &&
             (o.failFast || o.budgetSec > 0.0 || threadsSet)) {
@@ -184,12 +252,12 @@ parseCliArgs(const std::vector<std::string> &args)
         // flags would mislabel the results the user asked for.
         if (!o.workloads.empty() || !o.configNames.empty() ||
             predictorSet || seedSet || seedsSet || !o.mixNames.empty() ||
-            triageFlags) {
+            triageFlags || specSources) {
             throw CliError(csprintf(
-                "--workloads/--configs/--predictor/--seed/--seeds/"
-                "--mixes/--fail-fast/--snapshot-every/--budget-sec/"
-                "--repro only apply to matrix or verify mode, not "
-                "scenario '%s'", o.mode.c_str()));
+                "--workloads/--configs/--machine/--set/--predictor/"
+                "--seed/--seeds/--mixes/--fail-fast/--snapshot-every/"
+                "--budget-sec/--repro only apply to matrix, verify or "
+                "spec mode, not scenario '%s'", o.mode.c_str()));
         }
     }
     return o;

@@ -29,7 +29,7 @@ struct CliError : std::runtime_error
 /** Parsed msp_sim invocation. */
 struct CliOptions
 {
-    std::string mode;          ///< scenario name, "matrix" or "verify"
+    std::string mode;     ///< scenario name, "matrix", "verify" or "spec"
     bool help = false;         ///< --help: print usage, exit 0
     bool list = false;         ///< --list: print scenarios, exit 0
     unsigned threads = 0;      ///< 0 = all hardware threads
@@ -40,9 +40,13 @@ struct CliOptions
     std::string csvPath;
     bool quiet = false;
     std::vector<std::string> workloads;    ///< matrix
-    std::vector<std::string> configNames;  ///< matrix + verify
+    std::vector<std::string> configNames;  ///< matrix + verify + spec
     std::vector<std::string> mixNames;     ///< verify
     PredictorKind predictor = PredictorKind::Gshare;
+
+    // ---- MachineSpec sources (matrix / verify / spec modes) ---------------
+    std::string machinePath;           ///< --machine FILE spec to load
+    std::vector<std::string> sets;     ///< --set key=value, in flag order
 
     // ---- verify-mode triage knobs -----------------------------------------
     bool failFast = false;             ///< stop starting jobs on divergence
@@ -55,11 +59,30 @@ struct CliOptions
 std::vector<std::string> splitCommas(const std::string &s);
 
 /**
- * Resolve a preset name: baseline, cpr, ideal, <n>sp or <n>sp-noarb.
+ * Resolve a preset name: default, baseline, cpr, ideal, <n>sp or
+ * <n>sp-noarb (sim::presetByName with SpecError mapped to CliError).
  * @throws CliError on anything else.
  */
 MachineConfig configByName(const std::string &name,
                            PredictorKind predictor);
+
+/**
+ * Apply @p sets ("key=value" each, already syntax-checked by
+ * parseCliArgs) to every machine, relabelling any machine whose spec
+ * actually changed with its describeSpec() identity.
+ * @throws CliError naming the key on unknown/invalid overrides.
+ */
+void applySpecSets(std::vector<MachineConfig> &machines,
+                   const std::vector<std::string> &sets);
+
+/**
+ * Materialise the machine list of a parsed invocation with the
+ * documented precedence: presets named by --configs, then the
+ * --machine FILE spec (parsed through sim/spec.hh), then every --set
+ * override applied on top of all of them.
+ * @throws CliError on unreadable/unparseable specs or bad overrides.
+ */
+std::vector<MachineConfig> resolveMachines(const CliOptions &o);
 
 /**
  * Parse and validate argv[1..] (program name excluded).

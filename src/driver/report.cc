@@ -4,24 +4,29 @@
 
 #include "common/logging.hh"
 #include "sim/presets.hh"
+#include "sim/spec.hh"
 
 namespace msp {
 namespace driver {
 
 namespace {
 
-/** The flat per-job record shared by both serialisers. */
+/**
+ * The flat per-job record shared by both serialisers. Fields are
+ * emitted in registration order here (and the embedded machine spec in
+ * sim/spec.hh registration order), so reports diff stably run-to-run.
+ */
 struct Field
 {
     const char *name;
-    enum { Str, U64, F64 } kind;
+    enum { Str, U64, F64, Json } kind;   ///< Json: raw, JSON-only
     std::string s;
     std::uint64_t u = 0;
     double f = 0.0;
 };
 
 std::vector<Field>
-fieldsOf(const JobResult &jr)
+fieldsOf(const JobResult &jr, bool withMachine)
 {
     const RunResult &r = jr.result;
     auto str = [](const char *n, std::string v) {
@@ -37,11 +42,20 @@ fieldsOf(const JobResult &jr)
         f.f = v;
         return f;
     };
+    auto raw = [](const char *n, std::string v) {
+        return Field{n, Field::Json, std::move(v)};
+    };
     return {
         u64("index", jr.index),
         str("scenario", jr.job.scenario),
         str("workload", r.workload),
         str("config", r.config),
+        // The complete machine spec, not just its display name: any
+        // job in a JSON report can be rebuilt exactly (feed the object
+        // to `msp_sim ... --machine FILE`). JSON-only — rendering it
+        // per row would be wasted work on the flat CSV path.
+        withMachine ? raw("machine", specToJson(jr.job.config))
+                    : Field{"machine", Field::Json, ""},
         str("predictor", predictorName(jr.job.config.predictor)),
         u64("seed", jr.job.seed),
         u64("max_insts",
@@ -103,7 +117,7 @@ toJson(const std::vector<JobResult> &results)
     std::string out = "{\n  \"jobs\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
         out += i ? ",\n    {" : "\n    {";
-        const auto fields = fieldsOf(results[i]);
+        const auto fields = fieldsOf(results[i], true);
         for (std::size_t fi = 0; fi < fields.size(); ++fi) {
             const Field &f = fields[fi];
             out += fi ? ", " : "";
@@ -119,6 +133,9 @@ toJson(const std::vector<JobResult> &results)
                 break;
               case Field::F64:
                 out += numStr(f.f);
+                break;
+              case Field::Json:
+                out += f.s;   // pre-rendered JSON value
                 break;
             }
         }
@@ -146,22 +163,32 @@ toCsv(const std::vector<JobResult> &results)
         q += '"';
         return q;
     };
-    const auto head = fieldsOf(results.front());
-    for (std::size_t fi = 0; fi < head.size(); ++fi) {
-        out += fi ? "," : "";
-        out += head[fi].name;
+    // CSV stays flat: structured (Json) fields are JSON-report-only
+    // and not even rendered for this path.
+    const auto head = fieldsOf(results.front(), false);
+    bool first = true;
+    for (const Field &f : head) {
+        if (f.kind == Field::Json)
+            continue;
+        out += first ? "" : ",";
+        out += f.name;
+        first = false;
     }
     out += '\n';
     for (const auto &jr : results) {
-        const auto fields = fieldsOf(jr);
-        for (std::size_t fi = 0; fi < fields.size(); ++fi) {
-            const Field &f = fields[fi];
-            out += fi ? "," : "";
+        const auto fields = fieldsOf(jr, false);
+        first = true;
+        for (const Field &f : fields) {
+            if (f.kind == Field::Json)
+                continue;
+            out += first ? "" : ",";
             switch (f.kind) {
               case Field::Str: out += csvQuote(f.s); break;
               case Field::U64: out += std::to_string(f.u); break;
               case Field::F64: out += numStr(f.f); break;
+              case Field::Json: break;
             }
+            first = false;
         }
         out += '\n';
     }
@@ -180,21 +207,28 @@ writeFile(const std::string &path, const std::string &content)
         msp_fatal("short write to %s", path.c_str());
 }
 
-std::string
-readFile(const std::string &path)
+bool
+tryReadFile(const std::string &path, std::string &out)
 {
     std::FILE *f = std::fopen(path.c_str(), "r");
     if (!f)
-        msp_fatal("cannot open %s for reading", path.c_str());
-    std::string content;
+        return false;
+    out.clear();
     char buf[4096];
     std::size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        content.append(buf, n);
+        out.append(buf, n);
     const bool bad = std::ferror(f);
     std::fclose(f);
-    if (bad)
-        msp_fatal("read error on %s", path.c_str());
+    return !bad;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::string content;
+    if (!tryReadFile(path, content))
+        msp_fatal("cannot read %s", path.c_str());
     return content;
 }
 

@@ -33,6 +33,12 @@ void writeFile(const std::string &path, const std::string &content);
 /** Read all of @p path; msp_fatal on I/O failure. */
 std::string readFile(const std::string &path);
 
+/**
+ * Read all of @p path into @p out; false on I/O failure. The variant
+ * for callers that own their error reporting (CLI exit-code policy).
+ */
+bool tryReadFile(const std::string &path, std::string &out);
+
 } // namespace driver
 } // namespace msp
 

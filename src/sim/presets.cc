@@ -1,6 +1,9 @@
 #include "sim/presets.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
+#include "sim/spec.hh"
 
 namespace msp {
 
@@ -91,75 +94,44 @@ idealMspConfig(PredictorKind predictor)
     return m;
 }
 
-namespace {
-
-/** Field-by-field CoreParams equality (no operator== on the struct). */
-bool
-sameCore(const CoreParams &a, const CoreParams &b)
+MachineConfig
+presetByName(const std::string &name, PredictorKind predictor)
 {
-    return a.kind == b.kind && a.fetchWidth == b.fetchWidth &&
-           a.renameWidth == b.renameWidth &&
-           a.issueWidth == b.issueWidth &&
-           a.retireWidth == b.retireWidth &&
-           a.frontendDepth == b.frontendDepth && a.iqSize == b.iqSize &&
-           a.robSize == b.robSize && a.numIntPhys == b.numIntPhys &&
-           a.numFpPhys == b.numFpPhys && a.ldqSize == b.ldqSize &&
-           a.sq1Size == b.sq1Size && a.sq2Size == b.sq2Size &&
-           a.infiniteSq == b.infiniteSq && a.intUnits == b.intUnits &&
-           a.fpUnits == b.fpUnits && a.memUnits == b.memUnits &&
-           a.regsPerBank == b.regsPerBank &&
-           a.infiniteBanks == b.infiniteBanks &&
-           a.lcsLatency == b.lcsLatency &&
-           a.arbitration == b.arbitration &&
-           a.maxSameRegRenames == b.maxSameRegRenames &&
-           a.maxRenameDests == b.maxRenameDests &&
-           a.numCheckpoints == b.numCheckpoints &&
-           a.ckptInterval == b.ckptInterval &&
-           a.minCkptDist == b.minCkptDist &&
-           a.sqScanPenaltyPerEntry == b.sqScanPenaltyPerEntry &&
-           a.rollbackRestorePenalty == b.rollbackRestorePenalty &&
-           a.ldqReleaseAtExec == b.ldqReleaseAtExec &&
-           a.oracleCheck == b.oracleCheck &&
-           a.recoveryPenalty == b.recoveryPenalty &&
-           a.maxIntraStateId == b.maxIntraStateId &&
-           a.commitFaultAt == b.commitFaultAt &&
-           a.observerFaultAt == b.observerFaultAt;
+    if (name == "default") {
+        MachineConfig m;
+        m.name = "default";
+        m.predictor = predictor;
+        return m;
+    }
+    if (name == "baseline")
+        return baselineConfig(predictor);
+    if (name == "cpr")
+        return cprConfig(predictor);
+    if (name == "ideal")
+        return idealMspConfig(predictor);
+    // <n>sp or <n>sp-noarb, e.g. "16sp", "64sp-noarb".
+    const std::size_t sp = name.find("sp");
+    if (sp != std::string::npos && sp > 0) {
+        const unsigned n =
+            static_cast<unsigned>(std::atoi(name.substr(0, sp).c_str()));
+        const std::string suffix = name.substr(sp);
+        if (n > 0 && (suffix == "sp" || suffix == "sp-noarb"))
+            return nspConfig(n, predictor, suffix == "sp");
+    }
+    throw SpecError(csprintf("unknown preset '%s' (want default, "
+                             "baseline, cpr, ideal, <n>sp or "
+                             "<n>sp-noarb)", name.c_str()));
 }
-
-} // anonymous namespace
 
 std::string
 presetNameFor(const MachineConfig &config)
 {
     // Derive the candidate name from the identity fields, then prove
-    // it by rebuilding the preset and comparing *every* core knob — a
-    // name that rebuilds a different machine (tweaked ablation config,
-    // injected test fault) would make a replayed repro silently lie.
-    const CoreParams &c = config.core;
-    std::string name;
-    MachineConfig rebuilt;
-    switch (c.kind) {
-      case CoreKind::Baseline:
-        name = "baseline";
-        rebuilt = baselineConfig(config.predictor);
-        break;
-      case CoreKind::Cpr:
-        name = "cpr";
-        rebuilt = cprConfig(config.predictor);
-        break;
-      case CoreKind::Msp:
-        if (c.infiniteBanks) {
-            name = "ideal";
-            rebuilt = idealMspConfig(config.predictor);
-        } else {
-            name = csprintf("%usp%s", c.regsPerBank,
-                            c.arbitration ? "" : "-noarb");
-            rebuilt = nspConfig(c.regsPerBank, config.predictor,
-                                c.arbitration);
-        }
-        break;
-    }
-    return sameCore(rebuilt.core, c) ? name : "";
+    // it by rebuilding the preset and comparing every registered
+    // parameter — a name that rebuilds a different machine (tweaked
+    // ablation config, injected test fault) would mislabel the spec.
+    const auto [name, rebuilt] = nearestPreset(config);
+    return sameSpec(rebuilt, config) ? name : "";
 }
 
 } // namespace msp

@@ -38,10 +38,22 @@ MachineConfig idealMspConfig(PredictorKind predictor);
 const char *predictorName(PredictorKind predictor);
 
 /**
- * The CLI preset name ("baseline", "cpr", "ideal", "<n>sp",
- * "<n>sp-noarb") that rebuilds @p config, or "" when the configuration
- * is not CLI-reachable (divergence repros record this so a report can
- * be replayed with `msp_sim verify --repro`).
+ * Resolve a preset name to its MachineSpec: "default" (the registry
+ * defaults), "baseline", "cpr", "ideal", "<n>sp" or "<n>sp-noarb".
+ * This is the named-MachineSpec entry point the CLI, `--machine` files
+ * ("base" key) and spec diffs all resolve through.
+ *
+ * @throws SpecError (sim/spec.hh) on anything else.
+ */
+MachineConfig presetByName(const std::string &name,
+                           PredictorKind predictor);
+
+/**
+ * The preset name that rebuilds @p config exactly (proven by a
+ * registry-wide sameSpec compare against the rebuilt preset), or ""
+ * when the configuration matches no preset. Purely cosmetic since the
+ * MachineSpec API: reproducers serialise the complete spec and replay
+ * any machine — this only supplies the short display label.
  */
 std::string presetNameFor(const MachineConfig &config);
 

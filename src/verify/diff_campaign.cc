@@ -6,7 +6,9 @@
 #include <mutex>
 #include <utility>
 
+#include "common/logging.hh"
 #include "driver/campaign.hh"
+#include "sim/presets.hh"
 
 namespace msp {
 namespace verify {
@@ -128,6 +130,72 @@ DiffCampaign::run(const DiffProgressFn &progress)
             progress(out[i], done, jobs.size());
     });
     return out;
+}
+
+std::size_t
+applyTimingInvariant(const std::vector<DiffJob> &jobs,
+                     std::vector<DiffOutcome> &outcomes, double slack,
+                     std::uint64_t minCommits)
+{
+    msp_assert(jobs.size() == outcomes.size(),
+               "jobs/outcomes not parallel: %zu vs %zu", jobs.size(),
+               outcomes.size());
+
+    const auto usable = [&](std::size_t i) {
+        return outcomes[i].ok() && !outcomes[i].skipped &&
+               outcomes[i].cycles > 0 &&
+               outcomes[i].committedCore >= minCommits;
+    };
+    const auto ipc = [&](std::size_t i) {
+        return static_cast<double>(outcomes[i].committedCore) /
+               static_cast<double>(outcomes[i].cycles);
+    };
+
+    // Index the sweep by fuzzed program: one ideal-MSP slot and the
+    // 16-SP machines that ran the same (mix, seed). Only *exact*
+    // presets pair up — a custom ablation of the ideal machine (say,
+    // --set width.issue=1) deliberately gives up the resource
+    // dominance the invariant rests on, so structural matching
+    // (infiniteBanks / regsPerBank) would flag it spuriously.
+    struct Group { std::size_t ideal = SIZE_MAX; std::vector<std::size_t> sp16; };
+    std::map<std::pair<std::string, std::uint64_t>, Group> groups;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!usable(i))
+            continue;
+        const std::string preset = presetNameFor(jobs[i].config);
+        if (preset != "ideal" && preset != "16sp" &&
+            preset != "16sp-noarb") {
+            continue;
+        }
+        Group &g = groups[{jobs[i].mix.name, jobs[i].seed}];
+        if (preset == "ideal")
+            g.ideal = i;
+        else
+            g.sp16.push_back(i);
+    }
+
+    std::size_t violations = 0;
+    for (const auto &[key, g] : groups) {
+        if (g.ideal == SIZE_MAX)
+            continue;
+        for (std::size_t sp : g.sp16) {
+            if (ipc(g.ideal) >= ipc(sp) * (1.0 - slack))
+                continue;
+            ++violations;
+            outcomes[g.ideal].divergences.push_back(Divergence{
+                "timing",
+                csprintf("%s IPC %.4f < %s IPC %.4f on %s (%llu "
+                         "commits; ideal MSP must dominate within "
+                         "%.0f%% slack)",
+                         outcomes[g.ideal].config.c_str(), ipc(g.ideal),
+                         outcomes[sp].config.c_str(), ipc(sp),
+                         outcomes[sp].workload.c_str(),
+                         static_cast<unsigned long long>(
+                             outcomes[g.ideal].committedCore),
+                         slack * 100.0)});
+        }
+    }
+    return violations;
 }
 
 } // namespace verify

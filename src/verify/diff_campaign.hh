@@ -106,6 +106,31 @@ class DiffCampaign
     std::vector<DiffJob> jobs;
 };
 
+/**
+ * Coarse fuzzed timing invariant: the ideal MSP (infinite banks) can
+ * never be meaningfully slower than a finite 16-SP machine on the same
+ * program — it strictly dominates it in resources. For every fuzzed
+ * (mix, seed) program where the sweep ran both machines cleanly,
+ * assert idealIpc >= 16spIpc * (1 - slack) and append a "timing"
+ * divergence to the ideal machine's outcome on violation (a perf
+ * regression the golden fixtures' curated workloads can miss).
+ *
+ * Deliberately coarse: the machines differ in frontend depth (the
+ * arbitration stage), so branch-resolution timing — and with it
+ * predictor state — legitimately diverges; on short programs a
+ * handful of extra mispredicts swings IPC by >10%. Hence the
+ * @p minCommits floor (tiny programs are skipped) and the wide
+ * default @p slack, both calibrated against a clean 100-seed sweep
+ * whose worst legitimate ratio was 0.90 at >=1000 commits.
+ *
+ * @p jobs and @p outcomes are parallel arrays in submission order
+ * (DiffCampaign::pending() / run()). Returns the violation count.
+ */
+std::size_t applyTimingInvariant(const std::vector<DiffJob> &jobs,
+                                 std::vector<DiffOutcome> &outcomes,
+                                 double slack = 0.15,
+                                 std::uint64_t minCommits = 1000);
+
 } // namespace verify
 } // namespace msp
 

@@ -74,7 +74,9 @@ struct Divergence
 {
     std::string kind;    ///< "commit-count" | "stream" | "int-reg" |
                          ///< "fp-reg" | "mem" | "no-halt" | "ref-no-halt" |
-                         ///< "snapshot" | "observer-count"
+                         ///< "snapshot" | "observer-count" | "timing"
+                         ///< (the last from applyTimingInvariant, not
+                         ///< diffRun: ideal-MSP IPC fell below 16-SP)
     std::string detail;  ///< human-readable specifics
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "driver/report.hh"
+#include "sim/spec.hh"
 
 namespace msp {
 namespace verify {
@@ -238,6 +239,10 @@ toJson(const std::vector<DiffOutcome> &outcomes,
                         jsonEscape(s.repro.preset).c_str());
         out += csprintf("\"predictor\": \"%s\", ",
                         jsonEscape(s.repro.predictor).c_str());
+        // The complete serialised spec (keys in registration order) is
+        // the replay authority; preset/predictor above are cosmetic.
+        if (s.repro.hasMachine)
+            out += "\"machine\": " + specToJson(s.repro.machine) + ", ";
         out += csprintf("\"max_insts\": %llu, ",
                         static_cast<unsigned long long>(
                             s.repro.maxInsts));
@@ -301,6 +306,16 @@ parseRepros(const std::string &json)
             spec.predictor = getStr(obj, "predictor", "gshare");
             spec.maxInsts = getU64(obj, "max_insts", 1u << 20);
             spec.snapshotEvery = getU64(obj, "snapshot_every", 0);
+            // The full machine spec wins over the cosmetic preset
+            // name. An unparseable spec propagates as SpecError — a
+            // repro that silently fell back to a preset could replay a
+            // different machine and lie about the divergence.
+            const std::size_t machineAt = valuePos(obj, "machine");
+            if (machineAt != std::string::npos && obj[machineAt] == '{') {
+                spec.machine =
+                    specFromJson(balancedSlice(obj, machineAt));
+                spec.hasMachine = true;
+            }
             const std::size_t mixAt = valuePos(obj, "mix");
             if (mixAt != std::string::npos && obj[mixAt] == '{')
                 spec.mix = parseMix(balancedSlice(obj, mixAt));

@@ -33,7 +33,11 @@ std::string toJson(const std::vector<DiffOutcome> &outcomes,
 /**
  * Parse the "repros" array back out of a toJson() document (the
  * `--repro` replay path). Only the schema toJson() emits is supported;
- * a document without a repros array parses as empty.
+ * a document without a repros array parses as empty. Each entry's
+ * embedded "machine" spec (the replay authority — any machine replays,
+ * preset or not) parses through sim/spec.hh; an unparseable spec
+ * throws SpecError rather than silently falling back to the cosmetic
+ * preset name.
  */
 std::vector<ReproSpec> parseRepros(const std::string &json);
 

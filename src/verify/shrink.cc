@@ -28,8 +28,11 @@ shrinkable(const DiffOutcome &o)
 {
     if (o.skipped)
         return false;
+    // "ref-no-halt" is a fuzzer/budget problem; "timing" is a cross-
+    // machine IPC comparison diffRun can never reproduce on one
+    // machine. Neither is a correctness disagreement to chase.
     for (const Divergence &d : o.divergences)
-        if (d.kind != "ref-no-halt")
+        if (d.kind != "ref-no-halt" && d.kind != "timing")
             return true;   // a core-vs-functional disagreement
     return false;
 }
@@ -59,6 +62,8 @@ shrinkToDeadline(const DiffJob &job, const DiffOutcome &orig,
     ShrinkResult res;
     res.repro.seed = job.seed;
     res.repro.mix = job.mix;
+    res.repro.machine = job.config;
+    res.repro.hasMachine = true;
     res.repro.preset = presetNameFor(job.config);
     res.repro.predictor =
         job.config.predictor == PredictorKind::Tage ? "tage" : "gshare";

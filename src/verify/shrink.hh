@@ -33,8 +33,18 @@ struct ReproSpec
 {
     FuzzMix mix;                 ///< (possibly reduced) fuzz mix
     std::uint64_t seed = 1;      ///< program-generation seed
-    std::string preset;          ///< CLI config name (e.g. "16sp")
-    std::string predictor;       ///< "gshare" or "tage"
+
+    /**
+     * The complete machine spec (serialised through sim/spec.hh), so a
+     * repro replays bit-identically even when no CLI preset names the
+     * machine — ablation configs, fault-injected test machines, any
+     * custom spec. This is the replay authority.
+     */
+    MachineConfig machine;
+    bool hasMachine = false;     ///< false only for pre-spec legacy docs
+
+    std::string preset;          ///< cosmetic CLI label ("" if custom)
+    std::string predictor;       ///< cosmetic: "gshare" or "tage"
     std::string kind;            ///< divergence kind this reproduces
     std::uint64_t maxInsts = 1u << 20;
     std::uint64_t snapshotEvery = 0;

@@ -153,6 +153,80 @@ TEST(ParseCliArgs, TriageFlagErrors)
                  CliError);
 }
 
+TEST(ParseCliArgs, MachineSpecFlags)
+{
+    const CliOptions o = parseCliArgs(
+        {"verify", "--set", "lcs.latency=3", "--set",
+         "cpr.checkpoints=4", "--machine", "spec.json"});
+    EXPECT_EQ(o.sets, (std::vector<std::string>{"lcs.latency=3",
+                                                "cpr.checkpoints=4"}));
+    EXPECT_EQ(o.machinePath, "spec.json");
+
+    // Matrix needs a machine source, but --machine alone suffices.
+    const CliOptions m = parseCliArgs(
+        {"matrix", "--workloads", "gzip", "--machine", "spec.json"});
+    EXPECT_EQ(m.machinePath, "spec.json");
+    EXPECT_TRUE(m.configNames.empty());
+}
+
+TEST(ParseCliArgs, BadSetOverridesFailAtParse)
+{
+    // Syntax, unknown key, bad value, out-of-range — all rejected
+    // before any campaign starts.
+    EXPECT_THROW(parseCliArgs({"verify", "--set", "lcs.latency"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--set", "=3"}), CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--set", "bogus.knob=1"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--set", "width.fetch=abc"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--set", "width.fetch=0"}),
+                 CliError);
+}
+
+TEST(ParseCliArgs, SpecMode)
+{
+    const CliOptions o = parseCliArgs(
+        {"spec", "--configs", "16sp", "--set", "lcs.latency=3",
+         "--json", "out.json", "--quiet"});
+    EXPECT_EQ(o.mode, "spec");
+    EXPECT_EQ(o.configNames, (std::vector<std::string>{"16sp"}));
+
+    EXPECT_NO_THROW(parseCliArgs({"spec", "--machine", "m.json"}));
+    // Exactly one machine source.
+    EXPECT_THROW(parseCliArgs({"spec"}), CliError);
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "16sp,cpr"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "16sp", "--machine",
+                               "m.json"}),
+                 CliError);
+    // Campaign-only flags don't apply.
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "16sp",
+                               "--workloads", "gzip"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "16sp", "--seeds",
+                               "5"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "16sp", "--threads",
+                               "2"}),
+                 CliError);
+}
+
+TEST(ParseCliArgs, SpecFlagsAreModeChecked)
+{
+    // Scenario modes fix their own machines.
+    EXPECT_THROW(parseCliArgs({"fig6", "--set", "lcs.latency=3"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--machine", "m.json"}), CliError);
+    // --repro replays the recorded spec; machine sources don't combine.
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json", "--set",
+                               "lcs.latency=3"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
+                               "--machine", "m.json"}),
+                 CliError);
+}
+
 TEST(ParseCliArgs, HelpAndListNeedNoMode)
 {
     EXPECT_TRUE(parseCliArgs({"--help"}).help);

@@ -12,6 +12,7 @@
 
 #include "functional/executor.hh"
 #include "sim/presets.hh"
+#include "sim/spec.hh"
 #include "verify/diff_campaign.hh"
 #include "verify/fuzzer.hh"
 #include "verify/oracle.hh"
@@ -586,10 +587,13 @@ TEST(VerifyReport, ReproRoundTripsThroughJson)
     ASSERT_EQ(specs.size(), 1u);
     const verify::ReproSpec &spec = specs[0];
     EXPECT_EQ(spec.seed, res.repro.seed);
-    // Fault-injected configs are not CLI-reachable, so no preset is
-    // recorded (see presetNameFor); the mix/seed still round-trip.
+    // Fault-injected configs match no preset, so the cosmetic label is
+    // empty — but the complete machine spec round-trips regardless.
     EXPECT_EQ(spec.preset, "");
     EXPECT_EQ(spec.predictor, "gshare");
+    ASSERT_TRUE(spec.hasMachine);
+    EXPECT_TRUE(sameSpec(spec.machine, job.config));
+    EXPECT_EQ(spec.machine.core.commitFaultAt, 100u);
     EXPECT_EQ(spec.kind, res.repro.kind);
     EXPECT_EQ(spec.mix.name, res.repro.mix.name);
     EXPECT_EQ(spec.mix.targetDynamic, res.repro.mix.targetDynamic);
@@ -619,6 +623,171 @@ TEST(VerifyReport, ParseReprosToleratesForeignDocuments)
     EXPECT_TRUE(verify::parseRepros("{\"jobs\": []}").empty());
     EXPECT_TRUE(verify::parseRepros("{\"verify\": {\"repros\": []}}")
                     .empty());
+}
+
+TEST(VerifyReport, ParseReprosFallsBackToPresetForLegacyDocuments)
+{
+    // Pre-spec reports carried only the preset label; they still parse
+    // (hasMachine=false) and the CLI replays them through the preset.
+    const std::string legacy =
+        "{\"verify\": {\"repros\": [{\"kind\": \"stream\", \"seed\": 9, "
+        "\"preset\": \"16sp\", \"predictor\": \"tage\", "
+        "\"max_insts\": 4096}]}}";
+    const auto specs = verify::parseRepros(legacy);
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_FALSE(specs[0].hasMachine);
+    EXPECT_EQ(specs[0].preset, "16sp");
+    EXPECT_EQ(specs[0].predictor, "tage");
+}
+
+TEST(VerifyReport, ParseReprosErrorsLoudlyOnUnparseableMachineSpecs)
+{
+    // A corrupt machine spec must throw (the CLI turns this into exit
+    // 2), never silently fall back to the preset label: that could
+    // replay a different machine and read as "fixed".
+    const std::string unknownKey =
+        "{\"verify\": {\"repros\": [{\"kind\": \"stream\", \"seed\": 1, "
+        "\"preset\": \"16sp\", \"machine\": {\"bogus.knob\": 3}}]}}";
+    EXPECT_THROW(verify::parseRepros(unknownKey), SpecError);
+
+    const std::string badRange =
+        "{\"verify\": {\"repros\": [{\"kind\": \"stream\", \"seed\": 1, "
+        "\"machine\": {\"width.fetch\": 0}}]}}";
+    EXPECT_THROW(verify::parseRepros(badRange), SpecError);
+}
+
+// The acceptance property of the MachineSpec redesign: a divergence
+// recorded on a machine *no preset can name* — a custom ablation
+// config with an injected commit fault — round-trips through the JSON
+// report and replays to the identical divergence kind and bad_window.
+TEST(VerifyReport, CustomAblationMachineRoundTripsAndReplays)
+{
+    verify::DiffJob job;
+    job.mix = verify::standardMixes()[0];
+    job.seed = 42;
+    job.snapshotEvery = 64;
+    // An ablation-style machine: a 16-SP with a halved IQ, extra LCS
+    // latency and a silent commit fault. presetNameFor has no name for
+    // it; before the spec API this was unreplayable by design.
+    job.config = nspConfig(16, PredictorKind::Gshare);
+    job.config.core.iqSize = 96;
+    job.config.core.lcsLatency = 2;
+    job.config.core.commitFaultAt = 100;
+    job.config.name = describeSpec(job.config);
+    ASSERT_EQ(presetNameFor(job.config), "");
+
+    Program p = verify::fuzzProgram(job.seed, job.mix);
+    verify::DiffOptions dopt;
+    dopt.snapshotEvery = job.snapshotEvery;
+    const DiffOutcome orig = verify::diffRun(p, job.config, dopt);
+    ASSERT_FALSE(orig.ok());
+    ASSERT_TRUE(orig.localized);
+
+    verify::ShrinkOptions sopt;
+    sopt.maxAttempts = 8;
+    const verify::ShrinkResult res =
+        verify::shrinkDivergence(job, orig, sopt);
+    ASSERT_TRUE(res.reproduced);
+
+    // Through the report and back: the spec survives verbatim.
+    const auto specs =
+        verify::parseRepros(verify::toJson({orig}, {res}));
+    ASSERT_EQ(specs.size(), 1u);
+    const verify::ReproSpec &spec = specs[0];
+    ASSERT_TRUE(spec.hasMachine);
+    EXPECT_TRUE(sameSpec(spec.machine, job.config));
+    EXPECT_EQ(spec.preset, "");
+    EXPECT_EQ(spec.snapshotEvery, 64u);
+
+    // Replaying the parsed spec (program, machine and options all
+    // rebuilt from the report alone) reproduces the recorded outcome
+    // exactly: same divergence kind, same localised bad_window.
+    Program replayProg = verify::fuzzProgram(spec.seed, spec.mix);
+    verify::DiffOptions ropt;
+    ropt.maxInsts = spec.maxInsts;
+    ropt.snapshotEvery = spec.snapshotEvery;
+    const DiffOutcome replay =
+        verify::diffRun(replayProg, spec.machine, ropt);
+    ASSERT_FALSE(replay.ok());
+    bool sameKind = false;
+    for (const auto &d : replay.divergences)
+        sameKind |= d.kind == spec.kind;
+    EXPECT_TRUE(sameKind);
+    EXPECT_EQ(replay.localized, res.outcome.localized);
+    EXPECT_EQ(replay.badWindowLo, res.outcome.badWindowLo);
+    EXPECT_EQ(replay.badWindowHi, res.outcome.badWindowHi);
+    EXPECT_EQ(replay.streamHash, res.outcome.streamHash);
+}
+
+TEST(TimingInvariant, FlagsAnIdealMspSlowerThanSixteenSp)
+{
+    // Forged outcomes: the ideal MSP comes back slower than 16-SP on
+    // the same fuzzed program — the invariant must flag exactly that
+    // pair and attach a "timing" divergence to the ideal outcome.
+    std::vector<verify::DiffJob> jobs(3);
+    jobs[0].mix.name = "mixed";
+    jobs[0].seed = 7;
+    jobs[0].config = idealMspConfig(PredictorKind::Gshare);
+    jobs[1].mix.name = "mixed";
+    jobs[1].seed = 7;
+    jobs[1].config = nspConfig(16, PredictorKind::Gshare);
+    jobs[2].mix.name = "mixed";
+    jobs[2].seed = 8;                       // different program: no pair
+    jobs[2].config = nspConfig(16, PredictorKind::Gshare);
+
+    std::vector<DiffOutcome> outcomes(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        outcomes[i].config = jobs[i].config.name;
+        outcomes[i].committedCore = 6000;
+    }
+    outcomes[0].cycles = 4000;              // ideal IPC 1.5
+    outcomes[1].cycles = 3000;              // 16-SP IPC 2.0: violation
+    outcomes[2].cycles = 1000;
+
+    EXPECT_EQ(verify::applyTimingInvariant(jobs, outcomes), 1u);
+    ASSERT_EQ(outcomes[0].divergences.size(), 1u);
+    EXPECT_EQ(outcomes[0].divergences[0].kind, "timing");
+    EXPECT_TRUE(outcomes[1].ok());
+    EXPECT_TRUE(outcomes[2].ok());
+
+    // Within the coarse slack, no violation: predictor-timing noise
+    // between the two frontends is not a regression.
+    outcomes[0].divergences.clear();
+    outcomes[0].cycles = 3300;              // ~9% slower than 16-SP
+    EXPECT_EQ(verify::applyTimingInvariant(jobs, outcomes), 0u);
+
+    // Tiny programs are skipped: one extra mispredict swings their
+    // IPC far past any sensible slack.
+    outcomes[0].cycles = 4000;
+    outcomes[0].committedCore = outcomes[1].committedCore = 500;
+    EXPECT_EQ(verify::applyTimingInvariant(jobs, outcomes), 0u);
+    outcomes[0].committedCore = outcomes[1].committedCore = 6000;
+
+    // Skipped or already-divergent outcomes never pair up.
+    outcomes[1].skipped = true;
+    EXPECT_EQ(verify::applyTimingInvariant(jobs, outcomes), 0u);
+    outcomes[1].skipped = false;
+
+    // A custom ablation of the ideal machine (--set degrading it)
+    // gives up resource dominance on purpose: only the *exact* ideal
+    // preset pairs up, so no spurious violation.
+    jobs[0].config.core.issueWidth = 1;
+    EXPECT_EQ(verify::applyTimingInvariant(jobs, outcomes), 0u);
+}
+
+TEST(TimingInvariant, HoldsOnRealCleanRuns)
+{
+    // The invariant the paper's resource argument implies: on real
+    // fuzzed programs the ideal MSP (infinite banks/SQ, 0-cycle LCS,
+    // full ports) dominates the finite 16-SP machine.
+    verify::DiffCampaign c(1);
+    c.addSweep({verify::standardMixes()[0]}, 2, 1,
+               {nspConfig(16, PredictorKind::Gshare),
+                idealMspConfig(PredictorKind::Gshare)});
+    auto outcomes = c.run();
+    for (const auto &o : outcomes)
+        ASSERT_TRUE(o.ok());
+    EXPECT_EQ(verify::applyTimingInvariant(c.pending(), outcomes), 0u);
 }
 
 TEST(VerifyReport, JsonCarriesOutcomesAndDivergences)

@@ -30,6 +30,7 @@
 #include "driver/report.hh"
 #include "driver/scenario.hh"
 #include "sim/presets.hh"
+#include "sim/spec.hh"
 #include "verify/diff_campaign.hh"
 #include "verify/report.hh"
 #include "verify/shrink.hh"
@@ -46,6 +47,7 @@ printUsage(std::FILE *to)
         "usage: msp_sim <scenario> [options]\n"
         "       msp_sim matrix --workloads A,B --configs C,D [options]\n"
         "       msp_sim verify [--seeds N] [--mixes M,N] [options]\n"
+        "       msp_sim spec (--configs P | --machine FILE) [--set k=v]\n"
         "       msp_sim --list\n"
         "\n"
         "options:\n"
@@ -57,6 +59,19 @@ printUsage(std::FILE *to)
         "  --json FILE    write per-job results as JSON\n"
         "  --csv FILE     write per-job results as CSV (not verify)\n"
         "  --quiet        suppress the header and per-job progress\n"
+        "\n"
+        "machine specs (matrix, verify and spec modes):\n"
+        "  --machine FILE load a machine from a JSON spec file (flat\n"
+        "                 {\"key\": value} object of registered dotted\n"
+        "                 parameters; optional \"base\" preset and\n"
+        "                 \"label\"); added to the --configs machines\n"
+        "  --set k=v      override one registered parameter (e.g.\n"
+        "                 --set cpr.checkpoints=4 --set lcs.latency=3)\n"
+        "                 on every selected machine; repeatable.\n"
+        "                 Precedence: --set over --machine over preset\n"
+        "  spec mode dumps the resolved machine as JSON (--json FILE or\n"
+        "  stdout) plus its diff against the nearest preset baseline —\n"
+        "  the file round-trips through --machine bit-identically\n"
         "\n"
         "matrix mode:\n"
         "  --workloads    comma-separated spec benchmarks "
@@ -83,29 +98,55 @@ printUsage(std::FILE *to)
         "                 divergence (remaining jobs report skipped)\n"
         "  --budget-sec S wall-clock budget; jobs not started in time\n"
         "                 report skipped\n"
-        "  --repro FILE   replay the shrunk reproducers recorded in a\n"
-        "                 --json divergence report\n"
+        "  --repro FILE   replay the reproducers recorded in a --json\n"
+        "                 divergence report (each carries its complete\n"
+        "                 machine spec, so custom ablation machines\n"
+        "                 replay too; exit 2 on unparseable specs)\n"
         "  Divergent jobs are re-fuzzed through the shrinker; minimal\n"
         "  reproducers land in the --json report under \"repros\".\n"
+        "  After a clean sweep that ran both machines, a coarse timing\n"
+        "  invariant (ideal-MSP IPC >= 16-SP IPC per fuzzed program)\n"
+        "  is asserted; violations report as \"timing\" divergences.\n"
         "  exit status 1 when any run diverges\n",
         to);
+}
+
+/** Dump one resolved machine spec as JSON plus its preset diff. */
+int
+runSpec(const CliOptions &o)
+{
+    const std::vector<MachineConfig> machines = resolveMachines(o);
+    // parseCliArgs guarantees exactly one machine source in spec mode.
+    const MachineConfig &m = machines.front();
+    const std::string json = specToJson(m) + "\n";
+    if (!o.quiet)
+        std::fputs(specDiffReport(m).c_str(), stdout);
+    if (o.jsonPath.empty())
+        std::fputs(json.c_str(), stdout);
+    else
+        driver::writeFile(o.jsonPath, json);
+    return 0;
 }
 
 std::vector<JobResult>
 runMatrix(const CliOptions &o)
 {
-    std::vector<MachineConfig> configs;
-    for (const auto &n : o.configNames)
-        configs.push_back(configByName(n, o.predictor));
+    const std::vector<MachineConfig> configs = resolveMachines(o);
 
     SimCampaign campaign(o.threads);
     campaign.addMatrix(o.workloads, configs, o.instrs, o.seed, "matrix");
     if (!o.quiet) {
         std::printf("Custom matrix: %zu workload(s) x %zu config(s) "
-                    "(%s). Jobs: %zu on %u thread(s).\n\n",
+                    "(%s). Jobs: %zu on %u thread(s).\n",
                     o.workloads.size(), configs.size(),
                     predictorName(o.predictor), campaign.size(),
                     campaign.effectiveThreads());
+        // Custom machines print as a diff against their preset
+        // baseline, so a report reader sees exactly what was ablated.
+        for (const MachineConfig &cfg : configs)
+            if (presetNameFor(cfg).empty())
+                std::fputs(specDiffReport(cfg).c_str(), stdout);
+        std::printf("\n");
         std::fflush(stdout);
     }
     auto results = campaign.run(
@@ -143,8 +184,24 @@ printDivergences(const verify::DiffOutcome &out, std::size_t done,
 int
 runRepro(const CliOptions &o)
 {
-    const std::string doc = driver::readFile(o.reproPath);
-    const std::vector<verify::ReproSpec> specs = verify::parseRepros(doc);
+    std::string doc;
+    if (!driver::tryReadFile(o.reproPath, doc)) {
+        std::fprintf(stderr, "msp_sim: cannot read repro report %s\n",
+                     o.reproPath.c_str());
+        return 2;
+    }
+    std::vector<verify::ReproSpec> specs;
+    try {
+        specs = verify::parseRepros(doc);
+    } catch (const SpecError &e) {
+        // A repro whose machine spec does not parse must fail loudly:
+        // silently skipping (or falling back to a preset) could replay
+        // a different machine and read as "fixed".
+        std::fprintf(stderr,
+                     "msp_sim: unparseable machine spec in %s: %s\n",
+                     o.reproPath.c_str(), e.what());
+        return 2;
+    }
     if (specs.empty()) {
         std::fprintf(stderr,
                      "msp_sim: no repros found in %s (a clean report, "
@@ -157,26 +214,33 @@ runRepro(const CliOptions &o)
     std::size_t unreplayable = 0;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const verify::ReproSpec &spec = specs[i];
-        if (spec.preset.empty()) {
-            std::fprintf(stderr,
-                         "  repro %zu: config is not a CLI preset; "
-                         "skipping\n", i);
-            ++unreplayable;
-            continue;
-        }
-        const PredictorKind pred = spec.predictor == "tage"
-                                       ? PredictorKind::Tage
-                                       : PredictorKind::Gshare;
         MachineConfig cfg;
-        try {
-            cfg = configByName(spec.preset, pred);
-        } catch (const CliError &e) {
-            // A hand-edited or cross-version report names a preset
-            // this binary does not know; skip it like a missing one.
-            std::fprintf(stderr, "  repro %zu: %s; skipping\n", i,
-                         e.what());
+        if (spec.hasMachine) {
+            // The embedded spec is the replay authority: any machine
+            // replays, whether or not a preset names it.
+            cfg = spec.machine;
+        } else if (spec.preset.empty()) {
+            // Legacy pre-spec report entry for a non-preset machine:
+            // nothing recorded can rebuild it.
+            std::fprintf(stderr,
+                         "  repro %zu: no machine spec and no CLI "
+                         "preset recorded; skipping\n", i);
             ++unreplayable;
             continue;
+        } else {
+            const PredictorKind pred = spec.predictor == "tage"
+                                           ? PredictorKind::Tage
+                                           : PredictorKind::Gshare;
+            try {
+                cfg = configByName(spec.preset, pred);
+            } catch (const CliError &e) {
+                // A hand-edited or cross-version report names a preset
+                // this binary does not know; skip it like a missing one.
+                std::fprintf(stderr, "  repro %zu: %s; skipping\n", i,
+                             e.what());
+                ++unreplayable;
+                continue;
+            }
         }
         const Program prog = verify::fuzzProgram(spec.seed, spec.mix);
 
@@ -207,7 +271,7 @@ runRepro(const CliOptions &o)
         // Exit 0 here would read as "replayed clean" when nothing ran.
         std::fprintf(stderr,
                      "msp_sim: none of the %zu repro(s) were "
-                     "replayable (%zu with no usable CLI preset)\n",
+                     "replayable (%zu with no usable machine spec)\n",
                      specs.size(), unreplayable);
         return 2;
     }
@@ -220,12 +284,15 @@ runVerify(const CliOptions &o)
     if (!o.reproPath.empty())
         return runRepro(o);
 
+    // Machine selection: named presets and/or a --machine spec file,
+    // defaulting to the full Table I ladder; --set overrides apply on
+    // top of whichever machines were selected.
     std::vector<MachineConfig> configs;
-    if (o.configNames.empty()) {
+    if (o.configNames.empty() && o.machinePath.empty()) {
         configs = figureLadder(o.predictor);
+        applySpecSets(configs, o.sets);
     } else {
-        for (const auto &n : o.configNames)
-            configs.push_back(configByName(n, o.predictor));
+        configs = resolveMachines(o);
     }
 
     std::vector<verify::FuzzMix> mixes;
@@ -245,17 +312,39 @@ runVerify(const CliOptions &o)
     if (!o.quiet) {
         std::printf("Differential verification: %u seed(s) x %zu "
                     "mix(es) x %zu config(s) (%s). Jobs: %zu on %u "
-                    "thread(s).\n\n",
+                    "thread(s).\n",
                     o.seeds, mixes.size(), configs.size(),
                     predictorName(o.predictor), campaign.size(),
                     campaign.effectiveThreads());
+        for (const MachineConfig &cfg : configs)
+            if (presetNameFor(cfg).empty())
+                std::fputs(specDiffReport(cfg).c_str(), stdout);
+        std::printf("\n");
         std::fflush(stdout);
     }
 
     // Progress: stay silent per job (campaigns run thousands), but
     // report every divergence the moment it is found.
     const auto campaignStart = std::chrono::steady_clock::now();
-    const auto outcomes = campaign.run(printDivergences);
+    auto outcomes = campaign.run(printDivergences);
+
+    // Coarse timing invariant, only meaningful after a clean batch
+    // (correctness divergences already fail the run and would make an
+    // IPC comparison moot): the ideal MSP must dominate 16-SP on every
+    // fuzzed program both machines ran.
+    if (verify::countDivergences(outcomes) == 0) {
+        const std::size_t violations =
+            verify::applyTimingInvariant(campaign.pending(), outcomes);
+        if (violations > 0) {
+            std::fprintf(stderr,
+                         "msp_sim: %zu timing-invariant violation(s) — "
+                         "ideal MSP slower than 16-SP\n", violations);
+            for (std::size_t i = 0; i < outcomes.size(); ++i)
+                if (!outcomes[i].ok())
+                    printDivergences(outcomes[i], i + 1,
+                                     outcomes.size());
+        }
+    }
 
     // Re-fuzz every divergent job through the shrinker so the report
     // carries a minimal reproducer, not just a whole-run mismatch.
@@ -374,14 +463,35 @@ main(int argc, char **argv)
             std::printf("%-22s %s\n", s.name.c_str(), s.title.c_str());
         return 0;
     }
-    if (o.mode == "verify")
-        return runVerify(o);
+    if (o.mode == "spec") {
+        try {
+            return runSpec(o);
+        } catch (const CliError &e) {
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        }
+    }
+    if (o.mode == "verify") {
+        try {
+            return runVerify(o);
+        } catch (const CliError &e) {
+            // Machine resolution (--machine file errors) happens at
+            // run time, past the grammar check above.
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        }
+    }
 
     std::vector<JobResult> results;
-    if (o.mode == "matrix")
-        results = runMatrix(o);
-    else
-        results = runScenario(o.mode, o.threads, o.instrs, !o.quiet);
+    try {
+        if (o.mode == "matrix")
+            results = runMatrix(o);
+        else
+            results = runScenario(o.mode, o.threads, o.instrs, !o.quiet);
+    } catch (const CliError &e) {
+        std::fprintf(stderr, "msp_sim: %s\n", e.what());
+        return 2;
+    }
 
     if (!o.jsonPath.empty())
         driver::writeFile(o.jsonPath, driver::toJson(results));
