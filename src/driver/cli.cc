@@ -1,5 +1,8 @@
 #include "driver/cli.hh"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -11,6 +14,71 @@
 
 namespace msp {
 namespace driver {
+
+std::uint64_t
+parseU64Flag(const std::string &flag, const std::string &value)
+{
+    // strtoull accepts leading whitespace, a sign, and trailing junk,
+    // and wraps negatives into huge positives — all of which a flag
+    // value must reject outright.
+    if (value.empty() || value[0] < '0' || value[0] > '9') {
+        throw CliError(csprintf("%s: expected a non-negative integer, "
+                                "got '%s'", flag.c_str(), value.c_str()));
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end != value.c_str() + value.size()) {
+        throw CliError(csprintf("%s: trailing garbage in '%s'",
+                                flag.c_str(), value.c_str()));
+    }
+    if (errno == ERANGE) {
+        throw CliError(csprintf("%s: value '%s' overflows 64 bits",
+                                flag.c_str(), value.c_str()));
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+unsigned
+parseUnsignedFlag(const std::string &flag, const std::string &value)
+{
+    const std::uint64_t v = parseU64Flag(flag, value);
+    if (v > UINT_MAX) {
+        throw CliError(csprintf("%s: value '%s' is out of range",
+                                flag.c_str(), value.c_str()));
+    }
+    return static_cast<unsigned>(v);
+}
+
+double
+parseDoubleFlag(const std::string &flag, const std::string &value)
+{
+    if (value.empty() ||
+        !((value[0] >= '0' && value[0] <= '9') || value[0] == '.')) {
+        throw CliError(csprintf("%s: expected a non-negative number, "
+                                "got '%s'", flag.c_str(), value.c_str()));
+    }
+    // strtod parses C99 hex floats ("0x8" == 8.0), which the decimal
+    // contract — and the integer parsers — reject.
+    if (value.find('x') != std::string::npos ||
+        value.find('X') != std::string::npos) {
+        throw CliError(csprintf("%s: expected a decimal number, got "
+                                "'%s'", flag.c_str(), value.c_str()));
+    }
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size()) {
+        throw CliError(csprintf("%s: trailing garbage in '%s'",
+                                flag.c_str(), value.c_str()));
+    }
+    if (errno == ERANGE || !std::isfinite(v)) {
+        throw CliError(csprintf("%s: value '%s' is out of range",
+                                flag.c_str(), value.c_str()));
+    }
+    return v;
+}
 
 std::vector<std::string>
 splitCommas(const std::string &s)
@@ -114,17 +182,15 @@ parseCliArgs(const std::vector<std::string> &args)
         } else if (a == "--list") {
             o.list = true;
         } else if (a == "--threads") {
-            o.threads = static_cast<unsigned>(
-                std::atoi(value(i).c_str()));
+            o.threads = parseUnsignedFlag(a, value(i));
             threadsSet = true;
         } else if (a == "--instrs") {
-            o.instrs = std::strtoull(value(i).c_str(), nullptr, 10);
+            o.instrs = parseU64Flag(a, value(i));
         } else if (a == "--seed") {
-            o.seed = std::strtoull(value(i).c_str(), nullptr, 10);
+            o.seed = parseU64Flag(a, value(i));
             seedSet = true;
         } else if (a == "--seeds") {
-            o.seeds = static_cast<unsigned>(
-                std::strtoull(value(i).c_str(), nullptr, 10));
+            o.seeds = parseUnsignedFlag(a, value(i));
             seedsSet = true;
         } else if (a == "--json") {
             o.jsonPath = value(i);
@@ -135,15 +201,19 @@ parseCliArgs(const std::vector<std::string> &args)
         } else if (a == "--fail-fast") {
             o.failFast = true;
         } else if (a == "--snapshot-every") {
-            o.snapshotEvery = std::strtoull(value(i).c_str(), nullptr, 10);
+            o.snapshotEvery = parseU64Flag(a, value(i));
             if (o.snapshotEvery == 0)
                 throw CliError("--snapshot-every needs a value > 0");
         } else if (a == "--budget-sec") {
-            o.budgetSec = std::strtod(value(i).c_str(), nullptr);
+            o.budgetSec = parseDoubleFlag(a, value(i));
             if (o.budgetSec <= 0.0)
                 throw CliError("--budget-sec needs a value > 0");
         } else if (a == "--repro") {
             o.reproPath = value(i);
+        } else if (a == "--bisect-exact") {
+            o.bisectExact = true;
+        } else if (a == "--reduce") {
+            o.reduce = true;
         } else if (a == "--machine") {
             o.machinePath = value(i);
         } else if (a == "--set") {
@@ -191,7 +261,8 @@ parseCliArgs(const std::vector<std::string> &args)
     }
 
     const bool triageFlags = o.failFast || o.snapshotEvery != 0 ||
-                             o.budgetSec > 0.0 || !o.reproPath.empty();
+                             o.budgetSec > 0.0 || !o.reproPath.empty() ||
+                             o.bisectExact || o.reduce;
     const bool specSources = !o.machinePath.empty() || !o.sets.empty();
     if (o.mode == "spec") {
         if (o.configNames.size() + (o.machinePath.empty() ? 0 : 1) != 1) {
@@ -214,7 +285,8 @@ parseCliArgs(const std::vector<std::string> &args)
             throw CliError("--seeds/--mixes only apply to verify mode");
         if (triageFlags)
             throw CliError("--fail-fast/--snapshot-every/--budget-sec/"
-                           "--repro only apply to verify mode");
+                           "--repro/--bisect-exact/--reduce only apply "
+                           "to verify mode");
     } else if (o.mode == "verify") {
         if (o.seeds == 0)
             throw CliError("verify mode needs --seeds > 0");
@@ -239,10 +311,12 @@ parseCliArgs(const std::vector<std::string> &args)
                            "not combine with it");
         }
         if (!o.reproPath.empty() &&
-            (o.failFast || o.budgetSec > 0.0 || threadsSet)) {
-            throw CliError("--fail-fast/--budget-sec/--threads do not "
-                           "apply to --repro replay (it runs every "
-                           "recorded reproducer sequentially)");
+            (o.failFast || o.budgetSec > 0.0 || threadsSet ||
+             o.bisectExact || o.reduce)) {
+            throw CliError("--fail-fast/--budget-sec/--threads/"
+                           "--bisect-exact/--reduce do not apply to "
+                           "--repro replay (it runs every recorded "
+                           "reproducer sequentially)");
         }
     } else {
         if (!findScenario(o.mode))
@@ -256,8 +330,9 @@ parseCliArgs(const std::vector<std::string> &args)
             throw CliError(csprintf(
                 "--workloads/--configs/--machine/--set/--predictor/"
                 "--seed/--seeds/--mixes/--fail-fast/--snapshot-every/"
-                "--budget-sec/--repro only apply to matrix, verify or "
-                "spec mode, not scenario '%s'", o.mode.c_str()));
+                "--budget-sec/--repro/--bisect-exact/--reduce only "
+                "apply to matrix, verify or spec mode, not scenario "
+                "'%s'", o.mode.c_str()));
         }
     }
     return o;

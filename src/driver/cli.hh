@@ -53,10 +53,32 @@ struct CliOptions
     std::uint64_t snapshotEvery = 0;   ///< mid-run state compare cadence
     double budgetSec = 0.0;            ///< wall-clock budget (0 = none)
     std::string reproPath;             ///< replay repros from this report
+    bool bisectExact = false;          ///< bisect to the first bad commit
+    bool reduce = false;               ///< structurally reduce repro programs
 };
 
 /** "a,b,,c" -> {"a","b","c"} (empty items dropped). */
 std::vector<std::string> splitCommas(const std::string &s);
+
+/**
+ * Checked numeric flag parsing. The historical std::atoi/strtoull
+ * calls silently accepted garbage ("--seeds 1o0" ran 1 seed), wrapped
+ * negatives ("--threads -1" spawned 4 billion workers' worth of
+ * unsigned) and saturated overflow to noise; these reject anything
+ * that is not the complete, in-range decimal spelling of a value,
+ * throwing CliError that names the offending flag.
+ */
+std::uint64_t parseU64Flag(const std::string &flag,
+                           const std::string &value);
+
+/** As parseU64Flag, additionally bounded to unsigned's range. */
+unsigned parseUnsignedFlag(const std::string &flag,
+                           const std::string &value);
+
+/** Checked finite-double parse (rejects garbage, trailing text, NaN
+ *  and infinities — a NaN --budget-sec would disable the budget while
+ *  claiming to set one). */
+double parseDoubleFlag(const std::string &flag, const std::string &value);
 
 /**
  * Resolve a preset name: default, baseline, cpr, ideal, <n>sp or

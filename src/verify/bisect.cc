@@ -1,0 +1,85 @@
+#include "verify/bisect.hh"
+
+#include <algorithm>
+
+#include "verify/budget.hh"
+
+namespace msp {
+namespace verify {
+
+BisectResult
+bisectFirstBadCommit(const Program &prog, const MachineConfig &config,
+                     const DiffOutcome &orig, const DiffOptions &base,
+                     const BisectOptions &opt)
+{
+    using Clock = TriageClock;
+    const Clock::time_point deadline = triageDeadline(opt.budgetSec);
+
+    BisectResult res;
+    res.outcome = orig;
+
+    // Establish the starting window. A campaign that ran with a
+    // snapshot cadence already carries one; otherwise a coarse pre-pass
+    // recovers it (one extra run, cadence scaled to the run length).
+    std::uint64_t lo, hi;
+    if (orig.localized) {
+        lo = orig.badWindowLo;
+        hi = orig.badWindowHi;
+    } else {
+        const std::uint64_t commits =
+            std::max<std::uint64_t>(1, std::max(orig.committedCore,
+                                                orig.committedRef));
+        DiffOptions popt = base;
+        popt.probeCommit = 0;
+        popt.snapshotEvery = std::max<std::uint64_t>(
+            1, commits / std::max<std::uint64_t>(1, opt.prepassDivisor));
+        const DiffOutcome pre = diffRun(prog, config, popt);
+        ++res.probes;
+        if (!pre.localized) {
+            // No mid-run signature: the common prefix is clean and the
+            // disagreement lives at the very end (commit count, final
+            // halt). There is no "first bad commit" to converge on.
+            res.windowLo = 0;
+            res.windowHi = 0;
+            return res;
+        }
+        lo = pre.badWindowLo;
+        hi = pre.badWindowHi;
+        res.outcome = pre;
+    }
+
+    // Invariant: state+hash clean after lo commits, bad after hi.
+    while (hi - lo > 1 && res.probes < opt.maxProbes &&
+           Clock::now() < deadline) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        DiffOptions popt = base;
+        popt.snapshotEvery = 0;
+        popt.probeCommit = mid;
+        const DiffOutcome probe = diffRun(prog, config, popt);
+        ++res.probes;
+        if (probe.localized && probe.badWindowHi == mid) {
+            hi = mid;
+            res.outcome = probe;
+        } else {
+            // Clean at mid (the probe compared and matched — by
+            // determinism the run always reaches mid < hi commits).
+            lo = mid;
+        }
+    }
+
+    res.windowLo = lo;
+    res.windowHi = hi;
+    if (hi - lo == 1) {
+        res.exact = true;
+        res.firstBadCommit = hi;
+        res.outcome.exactLocalized = true;
+        res.outcome.firstBadCommit = hi;
+        res.outcome.localized = true;
+        res.outcome.badWindowLo = lo;
+        res.outcome.badWindowHi = hi;
+    }
+    return res;
+}
+
+} // namespace verify
+} // namespace msp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Exact-commit bisection of a localised divergence.
+ *
+ * Snapshot compares (DiffOptions::snapshotEvery) pin a divergence to a
+ * [badWindowLo, badWindowHi) commit window no wider than the cadence.
+ * This stage closes the remaining gap: it re-runs the job with
+ * binary-searched probe points (window/2, window/4, ...) restricted to
+ * the bad window — each probe is one deterministic diffRun with a
+ * single extra snapshot compare (DiffOptions::probeCommit) — until the
+ * window is one commit wide. The result is the 1-based index of the
+ * first divergent commit, recorded as DiffOutcome::firstBadCommit and
+ * carried into the JSON report as "first_bad_commit".
+ *
+ * The search exploits determinism: the same (program, machine) pair
+ * always commits the same stream, so "clean after N commits" answered
+ * by one run composes with answers from other runs. The running
+ * commit-stream hash is folded into every probe compare, so transient
+ * corruption (a wrong value overwritten again before the probe point)
+ * moves the window exactly like persistent corruption does.
+ */
+
+#ifndef MSPLIB_VERIFY_BISECT_HH
+#define MSPLIB_VERIFY_BISECT_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "sim/machine.hh"
+#include "verify/oracle.hh"
+
+namespace msp {
+namespace verify {
+
+/** Bounds on one bisection search. */
+struct BisectOptions
+{
+    /**
+     * Hard cap on probe runs. A window of width W needs ceil(log2(W))
+     * probes, so the default never binds for realistic programs; it is
+     * a backstop against pathological windows.
+     */
+    unsigned maxProbes = 64;
+
+    /** Wall-clock budget in seconds; 0 = none. */
+    double budgetSec = 0.0;
+
+    /**
+     * Cadence of the pre-pass that is run when the original outcome
+     * carries no bad window (the campaign ran without --snapshot-every)
+     * as a fraction of the diverging run's commit count: cadence =
+     * max(1, commits / prepassDivisor).
+     */
+    std::uint64_t prepassDivisor = 4;
+};
+
+/** Outcome of bisecting one localised divergence. */
+struct BisectResult
+{
+    bool exact = false;            ///< converged to a single commit
+    std::uint64_t firstBadCommit = 0;  ///< 1-based first divergent commit
+
+    /** Final window (exact: [firstBadCommit-1, firstBadCommit)). */
+    std::uint64_t windowLo = 0;
+    std::uint64_t windowHi = 0;
+
+    unsigned probes = 0;           ///< diffRun re-executions spent
+
+    /**
+     * Outcome of the last failing probe, with exactLocalized /
+     * firstBadCommit set when the search converged. When no probe ran
+     * (the window was already one commit wide) this is @p orig with the
+     * exact fields filled in.
+     */
+    DiffOutcome outcome;
+};
+
+/**
+ * Bisect @p orig — a diverging outcome of running @p prog on
+ * @p config under @p base — down to its first divergent commit.
+ *
+ * When @p orig is not localised (no snapshot cadence was active), a
+ * pre-pass re-runs the job with a coarse cadence first; a divergence
+ * with no mid-run signature at all (e.g. a pure commit-count mismatch
+ * whose common prefix is clean) comes back exact=false.
+ *
+ * Deterministic: probes depend only on (prog, config, base) and the
+ * window, never on scheduling. @p base is used with its snapshotEvery
+ * cleared and probeCommit set per probe.
+ */
+BisectResult bisectFirstBadCommit(const Program &prog,
+                                  const MachineConfig &config,
+                                  const DiffOutcome &orig,
+                                  const DiffOptions &base,
+                                  const BisectOptions &opt = BisectOptions{});
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_BISECT_HH

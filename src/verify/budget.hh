@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared wall-clock budget plumbing of the triage tiers.
+ *
+ * Shrinking, bisection and reduction all bound themselves by the same
+ * convention: a budgetSec of 0 means "unbounded" (encoded as a
+ * deadline ~30 years out so every comparison site can just test
+ * against the deadline), and a stage handed the remainder of a shared
+ * deadline never receives 0 by accident — an exhausted budget yields a
+ * token epsilon instead, because 0 would *unbound* the stage.
+ */
+
+#ifndef MSPLIB_VERIFY_BUDGET_HH
+#define MSPLIB_VERIFY_BUDGET_HH
+
+#include <algorithm>
+#include <chrono>
+
+namespace msp {
+namespace verify {
+
+using TriageClock = std::chrono::steady_clock;
+
+/** Deadline @p budgetSec from now; 0 = effectively never. */
+inline TriageClock::time_point
+triageDeadline(double budgetSec)
+{
+    return TriageClock::now() +
+           std::chrono::duration_cast<TriageClock::duration>(
+               std::chrono::duration<double>(
+                   budgetSec > 0 ? budgetSec : 1e9));
+}
+
+/**
+ * Seconds left until @p deadline as a budgetSec value for a sub-stage.
+ * When no budget was set (@p budgetSec <= 0) returns 0 ("unbounded");
+ * an expired deadline yields a token epsilon, never 0.
+ */
+inline double
+remainingBudget(double budgetSec, TriageClock::time_point deadline)
+{
+    if (budgetSec <= 0)
+        return 0.0;
+    const std::chrono::duration<double> left =
+        deadline - TriageClock::now();
+    return std::max(1e-3, left.count());
+}
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_BUDGET_HH

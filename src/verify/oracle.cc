@@ -50,6 +50,16 @@ firstStateDiff(const ArchState &a, const ArchState &b,
 
 } // anonymous namespace
 
+std::string
+sharedDivergenceKind(const DiffOutcome &orig, const DiffOutcome &cand)
+{
+    for (const Divergence &c : cand.divergences)
+        for (const Divergence &o : orig.divergences)
+            if (c.kind == o.kind)
+                return c.kind;
+    return "";
+}
+
 DiffOutcome
 diffRun(const Program &prog, const MachineConfig &config,
         std::uint64_t maxInsts, std::uint64_t maxCycles)
@@ -118,10 +128,12 @@ diffRun(const Program &prog, const MachineConfig &config,
                         d.isStore(), d.effAddr, d.storeData);
         ++replayed;
 
-        if (opt.snapshotEvery == 0 || out.localized ||
-            replayed % opt.snapshotEvery != 0) {
+        const bool cadenceHit =
+            opt.snapshotEvery != 0 && replayed % opt.snapshotEvery == 0;
+        const bool probeHit =
+            opt.probeCommit != 0 && replayed == opt.probeCommit;
+        if (out.localized || (!cadenceHit && !probeHit))
             return;
-        }
         while (!snapRef.halted() && snapRef.instCount() < replayed) {
             const StepResult sr = snapRef.step();
             snapRefHash.commit(sr.pc, sr.wroteReg, sr.value, sr.isLoad,

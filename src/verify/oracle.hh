@@ -96,6 +96,15 @@ struct DiffOptions
      * mid-run compares (final-state checks always run).
      */
     std::uint64_t snapshotEvery = 0;
+
+    /**
+     * When nonzero, run one extra snapshot compare at exactly this
+     * commit index (in addition to any snapshotEvery cadence). This is
+     * the probe primitive of exact-commit bisection (verify/bisect.hh):
+     * a probe run answers "is the replayed state/stream still clean
+     * after exactly N commits?" for an arbitrary N inside a bad window.
+     */
+    std::uint64_t probeCommit = 0;
 };
 
 /** Outcome of one differential run (one program on one machine). */
@@ -120,6 +129,11 @@ struct DiffOutcome
     std::uint64_t badWindowLo = 0;    ///< last commit index seen good
     std::uint64_t badWindowHi = 0;    ///< first commit index seen bad
 
+    // ---- exact-commit localisation (verify/bisect.hh) --------------------
+    bool exactLocalized = false;      ///< bisection converged to one commit
+    std::uint64_t firstBadCommit = 0; ///< 1-based index of the first
+                                      ///< divergent commit (exact only)
+
     std::vector<Divergence> divergences;
 
     bool ok() const { return divergences.empty(); }
@@ -140,6 +154,14 @@ DiffOutcome diffRun(const Program &prog, const MachineConfig &config,
 DiffOutcome diffRun(const Program &prog, const MachineConfig &config,
                     std::uint64_t maxInsts = 1u << 20,
                     std::uint64_t maxCycles = ~std::uint64_t{0});
+
+/**
+ * First divergence kind of @p cand that @p orig also reported ("" when
+ * they share none). The triage stages (shrink, bisect, reduce) all use
+ * this as their "still the same bug?" predicate.
+ */
+std::string sharedDivergenceKind(const DiffOutcome &orig,
+                                 const DiffOutcome &cand);
 
 } // namespace verify
 } // namespace msp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Structural program reduction: delta-debugging over the emitted image.
+ *
+ * Mix shrinking (verify/shrink.hh) can only move along the fuzzer's
+ * parameter axes — it always re-fuzzes a whole well-formed program.
+ * This stage operates on the emitted isa::Program itself: it computes
+ * the block structure (basic-block leaders from branch targets,
+ * fallthroughs and indirect-target LIs), proposes whole deletable
+ * ranges — single blocks, runs of consecutive blocks, complete loop
+ * bodies including their backward branch — and relinks every surviving
+ * branch / jump / indirect-target immediate across the deleted gap. A
+ * candidate survives only if it (1) still terminates in the functional
+ * executor within a bounded dynamic length and (2) still reproduces a
+ * divergence of the original kind under diffRun, so the guarantees the
+ * fuzzer gives by construction are re-established by validation.
+ *
+ * Independent candidates of one scan batch are fanned across the
+ * driver::parallelFor worker pool; the winner of a batch is chosen by
+ * submission index, so the reduced program is bit-identical for any
+ * thread count (with a wall-clock budget, how far the search gets can
+ * depend on scheduling — the same caveat DiffCampaign's budget has).
+ */
+
+#ifndef MSPLIB_VERIFY_REDUCE_HH
+#define MSPLIB_VERIFY_REDUCE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+#include "sim/machine.hh"
+#include "verify/oracle.hh"
+
+namespace msp {
+namespace verify {
+
+/** Bounds on one structural-reduction search. */
+struct ReduceOptions
+{
+    /** Hard cap on candidate evaluations (each is at most one
+     *  functional run plus one diffRun). Counted as if the scan were
+     *  sequential, so the cutoff is thread-count independent. */
+    unsigned maxAttempts = 192;
+
+    /** Wall-clock budget in seconds; 0 = none. */
+    double budgetSec = 0.0;
+
+    /** Worker count for candidate batches; 0 = one per hardware
+     *  thread. */
+    unsigned threads = 0;
+
+    /**
+     * Reject a candidate whose functional dynamic length exceeds this
+     * multiple of the input program's: a deletion that *lengthens*
+     * execution (e.g. by unbalancing a loop) is never a reduction, and
+     * the cap keeps broken candidates from burning the whole budget in
+     * the timing model.
+     */
+    std::uint64_t maxGrowFactor = 4;
+};
+
+/** Outcome of structurally reducing one diverging program. */
+struct ReduceResult
+{
+    Program program;        ///< smallest reproducing image found
+    DiffOutcome outcome;    ///< diffRun of @ref program (if reproduced)
+    std::string kind;       ///< divergence kind the reduction preserves
+
+    bool reproduced = false;  ///< the input itself reproduces orig
+    bool reduced = false;     ///< program is strictly smaller
+
+    std::uint64_t origStatic = 0;     ///< input static instructions
+    std::uint64_t reducedStatic = 0;  ///< output static instructions
+    std::uint64_t origDynamic = 0;    ///< input functional length
+    std::uint64_t reducedDynamic = 0; ///< output functional length
+    unsigned attempts = 0;            ///< candidate evaluations spent
+    unsigned rounds = 0;              ///< fixpoint rounds completed
+};
+
+/**
+ * Reduce @p prog — whose run on @p config produced the divergences in
+ * @p orig — to a structurally smaller program that still reproduces a
+ * divergence of one of @p orig's kinds under @p dopt.
+ *
+ * The returned program is the input when nothing could be removed
+ * (reduced=false); it is never larger. All validation runs use
+ * @p dopt's budgets, so a repro spec recording (program, machine,
+ * dopt) replays the reduced divergence bit-identically.
+ *
+ * @p baseline, when given, must be the diffRun outcome of running
+ * @p prog on @p config under @p dopt — callers that just produced it
+ * (the shrinker) hand it over instead of paying one more timing
+ * simulation for the input's own outcome.
+ */
+ReduceResult reduceDivergence(const Program &prog,
+                              const MachineConfig &config,
+                              const DiffOutcome &orig,
+                              const DiffOptions &dopt,
+                              const ReduceOptions &opt = ReduceOptions{},
+                              const DiffOutcome *baseline = nullptr);
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_REDUCE_HH

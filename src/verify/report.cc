@@ -1,6 +1,8 @@
 #include "verify/report.hh"
 
+#include <cerrno>
 #include <cstdlib>
+#include <memory>
 
 #include "common/logging.hh"
 #include "driver/report.hh"
@@ -151,7 +153,214 @@ parseMix(const std::string &obj)
     return m;
 }
 
+/** Opcode whose mnemonic is @p name; false when unknown. */
+bool
+opcodeByName(const std::string &name, Opcode &out)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        if (name == opName(static_cast<Opcode>(i))) {
+            out = static_cast<Opcode>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** One ["mnemonic", rd, rs1, rs2, imm] tuple. */
+Instruction
+parseCodeEntry(const std::string &e)
+{
+    const std::size_t q1 = e.find('"');
+    const std::size_t q2 =
+        q1 == std::string::npos ? std::string::npos : e.find('"', q1 + 1);
+    if (q2 == std::string::npos)
+        throw SpecError("program code entry without a mnemonic: " + e);
+    const std::string mn = e.substr(q1 + 1, q2 - q1 - 1);
+    Instruction in;
+    if (!opcodeByName(mn, in.op))
+        throw SpecError("unknown opcode mnemonic '" + mn + "'");
+    std::int64_t v[4] = {0, 0, 0, 0};
+    std::size_t p = q2 + 1;
+    for (int i = 0; i < 4; ++i) {
+        p = e.find(',', p);
+        if (p == std::string::npos)
+            throw SpecError("short program code entry: " + e);
+        ++p;
+        while (p < e.size() && e[p] == ' ')
+            ++p;
+        errno = 0;
+        char *end = nullptr;
+        v[i] = std::strtoll(e.c_str() + p, &end, 10);
+        if (errno == ERANGE)
+            throw SpecError("immediate overflows in code entry: " + e);
+        // The number must run up to the next delimiter: "1junk" would
+        // otherwise silently parse as 1 and replay a different program.
+        // The last operand must be followed by the closing bracket —
+        // a fifth field would be silently dropped otherwise.
+        std::size_t q = static_cast<std::size_t>(end - e.c_str());
+        if (q == p)
+            throw SpecError("non-numeric operand in code entry: " + e);
+        while (q < e.size() && e[q] == ' ')
+            ++q;
+        const char delim = i < 3 ? ',' : ']';
+        if (q >= e.size() || e[q] != delim)
+            throw SpecError("trailing garbage in code entry: " + e);
+        p = q;
+    }
+    // Operands must fail loudly, not narrow: an int8_t cast would wrap
+    // ["add", 300, ...] to r44 and silently replay a different program.
+    for (int i = 0; i < 3; ++i) {
+        if (v[i] < -1 || v[i] >= numLogRegs / 2) {
+            throw SpecError(csprintf("register operand %lld out of "
+                                     "range in code entry: %s",
+                                     static_cast<long long>(v[i]),
+                                     e.c_str()));
+        }
+    }
+    in.rd = static_cast<std::int8_t>(v[0]);
+    in.rs1 = static_cast<std::int8_t>(v[1]);
+    in.rs2 = static_cast<std::int8_t>(v[2]);
+    in.imm = v[3];
+    return in;
+}
+
+/** Top-level [...] entries of @p arr (which includes its brackets). */
+std::vector<std::string>
+innerArrays(const std::string &arr)
+{
+    std::vector<std::string> out;
+    std::size_t p = 1;   // past the outer '['
+    int depth = 1;
+    bool inStr = false;
+    for (; p < arr.size(); ++p) {
+        const char c = arr[p];
+        if (inStr) {
+            if (c == '\\')
+                ++p;
+            else if (c == '"')
+                inStr = false;
+        } else if (c == '"') {
+            inStr = true;
+        } else if (c == '[' && depth == 1) {
+            const std::string entry = balancedSlice(arr, p);
+            if (entry.empty())
+                throw SpecError("truncated array entry");
+            out.push_back(entry);
+            p += entry.size() - 1;
+        } else if (c == '[') {
+            ++depth;
+        } else if (c == ']') {
+            --depth;
+        }
+    }
+    return out;
+}
+
+/** The quoted strings of a ["...", "..."] array, unescaped naively. */
+std::vector<std::string>
+innerStrings(const std::string &arr)
+{
+    std::vector<std::string> out;
+    for (std::size_t p = 1; p < arr.size(); ++p) {
+        if (arr[p] != '"')
+            continue;
+        std::string s;
+        for (++p; p < arr.size() && arr[p] != '"'; ++p) {
+            if (arr[p] == '\\' && p + 1 < arr.size())
+                ++p;
+            s += arr[p];
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
 } // anonymous namespace
+
+std::string
+programToJson(const Program &prog)
+{
+    std::string out = "{";
+    out += csprintf("\"name\": \"%s\", ",
+                    driver::jsonEscape(prog.name).c_str());
+    out += csprintf("\"mem_words\": %zu, ", prog.memWords);
+    out += csprintf("\"entry\": %llu, ",
+                    static_cast<unsigned long long>(prog.entry));
+    out += csprintf("\"code_base\": %llu, ",
+                    static_cast<unsigned long long>(prog.codeBase));
+    out += "\"init_data\": [";
+    for (std::size_t i = 0; i < prog.initData.size(); ++i) {
+        out += csprintf("%s\"%016llx\"", i ? ", " : "",
+                        static_cast<unsigned long long>(
+                            prog.initData[i]));
+    }
+    out += "], \"code\": [";
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        const Instruction &in = prog.code[i];
+        out += csprintf("%s[\"%s\", %d, %d, %d, %lld]",
+                        i ? ", " : "", opName(in.op),
+                        static_cast<int>(in.rd),
+                        static_cast<int>(in.rs1),
+                        static_cast<int>(in.rs2),
+                        static_cast<long long>(in.imm));
+    }
+    out += "]}";
+    return out;
+}
+
+Program
+programFromJson(const std::string &json)
+{
+    Program prog;
+    prog.name = getStr(json, "name");
+    prog.memWords =
+        static_cast<std::size_t>(getU64(json, "mem_words", prog.memWords));
+    if (prog.memWords == 0 ||
+        (prog.memWords & (prog.memWords - 1)) != 0) {
+        throw SpecError(csprintf("program mem_words %zu is not a power "
+                                 "of two", prog.memWords));
+    }
+    // Geometry must fail loudly here, not as a bad_alloc (or worse)
+    // when ArchState materialises it: 2^24 words = 128 MiB is far
+    // beyond anything the fuzzer emits.
+    if (prog.memWords > (std::size_t{1} << 24)) {
+        throw SpecError(csprintf("program mem_words %zu is implausibly "
+                                 "large", prog.memWords));
+    }
+    prog.entry = getU64(json, "entry", 0);
+    prog.codeBase = getU64(json, "code_base", prog.codeBase);
+
+    const std::size_t dataAt = valuePos(json, "init_data");
+    if (dataAt != std::string::npos && json[dataAt] == '[') {
+        for (const std::string &w :
+             innerStrings(balancedSlice(json, dataAt))) {
+            char *end = nullptr;
+            const std::uint64_t word =
+                std::strtoull(w.c_str(), &end, 16);
+            if (w.empty() || end != w.c_str() + w.size()) {
+                throw SpecError("non-hexadecimal init_data word '" + w +
+                                "'");
+            }
+            prog.initData.push_back(word);
+        }
+    }
+    // ArchState copies initData into a mem_words-sized image: excess
+    // words would write out of bounds.
+    if (prog.initData.size() > prog.memWords) {
+        throw SpecError(csprintf("program init_data (%zu words) "
+                                 "exceeds mem_words (%zu)",
+                                 prog.initData.size(), prog.memWords));
+    }
+
+    const std::size_t codeAt = valuePos(json, "code");
+    if (codeAt == std::string::npos || json[codeAt] != '[')
+        throw SpecError("embedded program carries no code array");
+    for (const std::string &e : innerArrays(balancedSlice(json, codeAt)))
+        prog.code.push_back(parseCodeEntry(e));
+    if (prog.code.empty())
+        throw SpecError("embedded program code array is empty");
+    return prog;
+}
 
 std::size_t
 countDivergences(const std::vector<DiffOutcome> &outcomes)
@@ -180,11 +389,17 @@ toJson(const std::vector<DiffOutcome> &outcomes,
     std::size_t divergent = 0;
     for (const DiffOutcome &o : outcomes)
         divergent += o.ok() ? 0 : 1;
+    std::size_t shrinkTimedOut = 0;
+    for (const ShrinkResult &s : shrinks)
+        shrinkTimedOut += s.timedOut ? 1 : 0;
 
     std::string out = "{\n  \"verify\": {\n";
     out += csprintf("    \"jobs\": %zu,\n", outcomes.size());
     out += csprintf("    \"divergent\": %zu,\n", divergent);
     out += csprintf("    \"skipped\": %zu,\n", countSkipped(outcomes));
+    if (shrinkTimedOut)
+        out += csprintf("    \"shrink_timed_out\": %zu,\n",
+                        shrinkTimedOut);
     out += "    \"results\": [";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const DiffOutcome &o = outcomes[i];
@@ -211,11 +426,19 @@ toJson(const std::vector<DiffOutcome> &outcomes,
                             static_cast<unsigned long long>(
                                 o.snapshotEvery));
         }
+        // Localisation fields only when localisation actually ran and
+        // fired: a meaningless "bad_window": [0, 0) on a run without
+        // snapshots would read as "divergent at commit 0".
         if (o.localized) {
             out += csprintf("\"bad_window\": [%llu, %llu], ",
                             static_cast<unsigned long long>(o.badWindowLo),
                             static_cast<unsigned long long>(
                                 o.badWindowHi));
+        }
+        if (o.exactLocalized) {
+            out += csprintf("\"first_bad_commit\": %llu, ",
+                            static_cast<unsigned long long>(
+                                o.firstBadCommit));
         }
         out += "\"divergences\": [";
         for (std::size_t d = 0; d < o.divergences.size(); ++d) {
@@ -246,9 +469,20 @@ toJson(const std::vector<DiffOutcome> &outcomes,
         out += csprintf("\"max_insts\": %llu, ",
                         static_cast<unsigned long long>(
                             s.repro.maxInsts));
-        out += csprintf("\"snapshot_every\": %llu, ",
-                        static_cast<unsigned long long>(
-                            s.repro.snapshotEvery));
+        // Omitted when localisation was off: an explicit 0 invites
+        // "replay with cadence 0" readings and stale-field drift.
+        if (s.repro.snapshotEvery) {
+            out += csprintf("\"snapshot_every\": %llu, ",
+                            static_cast<unsigned long long>(
+                                s.repro.snapshotEvery));
+        }
+        if (s.repro.firstBadCommit) {
+            out += csprintf("\"first_bad_commit\": %llu, ",
+                            static_cast<unsigned long long>(
+                                s.repro.firstBadCommit));
+        }
+        if (s.timedOut)
+            out += "\"timed_out\": true, ";
         out += csprintf("\"reproduced\": %s, \"shrunk\": %s, ",
                         s.reproduced ? "true" : "false",
                         s.shrunk ? "true" : "false");
@@ -261,6 +495,20 @@ toJson(const std::vector<DiffOutcome> &outcomes,
                         "\"shrunk_static\": %llu, ",
                         static_cast<unsigned long long>(s.origStatic),
                         static_cast<unsigned long long>(s.shrunkStatic));
+        if (s.reduced) {
+            out += csprintf("\"reduced\": true, "
+                            "\"reduced_static\": %llu, "
+                            "\"reduced_dynamic\": %llu, ",
+                            static_cast<unsigned long long>(
+                                s.reducedStatic),
+                            static_cast<unsigned long long>(
+                                s.reducedDynamic));
+        }
+        // The structurally reduced image replays bit-identically even
+        // though no (seed, mix) pair can regenerate it.
+        if (s.repro.program)
+            out += "\"program\": " + programToJson(*s.repro.program) +
+                   ", ";
         out += "\"mix\": " + mixToJson(s.repro.mix) + "}";
     }
     out += "\n    ]\n  }\n}\n";
@@ -305,7 +553,10 @@ parseRepros(const std::string &json)
             spec.preset = getStr(obj, "preset");
             spec.predictor = getStr(obj, "predictor", "gshare");
             spec.maxInsts = getU64(obj, "max_insts", 1u << 20);
+            // Optional triage fields: absent means the corresponding
+            // stage was off (no cadence, no exact bisection).
             spec.snapshotEvery = getU64(obj, "snapshot_every", 0);
+            spec.firstBadCommit = getU64(obj, "first_bad_commit", 0);
             // The full machine spec wins over the cosmetic preset
             // name. An unparseable spec propagates as SpecError — a
             // repro that silently fell back to a preset could replay a
@@ -319,6 +570,15 @@ parseRepros(const std::string &json)
             const std::size_t mixAt = valuePos(obj, "mix");
             if (mixAt != std::string::npos && obj[mixAt] == '{')
                 spec.mix = parseMix(balancedSlice(obj, mixAt));
+            // A structurally reduced image is the program authority:
+            // like the machine spec, it must parse or fail loudly
+            // (programFromJson throws SpecError) — regenerating from
+            // (seed, mix) instead would replay a different program.
+            const std::size_t progAt = valuePos(obj, "program");
+            if (progAt != std::string::npos && obj[progAt] == '{') {
+                spec.program = std::make_shared<Program>(
+                    programFromJson(balancedSlice(obj, progAt)));
+            }
             specs.push_back(std::move(spec));
             p += obj.size() - 1;
         }

@@ -35,11 +35,29 @@ std::string toJson(const std::vector<DiffOutcome> &outcomes,
  * `--repro` replay path). Only the schema toJson() emits is supported;
  * a document without a repros array parses as empty. Each entry's
  * embedded "machine" spec (the replay authority — any machine replays,
- * preset or not) parses through sim/spec.hh; an unparseable spec
- * throws SpecError rather than silently falling back to the cosmetic
- * preset name.
+ * preset or not) parses through sim/spec.hh; an unparseable spec — or
+ * an unparseable embedded "program" image — throws SpecError rather
+ * than silently falling back to something replayable-but-different.
+ * Optional fields (snapshot_every, bad_window, first_bad_commit,
+ * timed_out, program) may be absent; absence means "off"/"unknown".
  */
 std::vector<ReproSpec> parseRepros(const std::string &json);
+
+/**
+ * Serialise one executable image as a self-contained JSON object
+ * (name, geometry, init data as hex words, code as
+ * ["mnemonic", rd, rs1, rs2, imm] tuples) — the "program" embedding of
+ * structurally reduced reproducers, which cannot be regenerated from
+ * (seed, mix).
+ */
+std::string programToJson(const Program &prog);
+
+/**
+ * Parse a programToJson() document back into a bit-identical image.
+ * @throws SpecError naming the defect on malformed documents (unknown
+ * mnemonic, missing code, non-power-of-two memory geometry).
+ */
+Program programFromJson(const std::string &json);
 
 /** Total divergences across @p outcomes. */
 std::size_t countDivergences(const std::vector<DiffOutcome> &outcomes);

@@ -1,24 +1,30 @@
 #include "verify/shrink.hh"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.hh"
 #include "sim/presets.hh"
+#include "verify/bisect.hh"
+#include "verify/budget.hh"
+#include "verify/reduce.hh"
 
 namespace msp {
 namespace verify {
 
 namespace {
 
-/** First divergence kind of @p cand that @p orig also reported. */
+/**
+ * First chaseable divergence kind of @p o ("" when none).
+ * "ref-no-halt" is a fuzzer/budget problem; "timing" is a cross-
+ * machine IPC comparison diffRun can never reproduce on one machine.
+ * Neither is a correctness disagreement to chase.
+ */
 std::string
-sharedKind(const DiffOutcome &orig, const DiffOutcome &cand)
+firstShrinkableKind(const DiffOutcome &o)
 {
-    for (const Divergence &c : cand.divergences)
-        for (const Divergence &o : orig.divergences)
-            if (c.kind == o.kind)
-                return c.kind;
+    for (const Divergence &d : o.divergences)
+        if (d.kind != "ref-no-halt" && d.kind != "timing")
+            return d.kind;
     return "";
 }
 
@@ -26,30 +32,26 @@ sharedKind(const DiffOutcome &orig, const DiffOutcome &cand)
 bool
 shrinkable(const DiffOutcome &o)
 {
-    if (o.skipped)
-        return false;
-    // "ref-no-halt" is a fuzzer/budget problem; "timing" is a cross-
-    // machine IPC comparison diffRun can never reproduce on one
-    // machine. Neither is a correctness disagreement to chase.
-    for (const Divergence &d : o.divergences)
-        if (d.kind != "ref-no-halt" && d.kind != "timing")
-            return true;   // a core-vs-functional disagreement
-    return false;
+    return !o.skipped && !firstShrinkableKind(o).empty();
 }
 
-} // anonymous namespace
+using ShrinkClock = TriageClock;
 
-namespace {
-
-using ShrinkClock = std::chrono::steady_clock;
-
-ShrinkClock::time_point
-deadlineFrom(double budgetSec)
+/** The identity part of a repro (no search yet). */
+ReproSpec
+initRepro(const DiffJob &job)
 {
-    return ShrinkClock::now() +
-           std::chrono::duration_cast<ShrinkClock::duration>(
-               std::chrono::duration<double>(
-                   budgetSec > 0 ? budgetSec : 1e9));
+    ReproSpec repro;
+    repro.seed = job.seed;
+    repro.mix = job.mix;
+    repro.machine = job.config;
+    repro.hasMachine = true;
+    repro.preset = presetNameFor(job.config);
+    repro.predictor =
+        job.config.predictor == PredictorKind::Tage ? "tage" : "gshare";
+    repro.maxInsts = job.maxInsts;
+    repro.snapshotEvery = job.snapshotEvery;
+    return repro;
 }
 
 ShrinkResult
@@ -60,15 +62,7 @@ shrinkToDeadline(const DiffJob &job, const DiffOutcome &orig,
     using Clock = ShrinkClock;
 
     ShrinkResult res;
-    res.repro.seed = job.seed;
-    res.repro.mix = job.mix;
-    res.repro.machine = job.config;
-    res.repro.hasMachine = true;
-    res.repro.preset = presetNameFor(job.config);
-    res.repro.predictor =
-        job.config.predictor == PredictorKind::Tage ? "tage" : "gshare";
-    res.repro.maxInsts = job.maxInsts;
-    res.repro.snapshotEvery = job.snapshotEvery;
+    res.repro = initRepro(job);
 
     DiffOptions dopt;
     dopt.maxInsts = job.maxInsts;
@@ -86,7 +80,7 @@ shrinkToDeadline(const DiffJob &job, const DiffOutcome &orig,
         o.mix = mix.name;
         o.seed = job.seed;
         outOut = o;
-        return sharedKind(orig, o);
+        return sharedDivergenceKind(orig, o);
     };
 
     // Confirm the divergence reproduces from (seed, mix) at all before
@@ -221,6 +215,73 @@ shrinkToDeadline(const DiffJob &job, const DiffOutcome &orig,
     res.shrunkDynamic = bestOut.committedRef;
     res.shrunkStatic = bestStatic;
     res.shrunk = res.shrunkDynamic < res.origDynamic;
+
+    // ---- tier 2: exact-commit bisection of the original job --------------
+    if (opt.bisectExact && Clock::now() < deadline) {
+        const Program origProg =
+            job.program ? *job.program : fuzzProgram(job.seed, job.mix);
+        BisectOptions bopt;
+        bopt.budgetSec = remainingBudget(opt.budgetSec, deadline);
+        // `cur` is the confirmed re-run of the original job, window
+        // and all — the divergence the bisection chases.
+        const BisectResult b =
+            bisectFirstBadCommit(origProg, job.config, cur, dopt, bopt);
+        res.attempts += b.probes;
+        res.bisectProbes = b.probes;
+        if (b.exact) {
+            res.exactBisected = true;
+            res.firstBadCommit = b.firstBadCommit;
+        }
+    }
+
+    // ---- tier 3: structural reduction of the mix-shrunk program ----------
+    if (opt.reduce && Clock::now() < deadline) {
+        const Program bestProg = fuzzProgram(job.seed, best);
+        ReduceOptions ropt;
+        ropt.maxAttempts = opt.reduceMaxAttempts;
+        ropt.budgetSec = remainingBudget(opt.budgetSec, deadline);
+        ropt.threads = opt.threads;
+        // bestOut is the diffRun of bestProg the search just produced:
+        // hand it over so the reducer skips its baseline re-run.
+        const ReduceResult rr =
+            reduceDivergence(bestProg, job.config, orig, dopt, ropt,
+                             &bestOut);
+        res.attempts += rr.attempts;
+        if (rr.reproduced) {
+            res.reducedStatic = rr.reducedStatic;
+            res.reducedDynamic = rr.reducedDynamic;
+            res.outcome = rr.outcome;
+            res.repro.kind = rr.kind;
+            if (rr.reduced) {
+                res.reduced = true;
+                res.repro.program =
+                    std::make_shared<Program>(rr.program);
+            }
+        }
+    }
+
+    // The repro entry's first_bad_commit must index into the program
+    // the repro actually replays — the shrunk-mix regeneration or the
+    // embedded reduced image — not into the original ~Nk-commit run
+    // (that index lives on the job's result row). The replay programs
+    // are tiny by now, so this re-bisection costs a few short probes.
+    if (opt.bisectExact && res.reproduced && Clock::now() < deadline) {
+        const Program replayProg =
+            res.repro.program ? *res.repro.program
+                              : fuzzProgram(job.seed, best);
+        BisectOptions bopt;
+        bopt.budgetSec = remainingBudget(opt.budgetSec, deadline);
+        // res.outcome is the diffRun of exactly this replay program.
+        const BisectResult b = bisectFirstBadCommit(
+            replayProg, job.config, res.outcome, dopt, bopt);
+        res.attempts += b.probes;
+        res.bisectProbes += b.probes;
+        if (b.exact)
+            res.repro.firstBadCommit = b.firstBadCommit;
+    }
+
+    if (Clock::now() >= deadline)
+        res.timedOut = true;   // the search above was cut short
     return res;
 }
 
@@ -230,12 +291,12 @@ ShrinkResult
 shrinkDivergence(const DiffJob &job, const DiffOutcome &orig,
                  const ShrinkOptions &opt)
 {
-    return shrinkToDeadline(job, orig, opt, deadlineFrom(opt.budgetSec));
+    return shrinkToDeadline(job, orig, opt, triageDeadline(opt.budgetSec));
 }
 
 std::vector<ShrinkResult>
 shrinkFailures(const std::vector<DiffJob> &jobs,
-               const std::vector<DiffOutcome> &outcomes,
+               std::vector<DiffOutcome> &outcomes,
                const ShrinkOptions &opt, const ShrinkProgressFn &progress)
 {
     msp_assert(jobs.size() == outcomes.size(),
@@ -249,16 +310,35 @@ shrinkFailures(const std::vector<DiffJob> &jobs,
 
     // One deadline across every failing job: the budget bounds the
     // whole triage pass, not each search.
-    const ShrinkClock::time_point deadline = deadlineFrom(opt.budgetSec);
+    const ShrinkClock::time_point deadline = triageDeadline(opt.budgetSec);
 
     std::vector<ShrinkResult> results;
     results.reserve(failing.size());
     for (std::size_t n = 0; n < failing.size(); ++n) {
-        if (ShrinkClock::now() >= deadline)
-            break;   // budget spent: leave the remaining jobs unshrunk
         const std::size_t i = failing[n];
-        results.push_back(
-            shrinkToDeadline(jobs[i], outcomes[i], opt, deadline));
+        if (ShrinkClock::now() >= deadline) {
+            // Budget spent. The job still gets a result — identity,
+            // original kind, timedOut=true — so a partial triage pass
+            // is visible in the report instead of silently shorter.
+            ShrinkResult r;
+            r.jobIndex = i;
+            r.timedOut = true;
+            r.repro = initRepro(jobs[i]);
+            r.repro.kind = firstShrinkableKind(outcomes[i]);
+            r.outcome = outcomes[i];
+            results.push_back(std::move(r));
+        } else {
+            results.push_back(
+                shrinkToDeadline(jobs[i], outcomes[i], opt, deadline));
+            results.back().jobIndex = i;
+            // The exact localisation belongs to the job's own result
+            // row too, not just its repro entry.
+            if (results.back().exactBisected) {
+                outcomes[i].exactLocalized = true;
+                outcomes[i].firstBadCommit =
+                    results.back().firstBadCommit;
+            }
+        }
         if (progress)
             progress(results.back(), n + 1, failing.size());
     }

@@ -4,13 +4,26 @@
  *
  * A raw divergence is a whole-run fact: one stream-hash mismatch over a
  * multi-thousand-instruction fuzzed program. The shrinker turns it into
- * a minimal bug report by bisecting the fuzz mix — program length
- * (targetDynamic), block/segment/trip shape, loop depth, memory
- * footprint and feature probabilities — and re-fuzzing with the same
- * seed until no reduction still reproduces a divergence of the original
- * kind. The result is a ReproSpec (seed + reduced mix + machine preset)
- * small enough to read, serialisable into the JSON report, and
- * replayable with `msp_sim verify --repro <report>`.
+ * a minimal bug report in up to three tiers:
+ *
+ *  1. *Mix shrinking* (always): bisect the fuzz mix — program length
+ *     (targetDynamic), block/segment/trip shape, loop depth, memory
+ *     footprint and feature probabilities — re-fuzzing with the same
+ *     seed until no reduction still reproduces a divergence of the
+ *     original kind.
+ *  2. *Exact-commit bisection* (ShrinkOptions::bisectExact): re-run
+ *     the original job with binary-searched probe points until the
+ *     snapshot-localised bad window is one commit wide
+ *     (verify/bisect.hh), pinning firstBadCommit.
+ *  3. *Structural reduction* (ShrinkOptions::reduce): delta-debug the
+ *     mix-shrunk program image itself — drop whole blocks, helpers and
+ *     loop bodies, relinking branch targets — for a reproducer smaller
+ *     than any mix can express (verify/reduce.hh).
+ *
+ * The result is a ReproSpec (seed + reduced mix + machine spec, plus
+ * the reduced image when tier 3 removed anything) small enough to
+ * read, serialisable into the JSON report, and replayable with
+ * `msp_sim verify --repro <report>`.
  */
 
 #ifndef MSPLIB_VERIFY_SHRINK_HH
@@ -18,6 +31,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +47,23 @@ struct ReproSpec
 {
     FuzzMix mix;                 ///< (possibly reduced) fuzz mix
     std::uint64_t seed = 1;      ///< program-generation seed
+
+    /**
+     * Structurally reduced image (verify/reduce.hh). When set, this is
+     * the replay authority for the *program* — a reduced image cannot
+     * be regenerated from (seed, mix) — and it is embedded verbatim in
+     * the JSON report. Null for mix-only reproducers.
+     */
+    std::shared_ptr<const Program> program;
+
+    /**
+     * 1-based first divergent commit of *this repro's replay program*
+     * (the embedded image when set, the (seed, mix) regeneration
+     * otherwise) — so the index is valid for what `--repro` actually
+     * runs. The original job's index lives on its result row
+     * (DiffOutcome::firstBadCommit). 0 = not exactly bisected.
+     */
+    std::uint64_t firstBadCommit = 0;
 
     /**
      * The complete machine spec (serialised through sim/spec.hh), so a
@@ -60,10 +91,26 @@ struct ShrinkOptions
      * Wall-clock budget in seconds; 0 = none. The budget spans one
      * whole shrinkFailures() invocation — it is *not* re-granted per
      * failing job — so a many-failure run stays bounded. On expiry the
-     * best reproducers found so far are returned and the remaining
-     * failing jobs are left unshrunk.
+     * best reproducers found so far are returned and every failing job
+     * whose search never ran (or was cut short) is returned with
+     * timedOut=true.
      */
     double budgetSec = 0.0;
+
+    /** Tier 2: bisect each divergence to its exact first bad commit. */
+    bool bisectExact = false;
+
+    /** Tier 3: structurally reduce the mix-shrunk program image. */
+    bool reduce = false;
+
+    /** Candidate-evaluation cap per job for tier 3 (ReduceOptions). */
+    unsigned reduceMaxAttempts = 192;
+
+    /**
+     * Worker count for fanning tier-3 candidates across the
+     * driver::parallelFor pool; 0 = one per hardware thread.
+     */
+    unsigned threads = 0;
 };
 
 /** Outcome of shrinking one diverging job. */
@@ -72,14 +119,37 @@ struct ShrinkResult
     ReproSpec repro;             ///< minimal reproducing spec found
     DiffOutcome outcome;         ///< outcome of replaying @ref repro
 
+    std::size_t jobIndex = 0;    ///< submission index of the job
+
     bool reproduced = false;     ///< re-fuzzing hit the original kind
     bool shrunk = false;         ///< repro is strictly smaller
 
+    /**
+     * The shared shrinkFailures() deadline expired before this job's
+     * search ran to completion: the fields below describe a partial
+     * (possibly empty) search, not a finished one.
+     */
+    bool timedOut = false;
+
     std::uint64_t origDynamic = 0;    ///< original dynamic length
-    std::uint64_t shrunkDynamic = 0;  ///< reproducer dynamic length
+    std::uint64_t shrunkDynamic = 0;  ///< mix-shrunk dynamic length
     std::uint64_t origStatic = 0;     ///< original static instructions
-    std::uint64_t shrunkStatic = 0;   ///< reproducer static instructions
+    std::uint64_t shrunkStatic = 0;   ///< mix-shrunk static instructions
     unsigned attempts = 0;            ///< diffRun re-executions spent
+
+    // ---- tier 2: exact-commit bisection (opt.bisectExact) ----------------
+    bool exactBisected = false;       ///< converged to a single commit
+    std::uint64_t firstBadCommit = 0; ///< 1-based first divergent commit
+                                      ///< of the *original job's* run
+                                      ///< (repro.firstBadCommit indexes
+                                      ///< the replay program instead)
+    unsigned bisectProbes = 0;        ///< probe runs spent
+
+    // ---- tier 3: structural reduction (opt.reduce) -----------------------
+    bool reduced = false;             ///< image strictly smaller than
+                                      ///< the mix-shrunk program
+    std::uint64_t reducedStatic = 0;  ///< reduced static instructions
+    std::uint64_t reducedDynamic = 0; ///< reduced dynamic length
 };
 
 /**
@@ -99,10 +169,21 @@ using ShrinkProgressFn =
  * Run every failing (non-skipped, non-"ref-no-halt") outcome of a
  * campaign through the shrinker. @p jobs and @p outcomes are parallel
  * arrays in submission order (DiffCampaign::pending() / run()).
+ *
+ * Returns one ShrinkResult per failing job, always: jobs the shared
+ * budget never reached come back with timedOut=true and an unshrunk
+ * repro (identity only), never silently dropped — a partial triage
+ * pass must be visible in the report.
+ *
+ * With opt.bisectExact, a converged bisection is also written back
+ * onto the job's own outcome (exactLocalized / firstBadCommit), so
+ * toJson emits first_bad_commit on the result row as well as the
+ * repro entry for every caller — hence the mutable @p outcomes (the
+ * same contract applyTimingInvariant has).
  */
 std::vector<ShrinkResult>
 shrinkFailures(const std::vector<DiffJob> &jobs,
-               const std::vector<DiffOutcome> &outcomes,
+               std::vector<DiffOutcome> &outcomes,
                const ShrinkOptions &opt = ShrinkOptions{},
                const ShrinkProgressFn &progress = nullptr);
 

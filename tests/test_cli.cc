@@ -17,6 +17,9 @@ using driver::CliError;
 using driver::CliOptions;
 using driver::configByName;
 using driver::parseCliArgs;
+using driver::parseDoubleFlag;
+using driver::parseU64Flag;
+using driver::parseUnsignedFlag;
 using driver::splitCommas;
 
 TEST(SplitCommas, SplitsAndDropsEmpties)
@@ -26,6 +29,88 @@ TEST(SplitCommas, SplitsAndDropsEmpties)
     EXPECT_EQ(splitCommas("a,,b,"), (std::vector<std::string>{"a", "b"}));
     EXPECT_TRUE(splitCommas("").empty());
     EXPECT_EQ(splitCommas("one"), (std::vector<std::string>{"one"}));
+}
+
+// Regression for the std::atoi/strtoull flag parsing: garbage parsed
+// as 0, negatives wrapped to huge unsigneds, overflow saturated, and
+// trailing junk was silently dropped — all without a word to the user.
+TEST(CheckedParse, AcceptsExactDecimalSpellingsOnly)
+{
+    EXPECT_EQ(parseU64Flag("--instrs", "0"), 0u);
+    EXPECT_EQ(parseU64Flag("--instrs", "123456789012345"),
+              123456789012345ull);
+    EXPECT_EQ(parseU64Flag("--seed", "18446744073709551615"),
+              ~std::uint64_t{0});
+    EXPECT_EQ(parseUnsignedFlag("--threads", "8"), 8u);
+    EXPECT_EQ(parseUnsignedFlag("--seeds", "4294967295"), 4294967295u);
+    EXPECT_DOUBLE_EQ(parseDoubleFlag("--budget-sec", "1.5"), 1.5);
+    EXPECT_DOUBLE_EQ(parseDoubleFlag("--budget-sec", "0.25"), 0.25);
+    EXPECT_DOUBLE_EQ(parseDoubleFlag("--budget-sec", ".5"), 0.5);
+}
+
+TEST(CheckedParse, RejectsGarbageNegativesAndOverflow)
+{
+    // Garbage and partial numbers.
+    EXPECT_THROW(parseU64Flag("--seeds", ""), CliError);
+    EXPECT_THROW(parseU64Flag("--seeds", "abc"), CliError);
+    EXPECT_THROW(parseU64Flag("--seeds", "1o0"), CliError);
+    EXPECT_THROW(parseU64Flag("--seeds", "25 "), CliError);
+    EXPECT_THROW(parseU64Flag("--seeds", " 25"), CliError);
+    EXPECT_THROW(parseU64Flag("--instrs", "0x10"), CliError);
+    // Negatives must not wrap into huge unsigneds.
+    EXPECT_THROW(parseU64Flag("--seeds", "-1"), CliError);
+    EXPECT_THROW(parseUnsignedFlag("--threads", "-4"), CliError);
+    // Signs in general (strtoull would happily take "+5").
+    EXPECT_THROW(parseU64Flag("--seeds", "+5"), CliError);
+    // Overflow: 2^64 and beyond.
+    EXPECT_THROW(parseU64Flag("--seed", "18446744073709551616"),
+                 CliError);
+    EXPECT_THROW(parseU64Flag("--seed", "99999999999999999999999"),
+                 CliError);
+    // unsigned-ranged flags reject 2^32.
+    EXPECT_THROW(parseUnsignedFlag("--seeds", "4294967296"), CliError);
+
+    // Doubles: garbage, trailing junk, non-finite values.
+    EXPECT_THROW(parseDoubleFlag("--budget-sec", "abc"), CliError);
+    EXPECT_THROW(parseDoubleFlag("--budget-sec", "1.5x"), CliError);
+    EXPECT_THROW(parseDoubleFlag("--budget-sec", "-1.5"), CliError);
+    EXPECT_THROW(parseDoubleFlag("--budget-sec", "nan"), CliError);
+    EXPECT_THROW(parseDoubleFlag("--budget-sec", "inf"), CliError);
+    EXPECT_THROW(parseDoubleFlag("--budget-sec", "1e999"), CliError);
+    // strtod would parse C99 hex floats ("0x8" == 8.0); the decimal
+    // contract rejects them like the integer parsers do.
+    EXPECT_THROW(parseDoubleFlag("--budget-sec", "0x8"), CliError);
+    EXPECT_THROW(parseDoubleFlag("--budget-sec", "0X1p4"), CliError);
+
+    // The error names the offending flag.
+    try {
+        parseU64Flag("--snapshot-every", "soon");
+        FAIL() << "expected CliError";
+    } catch (const CliError &e) {
+        EXPECT_NE(std::string(e.what()).find("--snapshot-every"),
+                  std::string::npos);
+    }
+}
+
+TEST(CheckedParse, EveryNumericFlagGoesThroughTheCheckedPath)
+{
+    EXPECT_THROW(parseCliArgs({"verify", "--seeds", "1o0"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--threads", "-4"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--instrs", "5k"}), CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--seed",
+                               "18446744073709551616"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--snapshot-every", "256x"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--budget-sec", "soon"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--budget-sec", "nan"}),
+                 CliError);
+    // The historical behaviour: all of these silently became 0 or
+    // wrapped — and then half of them "worked".
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr", "--seed", "-7"}),
+                 CliError);
 }
 
 TEST(ConfigByName, ResolvesEveryPresetFamily)
@@ -119,6 +204,16 @@ TEST(ParseCliArgs, VerifyTriageFlags)
     // Fpedge joined the standard mixes swept by verify.
     EXPECT_EQ(parseCliArgs({"verify", "--mixes", "fpedge"}).mixNames,
               (std::vector<std::string>{"fpedge"}));
+
+    // Second-tier triage: exact-commit bisection + structural
+    // reduction.
+    EXPECT_FALSE(defaults.bisectExact);
+    EXPECT_FALSE(defaults.reduce);
+    const CliOptions t = parseCliArgs(
+        {"verify", "--bisect-exact", "--reduce", "--snapshot-every",
+         "128"});
+    EXPECT_TRUE(t.bisectExact);
+    EXPECT_TRUE(t.reduce);
 }
 
 TEST(ParseCliArgs, TriageFlagErrors)
@@ -150,6 +245,22 @@ TEST(ParseCliArgs, TriageFlagErrors)
                  CliError);
     EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
                                "--threads", "8"}),
+                 CliError);
+    // The second-tier stages re-search; replay just replays.
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
+                               "--reduce"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
+                               "--bisect-exact"}),
+                 CliError);
+    // Verify-only, like the other triage flags.
+    EXPECT_THROW(parseCliArgs({"fig6", "--reduce"}), CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--bisect-exact"}), CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr", "--reduce"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "16sp",
+                               "--bisect-exact"}),
                  CliError);
 }
 

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Structural program reduction tests (src/verify/reduce.cc): the
+ * delta-debugging pass over emitted images must shrink an injected-
+ * fault reproducer strictly, preserve the divergence kind and the
+ * functional termination guarantee, stay bit-identical across worker
+ * thread counts, and refuse gracefully when nothing reproduces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "functional/executor.hh"
+#include "sim/presets.hh"
+#include "verify/fuzzer.hh"
+#include "verify/oracle.hh"
+#include "verify/reduce.hh"
+
+namespace msp {
+namespace {
+
+using verify::DiffOutcome;
+
+bool
+sameProgram(const Program &a, const Program &b)
+{
+    if (a.code.size() != b.code.size() || a.initData != b.initData ||
+        a.memWords != b.memWords || a.entry != b.entry) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.code.size(); ++i) {
+        const Instruction &x = a.code[i];
+        const Instruction &y = b.code[i];
+        if (x.op != y.op || x.rd != y.rd || x.rs1 != y.rs1 ||
+            x.rs2 != y.rs2 || x.imm != y.imm) {
+            return false;
+        }
+    }
+    return true;
+}
+
+// The tentpole acceptance property: the reducer emits a strictly
+// smaller image that still terminates and still reproduces the same
+// divergence kind.
+TEST(Reduce, EmitsAStrictlySmallerTerminatingReproducer)
+{
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.commitFaultAt = 100;
+
+    verify::DiffOptions dopt;
+    const DiffOutcome orig = verify::diffRun(p, cfg, dopt);
+    ASSERT_FALSE(orig.ok());
+
+    const verify::ReduceResult res =
+        verify::reduceDivergence(p, cfg, orig, dopt);
+    EXPECT_TRUE(res.reproduced);
+    EXPECT_TRUE(res.reduced);
+    EXPECT_LT(res.reducedStatic, res.origStatic);
+    EXPECT_EQ(res.program.code.size(), res.reducedStatic);
+    EXPECT_EQ(res.origStatic, p.code.size());
+    EXPECT_GT(res.attempts, 1u);
+    EXPECT_GE(res.rounds, 1u);
+    EXPECT_FALSE(res.kind.empty());
+
+    // The kind is one the original run reported.
+    bool inOrig = false;
+    for (const auto &d : orig.divergences)
+        inOrig |= d.kind == res.kind;
+    EXPECT_TRUE(inOrig);
+
+    // Termination guarantee, re-established by validation.
+    FunctionalExecutor ref(res.program);
+    ref.run(1u << 20);
+    ASSERT_TRUE(ref.halted());
+    EXPECT_EQ(ref.instCount(), res.reducedDynamic);
+
+    // The corrupted commit is the 100th register write, so the reduced
+    // program must still perform at least 100 of them.
+    EXPECT_GE(res.reducedDynamic, 100u);
+
+    // Replaying the reduced image reproduces the recorded outcome.
+    const DiffOutcome replay =
+        verify::diffRun(res.program, cfg, dopt);
+    bool sameKind = false;
+    for (const auto &d : replay.divergences)
+        sameKind |= d.kind == res.kind;
+    EXPECT_TRUE(sameKind);
+    EXPECT_EQ(replay.streamHash, res.outcome.streamHash);
+}
+
+TEST(Reduce, ResultIsBitIdenticalAcrossThreadCounts)
+{
+    // Candidate batches fan across the worker pool, but the winner of
+    // a batch is picked by submission index: the reduced image must
+    // not depend on the thread count (the repo-wide determinism
+    // contract campaigns keep).
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.commitFaultAt = 100;
+    verify::DiffOptions dopt;
+    const DiffOutcome orig = verify::diffRun(p, cfg, dopt);
+    ASSERT_FALSE(orig.ok());
+
+    auto reduceWith = [&](unsigned threads) {
+        verify::ReduceOptions ropt;
+        ropt.threads = threads;
+        ropt.maxAttempts = 64;   // keep the test quick
+        return verify::reduceDivergence(p, cfg, orig, dopt, ropt);
+    };
+    const verify::ReduceResult ref = reduceWith(1);
+    ASSERT_TRUE(ref.reproduced);
+    for (unsigned threads : {2u, 4u}) {
+        const verify::ReduceResult par = reduceWith(threads);
+        EXPECT_TRUE(sameProgram(ref.program, par.program))
+            << threads << " threads";
+        EXPECT_EQ(ref.attempts, par.attempts) << threads << " threads";
+        EXPECT_EQ(ref.reducedStatic, par.reducedStatic);
+        EXPECT_EQ(ref.outcome.streamHash, par.outcome.streamHash);
+    }
+}
+
+TEST(Reduce, NonReproducingInputIsReportedNotSearched)
+{
+    // A clean program handed to the reducer with a forged divergence
+    // must come back untouched instead of burning the attempt budget.
+    Program p = verify::fuzzProgram(7);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    verify::DiffOptions dopt;
+    DiffOutcome fake = verify::diffRun(p, cfg, dopt);
+    ASSERT_TRUE(fake.ok());
+    fake.divergences.push_back({"stream", "synthetic"});
+
+    const verify::ReduceResult res =
+        verify::reduceDivergence(p, cfg, fake, dopt);
+    EXPECT_FALSE(res.reproduced);
+    EXPECT_FALSE(res.reduced);
+    EXPECT_EQ(res.attempts, 1u);
+    EXPECT_TRUE(sameProgram(res.program, p));
+}
+
+TEST(Reduce, HonoursTheAttemptCap)
+{
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.commitFaultAt = 100;
+    verify::DiffOptions dopt;
+    const DiffOutcome orig = verify::diffRun(p, cfg, dopt);
+    ASSERT_FALSE(orig.ok());
+
+    verify::ReduceOptions ropt;
+    ropt.maxAttempts = 5;
+    ropt.threads = 1;
+    const verify::ReduceResult res =
+        verify::reduceDivergence(p, cfg, orig, dopt, ropt);
+    EXPECT_LE(res.attempts, 5u);
+    // Even a truncated search never returns a non-reproducing image.
+    EXPECT_TRUE(res.reproduced);
+}
+
+TEST(Reduce, ExpiredBudgetReturnsTheInputUnchanged)
+{
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.commitFaultAt = 100;
+    verify::DiffOptions dopt;
+    const DiffOutcome orig = verify::diffRun(p, cfg, dopt);
+    ASSERT_FALSE(orig.ok());
+
+    verify::ReduceOptions ropt;
+    ropt.budgetSec = 1e-9;
+    const verify::ReduceResult res =
+        verify::reduceDivergence(p, cfg, orig, dopt, ropt);
+    EXPECT_FALSE(res.reduced);
+    EXPECT_TRUE(sameProgram(res.program, p));
+}
+
+} // namespace
+} // namespace msp

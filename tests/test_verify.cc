@@ -13,6 +13,7 @@
 #include "functional/executor.hh"
 #include "sim/presets.hh"
 #include "sim/spec.hh"
+#include "verify/bisect.hh"
 #include "verify/diff_campaign.hh"
 #include "verify/fuzzer.hh"
 #include "verify/oracle.hh"
@@ -537,11 +538,14 @@ TEST(Shrink, ShrinkFailuresSelectsOnlyShrinkableOutcomes)
     EXPECT_TRUE(results[0].reproduced);
 }
 
-TEST(Shrink, BudgetSpansTheWholeFailureList)
+TEST(Shrink, ExpiredBudgetMarksRemainingJobsTimedOutInsteadOfDropping)
 {
     // The wall-clock budget is one deadline across every failing job,
-    // not a fresh grant per job: with an already-expired budget the
-    // pass gives up immediately instead of confirming each failure.
+    // not a fresh grant per job. An expired budget used to silently
+    // *drop* the remaining failing jobs from the result list — a
+    // partial triage pass that read as a complete one. Every failing
+    // job must now come back, the unreached ones carrying
+    // timedOut=true plus their full repro identity.
     MachineConfig bad = nspConfig(16, PredictorKind::Gshare);
     bad.core.commitFaultAt = 60;
 
@@ -559,8 +563,31 @@ TEST(Shrink, BudgetSpansTheWholeFailureList)
 
     verify::ShrinkOptions sopt;
     sopt.budgetSec = 1e-9;
-    const auto results = verify::shrinkFailures(jobs, outcomes, sopt);
-    EXPECT_TRUE(results.empty());
+    std::size_t progressCalls = 0;
+    const auto results = verify::shrinkFailures(
+        jobs, outcomes, sopt,
+        [&](const verify::ShrinkResult &, std::size_t, std::size_t total) {
+            ++progressCalls;
+            EXPECT_EQ(total, 2u);
+        });
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(progressCalls, 2u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const verify::ShrinkResult &r = results[i];
+        EXPECT_TRUE(r.timedOut) << i;
+        EXPECT_FALSE(r.shrunk) << i;
+        EXPECT_EQ(r.jobIndex, i);
+        // Identity survives so the report still names the failure.
+        EXPECT_EQ(r.repro.seed, 42u);
+        EXPECT_TRUE(r.repro.hasMachine);
+        EXPECT_TRUE(sameSpec(r.repro.machine, bad));
+        EXPECT_FALSE(r.repro.kind.empty());
+    }
+
+    // The report surfaces the count and flags each entry.
+    const std::string json = verify::toJson(outcomes, results);
+    EXPECT_NE(json.find("\"shrink_timed_out\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"timed_out\": true"), std::string::npos);
 }
 
 TEST(VerifyReport, ReproRoundTripsThroughJson)
@@ -788,6 +815,305 @@ TEST(TimingInvariant, HoldsOnRealCleanRuns)
     for (const auto &o : outcomes)
         ASSERT_TRUE(o.ok());
     EXPECT_EQ(verify::applyTimingInvariant(c.pending(), outcomes), 0u);
+}
+
+/**
+ * 1-based commit-stream index of the Nth register-writing instruction
+ * of @p p — the stream position where CoreParams::commitFaultAt = N
+ * plants its corruption.
+ */
+std::uint64_t
+faultStreamIndex(const Program &p, std::uint64_t nthRegWrite)
+{
+    FunctionalExecutor ref(p);
+    std::uint64_t regWrites = 0;
+    while (!ref.halted()) {
+        const StepResult sr = ref.step();
+        if (sr.wroteReg && ++regWrites == nthRegWrite)
+            return ref.instCount();
+    }
+    return 0;
+}
+
+// The tentpole property: bisection closes the gap from "a window no
+// wider than the cadence" to "exactly this commit".
+TEST(Bisect, PinsAnInjectedFaultToItsExactCommit)
+{
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.commitFaultAt = 100;
+    const std::uint64_t expected = faultStreamIndex(p, 100);
+    ASSERT_GT(expected, 0u);
+
+    verify::DiffOptions dopt;
+    dopt.snapshotEvery = 256;
+    const DiffOutcome orig = verify::diffRun(p, cfg, dopt);
+    ASSERT_FALSE(orig.ok());
+    ASSERT_TRUE(orig.localized);
+    // The cadence window brackets the fault but does not pin it.
+    ASSERT_GT(orig.badWindowHi - orig.badWindowLo, 1u);
+
+    const verify::BisectResult b =
+        verify::bisectFirstBadCommit(p, cfg, orig, dopt);
+    EXPECT_TRUE(b.exact);
+    EXPECT_EQ(b.firstBadCommit, expected);
+    EXPECT_EQ(b.windowHi, b.windowLo + 1);
+    EXPECT_GT(b.probes, 0u);
+    // ceil(log2(window)) probes suffice; 256-wide window -> <= 8.
+    EXPECT_LE(b.probes, 9u);
+    EXPECT_TRUE(b.outcome.exactLocalized);
+    EXPECT_EQ(b.outcome.firstBadCommit, expected);
+    // The probe window the search converged to is inside the original.
+    EXPECT_GE(b.firstBadCommit, orig.badWindowLo);
+    EXPECT_LE(b.firstBadCommit, orig.badWindowHi);
+}
+
+TEST(Bisect, PrepassRecoversAWindowWhenSnapshotsWereOff)
+{
+    // A campaign run without --snapshot-every carries no bad window;
+    // the bisection pre-pass re-runs with a coarse cadence first and
+    // still converges to the same exact commit.
+    Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.commitFaultAt = 100;
+    const std::uint64_t expected = faultStreamIndex(p, 100);
+
+    verify::DiffOptions dopt;   // no snapshots
+    const DiffOutcome orig = verify::diffRun(p, cfg, dopt);
+    ASSERT_FALSE(orig.ok());
+    ASSERT_FALSE(orig.localized);
+
+    const verify::BisectResult b =
+        verify::bisectFirstBadCommit(p, cfg, orig, dopt);
+    EXPECT_TRUE(b.exact);
+    EXPECT_EQ(b.firstBadCommit, expected);
+}
+
+TEST(Bisect, CleanPrefixDivergenceComesBackInexact)
+{
+    // A divergence with no mid-run signature (forged: the outcome says
+    // "divergent" but the machine is actually clean, so every probe
+    // compares equal) must come back exact=false, not loop or lie.
+    Program p = verify::fuzzProgram(7);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    verify::DiffOptions dopt;
+    DiffOutcome fake = verify::diffRun(p, cfg, dopt);
+    ASSERT_TRUE(fake.ok());
+    fake.divergences.push_back({"commit-count", "synthetic"});
+
+    const verify::BisectResult b =
+        verify::bisectFirstBadCommit(p, cfg, fake, dopt);
+    EXPECT_FALSE(b.exact);
+    EXPECT_EQ(b.firstBadCommit, 0u);
+}
+
+// The full two-tier pipeline through shrinkDivergence: mix shrink,
+// then exact bisection, then structural reduction — and the strict
+// ordering the acceptance criterion demands: reduced < mix-shrunk.
+TEST(Shrink, TierTwoBisectsAndTierThreeReducesBelowTheMixShrunkProgram)
+{
+    verify::DiffJob job;
+    job.mix = verify::standardMixes()[0];
+    job.seed = 42;
+    job.config = nspConfig(16, PredictorKind::Gshare);
+    job.config.core.commitFaultAt = 100;
+    job.snapshotEvery = 64;
+
+    Program p = verify::fuzzProgram(job.seed, job.mix);
+    const std::uint64_t expected = faultStreamIndex(p, 100);
+    verify::DiffOptions dopt;
+    dopt.snapshotEvery = job.snapshotEvery;
+    const DiffOutcome orig = verify::diffRun(p, job.config, dopt);
+    ASSERT_FALSE(orig.ok());
+
+    verify::ShrinkOptions sopt;
+    sopt.bisectExact = true;
+    sopt.reduce = true;
+    const verify::ShrinkResult res =
+        verify::shrinkDivergence(job, orig, sopt);
+    ASSERT_TRUE(res.reproduced);
+    EXPECT_FALSE(res.timedOut);
+
+    // Tier 2: the exact first bad commit, against the original job.
+    EXPECT_TRUE(res.exactBisected);
+    EXPECT_EQ(res.firstBadCommit, expected);
+    EXPECT_GT(res.bisectProbes, 0u);
+
+    // Tier 3: strictly smaller than the mix-shrunk program, same kind.
+    EXPECT_TRUE(res.reduced);
+    ASSERT_NE(res.repro.program, nullptr);
+    EXPECT_LT(res.reducedStatic, res.shrunkStatic);
+    EXPECT_EQ(res.repro.program->code.size(), res.reducedStatic);
+
+    // The repro's own first_bad_commit indexes the *replay* program —
+    // the embedded reduced image — where the fault is still the 100th
+    // register-writing commit.
+    EXPECT_EQ(res.repro.firstBadCommit,
+              faultStreamIndex(*res.repro.program, 100));
+    EXPECT_LE(res.repro.firstBadCommit, res.reducedDynamic);
+
+    // The reduced image still honours the termination guarantee...
+    FunctionalExecutor ref(*res.repro.program);
+    ref.run(1u << 20);
+    EXPECT_TRUE(ref.halted());
+
+    // ...and replays to the recorded kind with the recorded stream.
+    const DiffOutcome replay =
+        verify::diffRun(*res.repro.program, job.config, dopt);
+    bool sameKind = false;
+    for (const auto &d : replay.divergences)
+        sameKind |= d.kind == res.repro.kind;
+    EXPECT_TRUE(sameKind);
+    EXPECT_EQ(replay.streamHash, res.outcome.streamHash);
+}
+
+TEST(VerifyReport, FirstBadCommitAndReducedProgramRoundTripThroughJson)
+{
+    verify::DiffJob job;
+    job.mix = verify::standardMixes()[0];
+    job.seed = 42;
+    job.config = nspConfig(16, PredictorKind::Gshare);
+    job.config.core.commitFaultAt = 100;
+    job.snapshotEvery = 64;
+
+    Program p = verify::fuzzProgram(job.seed, job.mix);
+    verify::DiffOptions dopt;
+    dopt.snapshotEvery = job.snapshotEvery;
+    std::vector<DiffOutcome> outcomes = {
+        verify::diffRun(p, job.config, dopt)};
+    ASSERT_FALSE(outcomes[0].ok());
+
+    verify::ShrinkOptions sopt;
+    sopt.bisectExact = true;
+    sopt.reduce = true;
+    const std::vector<verify::ShrinkResult> shrinks =
+        verify::shrinkFailures({job}, outcomes, sopt);
+    ASSERT_EQ(shrinks.size(), 1u);
+    const verify::ShrinkResult &res = shrinks[0];
+    ASSERT_TRUE(res.exactBisected);
+    ASSERT_TRUE(res.reduced);
+    ASSERT_NE(res.repro.program, nullptr);
+
+    // shrinkFailures writes the exact localisation back onto the
+    // job's own outcome, so the result row carries it too.
+    EXPECT_TRUE(outcomes[0].exactLocalized);
+    EXPECT_EQ(outcomes[0].firstBadCommit, res.firstBadCommit);
+
+    const std::string json = verify::toJson(outcomes, shrinks);
+    EXPECT_NE(json.find("\"first_bad_commit\": "), std::string::npos);
+    EXPECT_NE(json.find("\"reduced\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"program\": {"), std::string::npos);
+
+    const auto specs = verify::parseRepros(json);
+    ASSERT_EQ(specs.size(), 1u);
+    const verify::ReproSpec &spec = specs[0];
+    // The repro-level index (valid for the embedded replay program)
+    // round-trips; the job-level index lives on the result row.
+    EXPECT_EQ(spec.firstBadCommit, res.repro.firstBadCommit);
+    EXPECT_GT(spec.firstBadCommit, 0u);
+    ASSERT_NE(spec.program, nullptr);
+    EXPECT_TRUE(sameProgram(*spec.program, *res.repro.program));
+    ASSERT_TRUE(spec.hasMachine);
+    EXPECT_TRUE(sameSpec(spec.machine, job.config));
+
+    // Replaying the parsed embedded program is bit-identical to the
+    // recorded reduction outcome: same kind, same stream hash.
+    verify::DiffOptions ropt;
+    ropt.maxInsts = spec.maxInsts;
+    ropt.snapshotEvery = spec.snapshotEvery;
+    const DiffOutcome replay =
+        verify::diffRun(*spec.program, spec.machine, ropt);
+    ASSERT_FALSE(replay.ok());
+    bool sameKind = false;
+    for (const auto &d : replay.divergences)
+        sameKind |= d.kind == spec.kind;
+    EXPECT_TRUE(sameKind);
+    EXPECT_EQ(replay.streamHash, res.outcome.streamHash);
+}
+
+TEST(VerifyReport, ProgramJsonRoundTripsBitIdentically)
+{
+    const Program p = verify::fuzzProgram(11);
+    const Program back = verify::programFromJson(verify::programToJson(p));
+    EXPECT_TRUE(sameProgram(p, back));
+
+    EXPECT_THROW(verify::programFromJson("{\"name\": \"x\"}"), SpecError);
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"mem_words\": 3, \"code\": [[\"halt\", -1, -1, "
+                     "-1, 0]]}"),
+                 SpecError);
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"code\": [[\"warp\", 1, 2, 3, 0]]}"),
+                 SpecError);
+    // Out-of-range register operands must fail loudly, not narrow to
+    // int8_t and replay a silently different program.
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"code\": [[\"add\", 300, 1, 2, 0]]}"),
+                 SpecError);
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"code\": [[\"add\", 1, -2, 2, 0]]}"),
+                 SpecError);
+    // Corrupt operand text must not silently truncate at the first
+    // bad character (strtoll would read "1junk" as 1).
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"code\": [[\"add\", 1junk, 2, 3, 0]]}"),
+                 SpecError);
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"code\": [[\"add\", , 2, 3, 0]]}"),
+                 SpecError);
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"init_data\": [\"zz5f\"], "
+                     "\"code\": [[\"halt\", -1, -1, -1, 0]]}"),
+                 SpecError);
+    // A fifth operand must not be silently dropped.
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"code\": [[\"add\", 1, 2, 3, 0, 99]]}"),
+                 SpecError);
+    // Geometry is validated at parse time, not left to blow up (or
+    // corrupt memory) when ArchState materialises the image:
+    // init_data longer than mem_words, and absurd mem_words.
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"mem_words\": 1, \"init_data\": [\"1\", \"2\"], "
+                     "\"code\": [[\"halt\", -1, -1, -1, 0]]}"),
+                 SpecError);
+    EXPECT_THROW(verify::programFromJson(
+                     "{\"mem_words\": 9223372036854775808, "
+                     "\"code\": [[\"halt\", -1, -1, -1, 0]]}"),
+                 SpecError);
+}
+
+TEST(VerifyReport, LocalisationFieldsAreOmittedWhenSnapshotsWereOff)
+{
+    // A divergent run without snapshot compares must not emit a
+    // meaningless "bad_window": [0, 0) / "snapshot_every": 0 — and
+    // parseRepros must tolerate their absence.
+    Program p = verify::fuzzProgram(42);
+    MachineConfig bad = nspConfig(16, PredictorKind::Gshare);
+    bad.core.commitFaultAt = 100;
+
+    verify::DiffJob job;
+    job.mix = verify::standardMixes()[0];
+    job.seed = 42;
+    job.config = bad;   // snapshotEvery stays 0
+
+    const DiffOutcome out = verify::diffRun(p, bad);
+    ASSERT_FALSE(out.ok());
+    verify::ShrinkOptions sopt;
+    sopt.maxAttempts = 4;
+    const verify::ShrinkResult res =
+        verify::shrinkDivergence(job, out, sopt);
+    ASSERT_TRUE(res.reproduced);
+
+    const std::string json = verify::toJson({out}, {res});
+    EXPECT_EQ(json.find("\"bad_window\""), std::string::npos);
+    EXPECT_EQ(json.find("\"snapshot_every\""), std::string::npos);
+    EXPECT_EQ(json.find("\"first_bad_commit\""), std::string::npos);
+
+    const auto specs = verify::parseRepros(json);
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].snapshotEvery, 0u);
+    EXPECT_EQ(specs[0].firstBadCommit, 0u);
+    EXPECT_EQ(specs[0].program, nullptr);
 }
 
 TEST(VerifyReport, JsonCarriesOutcomesAndDivergences)

@@ -100,8 +100,19 @@ printUsage(std::FILE *to)
         "                 report skipped\n"
         "  --repro FILE   replay the reproducers recorded in a --json\n"
         "                 divergence report (each carries its complete\n"
-        "                 machine spec, so custom ablation machines\n"
-        "                 replay too; exit 2 on unparseable specs)\n"
+        "                 machine spec — and, for structurally reduced\n"
+        "                 failures, the reduced program image itself —\n"
+        "                 so custom ablation machines and reduced\n"
+        "                 programs replay bit-identically; exit 2 on\n"
+        "                 unparseable specs)\n"
+        "  --bisect-exact after shrinking, re-run each divergent job\n"
+        "                 with binary-searched probe points until the\n"
+        "                 single first divergent commit is found\n"
+        "                 (first_bad_commit in the report)\n"
+        "  --reduce       after shrinking, structurally reduce the\n"
+        "                 program image itself (drop whole blocks /\n"
+        "                 helpers / loop bodies, relink branches) and\n"
+        "                 embed the reduced program in the report\n"
         "  Divergent jobs are re-fuzzed through the shrinker; minimal\n"
         "  reproducers land in the --json report under \"repros\".\n"
         "  After a clean sweep that ran both machines, a coarse timing\n"
@@ -242,7 +253,12 @@ runRepro(const CliOptions &o)
                 continue;
             }
         }
-        const Program prog = verify::fuzzProgram(spec.seed, spec.mix);
+        // A structurally reduced image is the program authority: no
+        // (seed, mix) pair can regenerate it, so it replays verbatim.
+        const Program prog = spec.program
+                                 ? *spec.program
+                                 : verify::fuzzProgram(spec.seed,
+                                                       spec.mix);
 
         verify::DiffOptions dopt;
         dopt.maxInsts = o.instrs ? o.instrs : spec.maxInsts;
@@ -253,11 +269,13 @@ runRepro(const CliOptions &o)
         out.seed = spec.seed;
 
         if (!o.quiet) {
-            std::printf("repro %zu/%zu: mix=%s seed=%llu %s expecting "
+            std::printf("repro %zu/%zu: mix=%s seed=%llu %s%s expecting "
                         "'%s' -> %s\n",
                         i + 1, specs.size(), spec.mix.name.c_str(),
                         static_cast<unsigned long long>(spec.seed),
-                        cfg.name.c_str(), spec.kind.c_str(),
+                        cfg.name.c_str(),
+                        spec.program ? " (reduced program)" : "",
+                        spec.kind.c_str(),
                         out.ok() ? "clean"
                                  : out.divergences[0].kind.c_str());
         }
@@ -355,6 +373,9 @@ runVerify(const CliOptions &o)
         if (!o.quiet)
             std::printf("\nShrinking divergent job(s)...\n");
         verify::ShrinkOptions sopt;
+        sopt.bisectExact = o.bisectExact;
+        sopt.reduce = o.reduce;
+        sopt.threads = o.threads;
         if (o.budgetSec > 0.0) {
             const std::chrono::duration<double> spent =
                 std::chrono::steady_clock::now() - campaignStart;
@@ -371,19 +392,51 @@ runVerify(const CliOptions &o)
                 if (o.quiet)
                     return;
                 std::printf("  [%zu/%zu] seed=%llu %s: %s '%s' "
-                            "dynamic %llu -> %llu (%u attempts)\n",
+                            "dynamic %llu -> %llu (%u attempts)%s\n",
                             done, total,
                             static_cast<unsigned long long>(s.repro.seed),
                             s.outcome.config.c_str(),
                             s.reproduced
                                 ? (s.shrunk ? "shrunk" : "reproduced")
-                                : "did not re-reproduce",
+                                : (s.timedOut ? "budget expired before"
+                                              : "did not re-reproduce"),
                             s.repro.kind.c_str(),
                             static_cast<unsigned long long>(s.origDynamic),
                             static_cast<unsigned long long>(
                                 s.shrunkDynamic),
-                            s.attempts);
+                            s.attempts,
+                            s.timedOut ? " [timed out]" : "");
+                if (s.exactBisected) {
+                    std::printf("           first bad commit: %llu "
+                                "(%u probes)\n",
+                                static_cast<unsigned long long>(
+                                    s.firstBadCommit),
+                                s.bisectProbes);
+                }
+                if (s.reduced) {
+                    std::printf("           reduced program: %llu -> "
+                                "%llu static instrs (dynamic %llu)\n",
+                                static_cast<unsigned long long>(
+                                    s.shrunkStatic),
+                                static_cast<unsigned long long>(
+                                    s.reducedStatic),
+                                static_cast<unsigned long long>(
+                                    s.reducedDynamic));
+                }
             });
+
+        std::size_t shrinkTimedOut = 0;
+        for (const verify::ShrinkResult &s : shrinks)
+            shrinkTimedOut += s.timedOut ? 1 : 0;
+        if (shrinkTimedOut > 0) {
+            // Even under --quiet: a triage pass the budget cut short
+            // must leave a trace, or the report reads as complete.
+            std::fprintf(stderr,
+                         "msp_sim: shrink budget expired — %zu of %zu "
+                         "failing job(s) not fully shrunk (timed_out in "
+                         "report)\n",
+                         shrinkTimedOut, shrinks.size());
+        }
     }
 
     // Per-config summary.
