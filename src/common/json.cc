@@ -1,0 +1,276 @@
+#include "common/json.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace msp {
+namespace json {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Append @p cp (a BMP code point) to @p out as UTF-8. */
+void
+appendUtf8(std::string &out, unsigned cp)
+{
+    if (cp < 0x80) {
+        out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+        out += static_cast<char>(0xc0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+        out += static_cast<char>(0xe0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+}
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+std::string
+unescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t p = 0; p < s.size(); ++p) {
+        const char c = s[p];
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (p + 1 >= s.size()) {
+            out += c;   // lone trailing backslash: keep verbatim
+            break;
+        }
+        const char e = s[++p];
+        switch (e) {
+          case '"':  out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/':  out += '/'; break;
+          case 'b':  out += '\b'; break;
+          case 'f':  out += '\f'; break;
+          case 'n':  out += '\n'; break;
+          case 'r':  out += '\r'; break;
+          case 't':  out += '\t'; break;
+          case 'u': {
+            unsigned cp = 0;
+            bool ok = p + 4 < s.size();
+            for (int i = 1; ok && i <= 4; ++i) {
+                const int v = hexVal(s[p + i]);
+                if (v < 0)
+                    ok = false;
+                else
+                    cp = (cp << 4) | static_cast<unsigned>(v);
+            }
+            if (ok) {
+                appendUtf8(out, cp);
+                p += 4;
+            } else {
+                out += '\\';
+                out += 'u';
+            }
+            break;
+          }
+          default:
+            // Unknown escape: keep both chars rather than guess.
+            out += '\\';
+            out += e;
+        }
+    }
+    return out;
+}
+
+std::size_t
+valuePos(const std::string &obj, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = obj.find(needle);
+    if (at == std::string::npos)
+        return std::string::npos;
+    std::size_t p = at + needle.size();
+    while (p < obj.size() &&
+           (obj[p] == ' ' || obj[p] == '\n' || obj[p] == '\t' ||
+            obj[p] == '\r')) {
+        ++p;
+    }
+    return p;
+}
+
+double
+getNum(const std::string &obj, const std::string &key, double def)
+{
+    const std::size_t p = valuePos(obj, key);
+    return p == std::string::npos ? def
+                                  : std::strtod(obj.c_str() + p, nullptr);
+}
+
+std::uint64_t
+getU64(const std::string &obj, const std::string &key, std::uint64_t def)
+{
+    const std::size_t p = valuePos(obj, key);
+    return p == std::string::npos
+               ? def
+               : std::strtoull(obj.c_str() + p, nullptr, 10);
+}
+
+bool
+getBool(const std::string &obj, const std::string &key, bool def)
+{
+    const std::size_t p = valuePos(obj, key);
+    if (p == std::string::npos)
+        return def;
+    if (obj.compare(p, 4, "true") == 0)
+        return true;
+    if (obj.compare(p, 5, "false") == 0)
+        return false;
+    return def;
+}
+
+std::string
+getStr(const std::string &obj, const std::string &key,
+       const std::string &def)
+{
+    std::size_t p = valuePos(obj, key);
+    if (p == std::string::npos || p >= obj.size() || obj[p] != '"')
+        return def;
+    std::string body;
+    for (++p; p < obj.size() && obj[p] != '"'; ++p) {
+        if (obj[p] == '\\' && p + 1 < obj.size()) {
+            body += obj[p];
+            ++p;
+        }
+        body += obj[p];
+    }
+    return unescape(body);
+}
+
+std::string
+balancedSlice(const std::string &s, std::size_t open)
+{
+    const char up = s[open];
+    const char down = up == '{' ? '}' : ']';
+    int depth = 0;
+    bool inStr = false;
+    for (std::size_t p = open; p < s.size(); ++p) {
+        const char c = s[p];
+        if (inStr) {
+            if (c == '\\')
+                ++p;
+            else if (c == '"')
+                inStr = false;
+        } else if (c == '"') {
+            inStr = true;
+        } else if (c == up) {
+            ++depth;
+        } else if (c == down && --depth == 0) {
+            return s.substr(open, p - open + 1);
+        }
+    }
+    return "";
+}
+
+namespace {
+
+/** Top-level entries of @p arr opening with @p bracket. */
+std::vector<std::string>
+innerSlices(const std::string &arr, char bracket)
+{
+    std::vector<std::string> out;
+    int depth = 1;
+    bool inStr = false;
+    for (std::size_t p = 1; p < arr.size(); ++p) {
+        const char c = arr[p];
+        if (inStr) {
+            if (c == '\\')
+                ++p;
+            else if (c == '"')
+                inStr = false;
+        } else if (c == '"') {
+            inStr = true;
+        } else if (c == bracket && depth == 1) {
+            const std::string entry = balancedSlice(arr, p);
+            if (entry.empty())
+                return out;   // truncated entry: drop it
+            out.push_back(entry);
+            p += entry.size() - 1;
+        } else if (c == '[' || c == '{') {
+            ++depth;
+        } else if (c == ']' || c == '}') {
+            --depth;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+innerArrays(const std::string &arr)
+{
+    return innerSlices(arr, '[');
+}
+
+std::vector<std::string>
+innerObjects(const std::string &arr)
+{
+    return innerSlices(arr, '{');
+}
+
+std::vector<std::string>
+innerStrings(const std::string &arr)
+{
+    std::vector<std::string> out;
+    for (std::size_t p = 1; p < arr.size(); ++p) {
+        if (arr[p] != '"')
+            continue;
+        std::string body;
+        for (++p; p < arr.size() && arr[p] != '"'; ++p) {
+            if (arr[p] == '\\' && p + 1 < arr.size()) {
+                body += arr[p];
+                ++p;
+            }
+            body += arr[p];
+        }
+        out.push_back(unescape(body));
+    }
+    return out;
+}
+
+} // namespace json
+} // namespace msp

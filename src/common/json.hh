@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal shared JSON primitives: one escape/unescape pair plus the
+ * slice-and-extract helpers every hand-rolled reader in the tree uses.
+ *
+ * The repo's reports, machine specs, checkpoints and repro documents
+ * are all emitted by hand (stable field order, no external JSON
+ * dependency); historically each consumer grew its own escaping and
+ * extraction code, and the copies drifted — the verify-report reader
+ * decoded "\n" to a literal 'n', so any label that actually needed
+ * escaping failed to round-trip. This header is the single home for
+ * those primitives: writers escape with escape(), readers decode with
+ * unescape()/getStr(), and both sides agree on the full JSON control
+ * set (\" \\ \/ \b \f \n \r \t \uXXXX).
+ */
+
+#ifndef MSPLIB_COMMON_JSON_HH
+#define MSPLIB_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msp {
+namespace json {
+
+/**
+ * Escape @p s for embedding in a JSON string literal. Covers the full
+ * control set: quote, backslash, \b \f \n \r \t as their two-char
+ * shorthands and every other byte < 0x20 as \u00XX. Bytes >= 0x80 pass
+ * through untouched (UTF-8 payloads stay UTF-8).
+ */
+std::string escape(const std::string &s);
+
+/**
+ * Decode a JSON string body (the text between the quotes, escapes
+ * intact) back to raw bytes: the exact inverse of escape(), and
+ * tolerant of the rest of the spec (\/ and BMP \uXXXX decode to UTF-8;
+ * a malformed trailing escape is kept verbatim rather than dropped).
+ * unescape(escape(s)) == s for every byte string s.
+ */
+std::string unescape(const std::string &s);
+
+/**
+ * Position of the value after "key": inside @p obj, skipping
+ * whitespace; npos if the key is absent.
+ */
+std::size_t valuePos(const std::string &obj, const std::string &key);
+
+/** Numeric value of "key" in @p obj; @p def when absent. */
+double getNum(const std::string &obj, const std::string &key, double def);
+
+/** Unsigned value of "key" in @p obj; @p def when absent. */
+std::uint64_t getU64(const std::string &obj, const std::string &key,
+                     std::uint64_t def);
+
+/** True/false value of "key" in @p obj; @p def when absent. */
+bool getBool(const std::string &obj, const std::string &key, bool def);
+
+/**
+ * String value of "key" in @p obj, fully unescaped; @p def when the
+ * key is absent or its value is not a string.
+ */
+std::string getStr(const std::string &obj, const std::string &key,
+                   const std::string &def = "");
+
+/**
+ * The balanced {...} or [...] starting at @p open (which must index
+ * the opening bracket). Quote-aware, so brackets inside strings don't
+ * count. Empty when the document ends before the bracket closes.
+ */
+std::string balancedSlice(const std::string &s, std::size_t open);
+
+/** Top-level [...] entries of @p arr (which includes its brackets). */
+std::vector<std::string> innerArrays(const std::string &arr);
+
+/** Top-level {...} entries of @p arr (which includes its brackets). */
+std::vector<std::string> innerObjects(const std::string &arr);
+
+/** The quoted strings of a ["...", "..."] array, fully unescaped. */
+std::vector<std::string> innerStrings(const std::string &arr);
+
+} // namespace json
+} // namespace msp
+
+#endif // MSPLIB_COMMON_JSON_HH

@@ -9,6 +9,10 @@
 #include <thread>
 #include <utility>
 
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "driver/state.hh"
+#include "sim/spec.hh"
 #include "workload/spec.hh"
 
 namespace msp {
@@ -140,16 +144,153 @@ SimCampaign::effectiveThreads() const
     return effectivePoolThreads(requestedThreads, jobs.size());
 }
 
+void
+SimCampaign::restrictToShard(unsigned shard, unsigned shards)
+{
+    const std::vector<std::size_t> keep =
+        shardSelect(jobs.size(), shard, shards);
+    std::vector<CampaignJob> kept;
+    std::vector<std::uint64_t> indices;
+    kept.reserve(keep.size());
+    indices.reserve(keep.size());
+    for (std::size_t i : keep) {
+        indices.push_back(globalIndex.empty() ? i : globalIndex[i]);
+        kept.push_back(std::move(jobs[i]));
+    }
+    jobs = std::move(kept);
+    globalIndex = std::move(indices);
+}
+
+std::string
+simJobKey(const CampaignJob &job)
+{
+    std::string identity = job.scenario + "|" + job.workload + "|";
+    identity += csprintf("%llu|%llu|%llu|",
+                         static_cast<unsigned long long>(job.seed),
+                         static_cast<unsigned long long>(job.maxInsts),
+                         static_cast<unsigned long long>(job.maxCycles));
+    // Pre-built programs can't be hashed from the job alone; their
+    // name is the best stable identity available (campaign CLI paths
+    // never set one — spec::build regenerates from workload + seed).
+    if (job.program)
+        identity += job.program->name + "|";
+    identity += specToJson(job.config);
+    return stateHash(identity);
+}
+
+std::string
+simResultToJson(const RunResult &r)
+{
+    std::string out = "{";
+    out += csprintf("\"workload\": \"%s\", ",
+                    json::escape(r.workload).c_str());
+    out += csprintf("\"config\": \"%s\", ",
+                    json::escape(r.config).c_str());
+    const auto u64 = [&](const char *name, std::uint64_t v) {
+        out += csprintf("\"%s\": %llu, ", name,
+                        static_cast<unsigned long long>(v));
+    };
+    u64("cycles", r.cycles);
+    u64("committed", r.committed);
+    u64("wrong_path_exec", r.wrongPathExec);
+    u64("re_executed", r.reExecuted);
+    u64("total_executed", r.totalExecuted);
+    u64("branches", r.branches);
+    u64("mispredicts", r.mispredicts);
+    u64("recoveries", r.recoveries);
+    u64("exceptions", r.exceptions);
+    u64("rename_stall_cycles", r.renameStallCycles);
+    u64("reg_stall_cycles", r.regStallCycles);
+    u64("sq_stall_cycles", r.sqStallCycles);
+    u64("iq_stall_cycles", r.iqStallCycles);
+    u64("checkpoints_taken", r.checkpointsTaken);
+    u64("l2_misses", r.l2Misses);
+    out += "\"bank_stall_cycles\": [";
+    for (std::size_t i = 0; i < r.bankStallCycles.size(); ++i) {
+        out += csprintf("%s%llu", i ? ", " : "",
+                        static_cast<unsigned long long>(
+                            r.bankStallCycles[i]));
+    }
+    out += "]}";
+    return out;
+}
+
+RunResult
+simResultFromJson(const std::string &doc)
+{
+    RunResult r;
+    r.workload = json::getStr(doc, "workload");
+    r.config = json::getStr(doc, "config");
+    r.cycles = json::getU64(doc, "cycles", 0);
+    r.committed = json::getU64(doc, "committed", 0);
+    r.wrongPathExec = json::getU64(doc, "wrong_path_exec", 0);
+    r.reExecuted = json::getU64(doc, "re_executed", 0);
+    r.totalExecuted = json::getU64(doc, "total_executed", 0);
+    r.branches = json::getU64(doc, "branches", 0);
+    r.mispredicts = json::getU64(doc, "mispredicts", 0);
+    r.recoveries = json::getU64(doc, "recoveries", 0);
+    r.exceptions = json::getU64(doc, "exceptions", 0);
+    r.renameStallCycles = json::getU64(doc, "rename_stall_cycles", 0);
+    r.regStallCycles = json::getU64(doc, "reg_stall_cycles", 0);
+    r.sqStallCycles = json::getU64(doc, "sq_stall_cycles", 0);
+    r.iqStallCycles = json::getU64(doc, "iq_stall_cycles", 0);
+    r.checkpointsTaken = json::getU64(doc, "checkpoints_taken", 0);
+    r.l2Misses = json::getU64(doc, "l2_misses", 0);
+    const std::size_t at = json::valuePos(doc, "bank_stall_cycles");
+    if (at != std::string::npos && at < doc.size() && doc[at] == '[') {
+        const std::string arr = json::balancedSlice(doc, at);
+        std::size_t slot = 0, p = 1;
+        while (p < arr.size() && slot < r.bankStallCycles.size()) {
+            while (p < arr.size() &&
+                   (arr[p] < '0' || arr[p] > '9')) {
+                ++p;
+            }
+            if (p >= arr.size())
+                break;
+            char *end = nullptr;
+            r.bankStallCycles[slot++] =
+                std::strtoull(arr.c_str() + p, &end, 10);
+            p = static_cast<std::size_t>(end - arr.c_str());
+        }
+    }
+    return r;
+}
+
 std::vector<JobResult>
 SimCampaign::run(const ProgressFn &progress)
 {
+    const auto gidx = [&](std::size_t i) {
+        return globalIndex.empty() ? i : globalIndex[i];
+    };
+
+    // Bind the state backend: compute every job's identity key, load
+    // any resumed records (validated against those keys), and learn
+    // which jobs are already done.
+    std::vector<std::string> keys;
+    const bool durable = state && state->enabled();
+    if (durable) {
+        std::vector<std::uint64_t> indices;
+        indices.reserve(jobs.size());
+        keys.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            indices.push_back(gidx(i));
+            keys.push_back(simJobKey(jobs[i]));
+        }
+        state->begin("sim", indices, keys);
+    }
+    const auto restored = [&](std::size_t i) -> const std::string * {
+        return durable ? state->completedPayload(gidx(i)) : nullptr;
+    };
+
     // Synthesise each distinct workload once, sequentially, so the
     // generation order (and thus every program image) never depends on
-    // worker scheduling.
+    // worker scheduling. Jobs whose results the checkpoint restored
+    // never run, so their programs aren't needed (or built) at all.
     std::map<std::pair<std::string, std::uint64_t>,
              std::shared_ptr<const Program>> programs;
-    for (auto &j : jobs) {
-        if (j.program)
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        CampaignJob &j = jobs[i];
+        if (j.program || restored(i))
             continue;
         const auto key = std::make_pair(j.workload, j.seed);
         auto it = programs.find(key);
@@ -163,21 +304,37 @@ SimCampaign::run(const ProgressFn &progress)
 
     std::vector<JobResult> out(jobs.size());
     std::size_t done = 0;
-    std::mutex mu;              // guards done + progress callback
+    std::mutex mu;              // guards done + progress + state
 
     parallelFor(requestedThreads, jobs.size(), [&](std::size_t i) {
         const CampaignJob &j = jobs[i];
-        Machine m(j.config, *j.program);
-        RunResult r =
-            m.run(j.maxInsts ? j.maxInsts : defaultInstBudget(),
-                  j.maxCycles);
-        out[i] = JobResult{i, j, std::move(r)};
+        bool fresh = false;
+        if (const std::string *payload = restored(i)) {
+            out[i] = JobResult{gidx(i), j, simResultFromJson(*payload)};
+        } else if (campaignStopRequested()) {
+            // Interrupted: report the slot as never-run; the next
+            // --resume picks it up.
+            out[i] = JobResult{gidx(i), j, RunResult{}, false};
+            return;
+        } else {
+            Machine m(j.config, *j.program);
+            RunResult r =
+                m.run(j.maxInsts ? j.maxInsts : defaultInstBudget(),
+                      j.maxCycles);
+            out[i] = JobResult{gidx(i), j, std::move(r)};
+            fresh = true;
+        }
 
         std::lock_guard<std::mutex> lock(mu);
+        if (fresh && durable)
+            state->recordDone(gidx(i), keys[i],
+                              simResultToJson(out[i].result));
         ++done;
         if (progress)
             progress(out[i], done, jobs.size());
     });
+    if (durable)
+        state->finalFlush();
     return out;
 }
 

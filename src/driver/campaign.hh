@@ -25,6 +25,8 @@
 namespace msp {
 namespace driver {
 
+class CampaignState;
+
 /** One cell of the campaign matrix: a machine running a workload. */
 struct CampaignJob
 {
@@ -45,9 +47,18 @@ struct CampaignJob
 /** A finished job, in submission order. */
 struct JobResult
 {
-    std::size_t index = 0;     ///< position in submission order
+    std::size_t index = 0;     ///< global submission index (the shard's
+                               ///< parent campaign when sharded)
     CampaignJob job;
     RunResult result;
+
+    /**
+     * False when an interrupted campaign (driver::setCampaignStop)
+     * never started this job: @c result is empty and the report
+     * writers skip the row, so a partial report carries only real
+     * results.
+     */
+    bool ran = true;
 };
 
 /**
@@ -129,6 +140,24 @@ class SimCampaign
     unsigned effectiveThreads() const;
 
     /**
+     * Keep only shard @p shard of @p shards (jobs whose submission
+     * index is congruent to @p shard mod @p shards). Surviving jobs
+     * remember their global index, so shard reports carry the parent
+     * campaign's indices and mergeReports() can reassemble them into
+     * the exact unsharded report.
+     */
+    void restrictToShard(unsigned shard, unsigned shards);
+
+    /**
+     * Checkpoint per-job completion through @p st (not owned; may be
+     * null to detach). run() binds the backend with every job's
+     * identity key, skips jobs whose results the backend restored, and
+     * records each fresh completion — so a killed run resumes with the
+     * work it already did, byte-identical to an uninterrupted run.
+     */
+    void attachState(CampaignState *st) { state = st; }
+
+    /**
      * Run every job and return results in submission order.
      *
      * Workloads are synthesised once per distinct (name, seed) pair —
@@ -144,7 +173,26 @@ class SimCampaign
   private:
     unsigned requestedThreads;
     std::vector<CampaignJob> jobs;
+    std::vector<std::uint64_t> globalIndex;  ///< empty = identity
+    CampaignState *state = nullptr;
 };
+
+/**
+ * Stable identity hash of one simulation job: scenario, workload,
+ * seed, budgets and the full serialised machine spec. Two runs of the
+ * same command line derive the same keys, which is what lets a
+ * checkpoint record prove it belongs to the job it claims.
+ */
+std::string simJobKey(const CampaignJob &job);
+
+/**
+ * Serialise / parse one RunResult as the checkpoint payload. Integer
+ * counters and escaped strings only — the round trip is exact, so a
+ * report rendered from restored results is byte-identical to one
+ * rendered from fresh results.
+ */
+std::string simResultToJson(const RunResult &r);
+RunResult simResultFromJson(const std::string &json);
 
 } // namespace driver
 } // namespace msp

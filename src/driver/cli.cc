@@ -168,6 +168,7 @@ parseCliArgs(const std::vector<std::string> &args)
     bool seedSet = false;
     bool seedsSet = false;
     bool threadsSet = false;
+    bool checkpointEverySet = false;
 
     auto value = [&](std::size_t &i) -> const std::string & {
         if (i + 1 >= args.size())
@@ -214,6 +215,29 @@ parseCliArgs(const std::vector<std::string> &args)
             o.bisectExact = true;
         } else if (a == "--reduce") {
             o.reduce = true;
+        } else if (a == "--checkpoint") {
+            o.checkpointPath = value(i);
+        } else if (a == "--checkpoint-every") {
+            o.checkpointEvery = parseUnsignedFlag(a, value(i));
+            if (o.checkpointEvery == 0)
+                throw CliError("--checkpoint-every needs a value > 0");
+            checkpointEverySet = true;
+        } else if (a == "--resume") {
+            o.resumePath = value(i);
+        } else if (a == "--shard") {
+            const std::string &v = value(i);
+            const std::size_t slash = v.find('/');
+            if (slash == std::string::npos) {
+                throw CliError(csprintf("--shard wants i/N (e.g. 0/3), "
+                                        "got '%s'", v.c_str()));
+            }
+            o.shardIndex = parseUnsignedFlag(a, v.substr(0, slash));
+            o.shardCount = parseUnsignedFlag(a, v.substr(slash + 1));
+            if (o.shardCount == 0 || o.shardIndex >= o.shardCount) {
+                throw CliError(csprintf("--shard %s: the index must be "
+                                        "< the shard count (0-based)",
+                                        v.c_str()));
+            }
         } else if (a == "--machine") {
             o.machinePath = value(i);
         } else if (a == "--set") {
@@ -238,6 +262,9 @@ parseCliArgs(const std::vector<std::string> &args)
             throw CliError("unknown option " + a);
         } else if (o.mode.empty()) {
             o.mode = a;
+        } else if (o.mode == "merge") {
+            // merge takes shard reports as positional operands.
+            o.mergeInputs.push_back(a);
         } else {
             throw CliError("unexpected argument " + a);
         }
@@ -264,6 +291,32 @@ parseCliArgs(const std::vector<std::string> &args)
                              o.budgetSec > 0.0 || !o.reproPath.empty() ||
                              o.bisectExact || o.reduce;
     const bool specSources = !o.machinePath.empty() || !o.sets.empty();
+    const bool stateFlags = !o.checkpointPath.empty() ||
+                            !o.resumePath.empty() || o.shardCount != 0 ||
+                            checkpointEverySet;
+
+    if (checkpointEverySet && o.checkpointPath.empty() &&
+        o.resumePath.empty()) {
+        throw CliError("--checkpoint-every needs --checkpoint or "
+                       "--resume");
+    }
+    // --resume without --checkpoint keeps checkpointing to the file it
+    // resumes from: an interrupted resume stays resumable.
+    if (!o.resumePath.empty() && o.checkpointPath.empty())
+        o.checkpointPath = o.resumePath;
+
+    if (o.mode == "merge") {
+        if (o.mergeInputs.empty())
+            throw CliError("merge mode needs at least one shard report");
+        if (!o.workloads.empty() || !o.configNames.empty() ||
+            !o.mixNames.empty() || predictorSet || seedSet || seedsSet ||
+            threadsSet || o.instrs != 0 || !o.csvPath.empty() ||
+            triageFlags || specSources || stateFlags) {
+            throw CliError("merge mode only takes shard reports and "
+                           "--json/--quiet");
+        }
+        return o;
+    }
     if (o.mode == "spec") {
         if (o.configNames.size() + (o.machinePath.empty() ? 0 : 1) != 1) {
             throw CliError("spec mode needs exactly one machine: one "
@@ -271,7 +324,7 @@ parseCliArgs(const std::vector<std::string> &args)
         }
         if (!o.workloads.empty() || seedsSet || seedSet ||
             !o.mixNames.empty() || !o.csvPath.empty() || triageFlags ||
-            threadsSet || o.instrs != 0) {
+            threadsSet || o.instrs != 0 || stateFlags) {
             throw CliError("spec mode only takes --configs/--machine/"
                            "--set/--predictor/--json/--quiet");
         }
@@ -312,11 +365,12 @@ parseCliArgs(const std::vector<std::string> &args)
         }
         if (!o.reproPath.empty() &&
             (o.failFast || o.budgetSec > 0.0 || threadsSet ||
-             o.bisectExact || o.reduce)) {
+             o.bisectExact || o.reduce || stateFlags)) {
             throw CliError("--fail-fast/--budget-sec/--threads/"
-                           "--bisect-exact/--reduce do not apply to "
-                           "--repro replay (it runs every recorded "
-                           "reproducer sequentially)");
+                           "--bisect-exact/--reduce/--checkpoint/"
+                           "--resume/--shard do not apply to --repro "
+                           "replay (it runs every recorded reproducer "
+                           "sequentially)");
         }
     } else {
         if (!findScenario(o.mode))
@@ -326,13 +380,14 @@ parseCliArgs(const std::vector<std::string> &args)
         // flags would mislabel the results the user asked for.
         if (!o.workloads.empty() || !o.configNames.empty() ||
             predictorSet || seedSet || seedsSet || !o.mixNames.empty() ||
-            triageFlags || specSources) {
+            triageFlags || specSources || stateFlags) {
             throw CliError(csprintf(
                 "--workloads/--configs/--machine/--set/--predictor/"
                 "--seed/--seeds/--mixes/--fail-fast/--snapshot-every/"
-                "--budget-sec/--repro/--bisect-exact/--reduce only "
-                "apply to matrix, verify or spec mode, not scenario "
-                "'%s'", o.mode.c_str()));
+                "--budget-sec/--repro/--bisect-exact/--reduce/"
+                "--checkpoint/--resume/--shard only apply to matrix, "
+                "verify or spec mode, not scenario '%s'",
+                o.mode.c_str()));
         }
     }
     return o;

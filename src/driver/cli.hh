@@ -55,6 +55,14 @@ struct CliOptions
     std::string reproPath;             ///< replay repros from this report
     bool bisectExact = false;          ///< bisect to the first bad commit
     bool reduce = false;               ///< structurally reduce repro programs
+
+    // ---- campaign state (matrix + verify; see driver/state.hh) ------------
+    std::string checkpointPath;        ///< --checkpoint FILE (durable state)
+    unsigned checkpointEvery = 32;     ///< --checkpoint-every N completions
+    std::string resumePath;            ///< --resume FILE (implies checkpoint)
+    unsigned shardIndex = 0;           ///< --shard i/N: this process is i
+    unsigned shardCount = 0;           ///< --shard i/N: of N (0 = unsharded)
+    std::vector<std::string> mergeInputs;  ///< merge mode: shard reports
 };
 
 /** "a,b,,c" -> {"a","b","c"} (empty items dropped). */

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/presets.hh"
 #include "sim/spec.hh"
@@ -92,31 +93,20 @@ numStr(double v)
 std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += csprintf("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
+    return json::escape(s);
 }
 
 std::string
 toJson(const std::vector<JobResult> &results)
 {
     std::string out = "{\n  \"jobs\": [";
+    std::size_t emitted = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
-        out += i ? ",\n    {" : "\n    {";
+        // Jobs an interrupted campaign never ran have no result to
+        // report: a partial report carries only completed rows.
+        if (!results[i].ran)
+            continue;
+        out += emitted++ ? ",\n    {" : "\n    {";
         const auto fields = fieldsOf(results[i], true);
         for (std::size_t fi = 0; fi < fields.size(); ++fi) {
             const Field &f = fields[fi];
@@ -152,7 +142,9 @@ toCsv(const std::vector<JobResult> &results)
     if (results.empty())
         return out;
     auto csvQuote = [](const std::string &s) {
-        if (s.find_first_of(",\"\n") == std::string::npos)
+        // \r counts as a line break to CSV readers just like \n: an
+        // unquoted carriage return splits the record.
+        if (s.find_first_of(",\"\n\r") == std::string::npos)
             return s;
         std::string q = "\"";
         for (char c : s) {
@@ -176,6 +168,8 @@ toCsv(const std::vector<JobResult> &results)
     }
     out += '\n';
     for (const auto &jr : results) {
+        if (!jr.ran)
+            continue;
         const auto fields = fieldsOf(jr, false);
         first = true;
         for (const Field &f : fields) {
@@ -198,13 +192,24 @@ toCsv(const std::vector<JobResult> &results)
 void
 writeFile(const std::string &path, const std::string &content)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    // Write-then-rename: the temporary lives in the same directory so
+    // the rename is atomic on POSIX filesystems. A crash mid-write
+    // leaves only the .tmp file behind; the destination is either the
+    // complete old document or the complete new one, never a torn mix.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f)
-        msp_fatal("cannot open %s for writing", path.c_str());
+        msp_fatal("cannot open %s for writing", tmp.c_str());
     const std::size_t n =
         std::fwrite(content.data(), 1, content.size(), f);
-    if (std::fclose(f) != 0 || n != content.size())
-        msp_fatal("short write to %s", path.c_str());
+    if (std::fclose(f) != 0 || n != content.size()) {
+        std::remove(tmp.c_str());
+        msp_fatal("short write to %s", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        msp_fatal("cannot rename %s into place", tmp.c_str());
+    }
 }
 
 bool

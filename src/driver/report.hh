@@ -24,10 +24,21 @@ std::string toJson(const std::vector<JobResult> &results);
 /** Serialise results as CSV with a header row. */
 std::string toCsv(const std::vector<JobResult> &results);
 
-/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+/**
+ * JSON string escaping — the shared json::escape (full control set:
+ * quotes, backslashes, \b \f \n \r \t, \u00XX). Kept under the
+ * historical driver:: name for its many call sites.
+ */
 std::string jsonEscape(const std::string &s);
 
-/** Write @p content to @p path; msp_fatal on I/O failure. */
+/**
+ * Write @p content to @p path atomically: the bytes land in a
+ * temporary file in the same directory which is then renamed into
+ * place, so a crash or kill mid-write can never leave a truncated
+ * report for --resume/--repro/parseRepros to choke on — readers see
+ * either the old file or the complete new one. msp_fatal on I/O
+ * failure.
+ */
 void writeFile(const std::string &path, const std::string &content);
 
 /** Read all of @p path; msp_fatal on I/O failure. */

@@ -8,7 +8,10 @@
 
 #include "common/logging.hh"
 #include "driver/campaign.hh"
+#include "driver/state.hh"
 #include "sim/presets.hh"
+#include "sim/spec.hh"
+#include "verify/report.hh"
 
 namespace msp {
 namespace verify {
@@ -59,9 +62,84 @@ DiffCampaign::setSnapshotEvery(std::uint64_t every)
         j.snapshotEvery = every;
 }
 
+void
+DiffCampaign::restrictToShard(unsigned shard, unsigned shards)
+{
+    // Group jobs by fuzzed program: addSweep keeps every config of one
+    // (mix, seed) contiguous, so a group is a maximal run of equal
+    // keys. Sharding whole groups keeps applyTimingInvariant's
+    // ideal/16-SP comparisons intra-shard.
+    std::vector<std::size_t> groupOf(jobs.size());
+    std::size_t groups = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i > 0 && (jobs[i].mix.name != jobs[i - 1].mix.name ||
+                      jobs[i].seed != jobs[i - 1].seed)) {
+            ++groups;
+        }
+        groupOf[i] = groups;
+    }
+    if (!jobs.empty())
+        ++groups;
+
+    std::vector<bool> keepGroup(groups, false);
+    for (std::size_t g : driver::shardSelect(groups, shard, shards))
+        keepGroup[g] = true;
+
+    std::vector<DiffJob> kept;
+    std::vector<std::uint64_t> indices;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!keepGroup[groupOf[i]])
+            continue;
+        indices.push_back(globalIndex.empty() ? i : globalIndex[i]);
+        kept.push_back(std::move(jobs[i]));
+    }
+    jobs = std::move(kept);
+    globalIndex = std::move(indices);
+}
+
+std::string
+diffJobKey(const DiffJob &job)
+{
+    std::string identity = mixToJson(job.mix) + "|";
+    identity += csprintf("%llu|%llu|%llu|%llu|",
+                         static_cast<unsigned long long>(job.seed),
+                         static_cast<unsigned long long>(job.maxInsts),
+                         static_cast<unsigned long long>(job.maxCycles),
+                         static_cast<unsigned long long>(
+                             job.snapshotEvery));
+    if (job.program)
+        identity += job.program->name + "|";
+    identity += specToJson(job.config);
+    return driver::stateHash(identity);
+}
+
 std::vector<DiffOutcome>
 DiffCampaign::run(const DiffProgressFn &progress)
 {
+    const auto gidx = [&](std::size_t i) {
+        return globalIndex.empty() ? i : globalIndex[i];
+    };
+
+    // Bind the state backend: job identity keys, then any restored
+    // records (see driver::CampaignState). Only completed, non-skipped
+    // outcomes were ever recorded, so a restored payload is always a
+    // real run.
+    std::vector<std::string> keys;
+    const bool durable = state && state->enabled();
+    if (durable) {
+        std::vector<std::uint64_t> indices;
+        indices.reserve(jobs.size());
+        keys.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            indices.push_back(gidx(i));
+            keys.push_back(diffJobKey(jobs[i]));
+        }
+        state->begin("verify", indices, keys);
+    }
+    const auto restored = [&](std::size_t i) -> const std::string * {
+        return durable ? state->completedPayload(gidx(i)) : nullptr;
+    };
+
     // The wall clock starts before program generation: fuzzing the
     // images is part of the work --budget-sec promises to bound.
     const auto startTime = std::chrono::steady_clock::now();
@@ -77,11 +155,14 @@ DiffCampaign::run(const DiffProgressFn &progress)
     // the pool starts: program images never depend on worker
     // scheduling, and configs sharing a program share one image. An
     // expired budget stops generation too — jobs left without a
-    // program are skipped below.
+    // program are skipped below. Restored jobs need no image (the
+    // shrinker regenerates from (seed, mix) on demand, deterministically
+    // identical to what this loop would build).
     std::map<std::pair<std::string, std::uint64_t>,
              std::shared_ptr<const Program>> programs;
-    for (DiffJob &j : jobs) {
-        if (j.program || overBudget())
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        DiffJob &j = jobs[i];
+        if (j.program || restored(i) || overBudget())
             continue;
         const auto key = std::make_pair(j.mix.name, j.seed);
         auto it = programs.find(key);
@@ -95,7 +176,7 @@ DiffCampaign::run(const DiffProgressFn &progress)
 
     std::vector<DiffOutcome> out(jobs.size());
     std::size_t done = 0;
-    std::mutex mu;              // guards done + progress callback
+    std::mutex mu;              // guards done + progress + state
 
     // Cooperative cancellation for fail-fast / budget: checked before a
     // job *starts*; running jobs always finish, so executed outcomes
@@ -106,8 +187,11 @@ DiffCampaign::run(const DiffProgressFn &progress)
                         [&](std::size_t i) {
         const DiffJob &j = jobs[i];
         DiffOutcome o;
-        if (stop.load(std::memory_order_relaxed) || !j.program ||
-            overBudget()) {
+        bool fresh = false;
+        if (const std::string *payload = restored(i)) {
+            o = outcomeFromJson(*payload);
+        } else if (stop.load(std::memory_order_relaxed) || !j.program ||
+                   overBudget() || driver::campaignStopRequested()) {
             o.skipped = true;
             o.config = j.config.name;
             o.workload = j.program ? j.program->name : "";
@@ -119,16 +203,24 @@ DiffCampaign::run(const DiffProgressFn &progress)
             o = diffRun(*j.program, j.config, opt);
             if (failFast && !o.ok())
                 stop.store(true, std::memory_order_relaxed);
+            fresh = true;
         }
+        o.index = gidx(i);
         o.mix = j.mix.name;
         o.seed = j.seed;
         out[i] = std::move(o);
 
         std::lock_guard<std::mutex> lock(mu);
+        // Skipped outcomes are never persisted: a --resume must re-run
+        // jobs that fail-fast, the budget or an interrupt passed over.
+        if (fresh && durable && !out[i].skipped)
+            state->recordDone(gidx(i), keys[i], outcomeToJson(out[i]));
         ++done;
         if (progress)
             progress(out[i], done, jobs.size());
     });
+    if (durable)
+        state->finalFlush();
     return out;
 }
 

@@ -24,6 +24,9 @@
 #include "verify/oracle.hh"
 
 namespace msp {
+
+namespace driver { class CampaignState; }
+
 namespace verify {
 
 /** One differential job: one generated program on one machine. */
@@ -77,6 +80,24 @@ class DiffCampaign
     void setSnapshotEvery(std::uint64_t every);
 
     /**
+     * Keep only shard @p shard of @p shards. Unlike the per-job sim
+     * sharding, the unit here is the (mix, seed) *group* — the
+     * contiguous run of configs fuzzing one program — so
+     * applyTimingInvariant's ideal/16-SP pairs always land in the same
+     * shard and a merged report carries the same timing divergences as
+     * the unsharded run. Surviving jobs remember their global index.
+     */
+    void restrictToShard(unsigned shard, unsigned shards);
+
+    /**
+     * Checkpoint per-job completion through @p st (not owned; may be
+     * null to detach). run() skips jobs whose outcomes the backend
+     * restored and records each fresh, non-skipped completion —
+     * skipped outcomes are never persisted, so a resume re-runs them.
+     */
+    void attachState(driver::CampaignState *st) { state = st; }
+
+    /**
      * Stop starting new jobs once any job diverges (already-running
      * jobs finish; unstarted jobs come back with skipped=true). For CI
      * bisection loops; trades the full sweep for a fast first answer.
@@ -104,7 +125,16 @@ class DiffCampaign
     bool failFast = false;
     double budgetSec = 0.0;
     std::vector<DiffJob> jobs;
+    std::vector<std::uint64_t> globalIndex;  ///< empty = identity
+    driver::CampaignState *state = nullptr;
 };
+
+/**
+ * Stable identity hash of one differential job: the full serialised
+ * fuzz mix, seed, budgets, snapshot cadence and machine spec — the
+ * checkpoint-record identity (see driver::simJobKey for the contract).
+ */
+std::string diffJobKey(const DiffJob &job);
 
 /**
  * Coarse fuzzed timing invariant: the ideal MSP (infinite banks) can

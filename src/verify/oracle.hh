@@ -110,6 +110,14 @@ struct DiffOptions
 /** Outcome of one differential run (one program on one machine). */
 struct DiffOutcome
 {
+    /**
+     * Global submission index in the campaign that produced this
+     * outcome (the parent campaign's index when sharded); emitted on
+     * every report row so driver::mergeReports can reassemble shard
+     * reports in the unsharded order.
+     */
+    std::uint64_t index = 0;
+
     std::string mix;         ///< fuzz mix name ("" for external programs)
     std::uint64_t seed = 0;  ///< program-generation seed
     std::string config;      ///< machine-configuration name

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "driver/report.hh"
 #include "sim/spec.hh"
@@ -11,9 +12,18 @@
 namespace msp {
 namespace verify {
 
-namespace {
+// Extraction runs on the shared primitives (common/json.hh): one
+// escape/unescape pair for the whole tree, so every label this file
+// writes reads back byte-identical. (The historical local reader
+// decoded "\n" to a literal 'n'.)
+using json::balancedSlice;
+using json::getNum;
+using json::getStr;
+using json::getU64;
+using json::innerArrays;
+using json::innerStrings;
+using json::valuePos;
 
-/** FuzzMix as a flat JSON object (the schema parseMix() reads back). */
 std::string
 mixToJson(const FuzzMix &m)
 {
@@ -41,83 +51,7 @@ mixToJson(const FuzzMix &m)
     return out;
 }
 
-// ---- minimal extraction for the schema this file emits --------------------
-
-/** Position of the value after "key": inside @p obj; npos if absent. */
-std::size_t
-valuePos(const std::string &obj, const std::string &key)
-{
-    const std::string needle = "\"" + key + "\":";
-    const std::size_t at = obj.find(needle);
-    if (at == std::string::npos)
-        return std::string::npos;
-    std::size_t p = at + needle.size();
-    while (p < obj.size() && (obj[p] == ' ' || obj[p] == '\n'))
-        ++p;
-    return p;
-}
-
-double
-getNum(const std::string &obj, const std::string &key, double def)
-{
-    const std::size_t p = valuePos(obj, key);
-    return p == std::string::npos ? def : std::strtod(obj.c_str() + p,
-                                                      nullptr);
-}
-
-std::uint64_t
-getU64(const std::string &obj, const std::string &key, std::uint64_t def)
-{
-    const std::size_t p = valuePos(obj, key);
-    return p == std::string::npos
-               ? def
-               : std::strtoull(obj.c_str() + p, nullptr, 10);
-}
-
-std::string
-getStr(const std::string &obj, const std::string &key,
-       const std::string &def = "")
-{
-    std::size_t p = valuePos(obj, key);
-    if (p == std::string::npos || p >= obj.size() || obj[p] != '"')
-        return def;
-    std::string out;
-    for (++p; p < obj.size() && obj[p] != '"'; ++p) {
-        if (obj[p] == '\\' && p + 1 < obj.size())
-            ++p;   // jsonEscape escapes: keep the char after backslash
-        out += obj[p];
-    }
-    return out;
-}
-
-/**
- * The balanced {...} or [...] starting at @p open (which must index the
- * opening bracket). Quote-aware, so braces inside strings don't count.
- */
-std::string
-balancedSlice(const std::string &s, std::size_t open)
-{
-    const char up = s[open];
-    const char down = up == '{' ? '}' : ']';
-    int depth = 0;
-    bool inStr = false;
-    for (std::size_t p = open; p < s.size(); ++p) {
-        const char c = s[p];
-        if (inStr) {
-            if (c == '\\')
-                ++p;
-            else if (c == '"')
-                inStr = false;
-        } else if (c == '"') {
-            inStr = true;
-        } else if (c == up) {
-            ++depth;
-        } else if (c == down && --depth == 0) {
-            return s.substr(open, p - open + 1);
-        }
-    }
-    return "";
-}
+namespace {
 
 FuzzMix
 parseMix(const std::string &obj)
@@ -222,57 +156,6 @@ parseCodeEntry(const std::string &e)
     in.rs2 = static_cast<std::int8_t>(v[2]);
     in.imm = v[3];
     return in;
-}
-
-/** Top-level [...] entries of @p arr (which includes its brackets). */
-std::vector<std::string>
-innerArrays(const std::string &arr)
-{
-    std::vector<std::string> out;
-    std::size_t p = 1;   // past the outer '['
-    int depth = 1;
-    bool inStr = false;
-    for (; p < arr.size(); ++p) {
-        const char c = arr[p];
-        if (inStr) {
-            if (c == '\\')
-                ++p;
-            else if (c == '"')
-                inStr = false;
-        } else if (c == '"') {
-            inStr = true;
-        } else if (c == '[' && depth == 1) {
-            const std::string entry = balancedSlice(arr, p);
-            if (entry.empty())
-                throw SpecError("truncated array entry");
-            out.push_back(entry);
-            p += entry.size() - 1;
-        } else if (c == '[') {
-            ++depth;
-        } else if (c == ']') {
-            --depth;
-        }
-    }
-    return out;
-}
-
-/** The quoted strings of a ["...", "..."] array, unescaped naively. */
-std::vector<std::string>
-innerStrings(const std::string &arr)
-{
-    std::vector<std::string> out;
-    for (std::size_t p = 1; p < arr.size(); ++p) {
-        if (arr[p] != '"')
-            continue;
-        std::string s;
-        for (++p; p < arr.size() && arr[p] != '"'; ++p) {
-            if (arr[p] == '\\' && p + 1 < arr.size())
-                ++p;
-            s += arr[p];
-        }
-        out.push_back(std::move(s));
-    }
-    return out;
 }
 
 } // anonymous namespace
@@ -404,6 +287,10 @@ toJson(const std::vector<DiffOutcome> &outcomes,
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const DiffOutcome &o = outcomes[i];
         out += i ? ",\n      {" : "\n      {";
+        // The global submission index leads every row: it is the merge
+        // key driver::mergeReports orders shard rows by.
+        out += csprintf("\"index\": %llu, ",
+                        static_cast<unsigned long long>(o.index));
         out += csprintf("\"mix\": \"%s\", ", jsonEscape(o.mix).c_str());
         out += csprintf("\"seed\": %llu, ",
                         static_cast<unsigned long long>(o.seed));
@@ -454,6 +341,14 @@ toJson(const std::vector<DiffOutcome> &outcomes,
     for (std::size_t i = 0; i < shrinks.size(); ++i) {
         const ShrinkResult &s = shrinks[i];
         out += i ? ",\n      {" : "\n      {";
+        // Global index of the job this repro shrinks (jobIndex is the
+        // campaign-local submission index; the outcome row carries the
+        // sharded campaign's global one).
+        out += csprintf("\"index\": %llu, ",
+                        static_cast<unsigned long long>(
+                            s.jobIndex < outcomes.size()
+                                ? outcomes[s.jobIndex].index
+                                : s.jobIndex));
         out += csprintf("\"kind\": \"%s\", ",
                         jsonEscape(s.repro.kind).c_str());
         out += csprintf("\"seed\": %llu, ",
@@ -513,6 +408,78 @@ toJson(const std::vector<DiffOutcome> &outcomes,
     }
     out += "\n    ]\n  }\n}\n";
     return out;
+}
+
+std::string
+outcomeToJson(const DiffOutcome &o)
+{
+    using driver::jsonEscape;
+    const auto u64 = [](std::uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+    // Every field is emitted unconditionally — a checkpoint payload is
+    // a machine artefact, and a fixed shape keeps the round trip (and
+    // its test) total rather than schema-dependent.
+    std::string out = "{";
+    out += csprintf("\"mix\": \"%s\", ", jsonEscape(o.mix).c_str());
+    out += csprintf("\"seed\": %llu, ", u64(o.seed));
+    out += csprintf("\"config\": \"%s\", ", jsonEscape(o.config).c_str());
+    out += csprintf("\"workload\": \"%s\", ",
+                    jsonEscape(o.workload).c_str());
+    out += csprintf("\"committed_core\": %llu, ", u64(o.committedCore));
+    out += csprintf("\"committed_ref\": %llu, ", u64(o.committedRef));
+    out += csprintf("\"cycles\": %llu, ", u64(o.cycles));
+    out += csprintf("\"stream_hash\": \"%016llx\", ", u64(o.streamHash));
+    out += csprintf("\"skipped\": %s, ", o.skipped ? "true" : "false");
+    out += csprintf("\"snapshot_every\": %llu, ", u64(o.snapshotEvery));
+    out += csprintf("\"localized\": %s, ", o.localized ? "true" : "false");
+    out += csprintf("\"bad_window_lo\": %llu, ", u64(o.badWindowLo));
+    out += csprintf("\"bad_window_hi\": %llu, ", u64(o.badWindowHi));
+    out += csprintf("\"exact_localized\": %s, ",
+                    o.exactLocalized ? "true" : "false");
+    out += csprintf("\"first_bad_commit\": %llu, ",
+                    u64(o.firstBadCommit));
+    out += "\"divergences\": [";
+    for (std::size_t d = 0; d < o.divergences.size(); ++d) {
+        out += d ? ", {" : "{";
+        out += csprintf("\"kind\": \"%s\", \"detail\": \"%s\"}",
+                        jsonEscape(o.divergences[d].kind).c_str(),
+                        jsonEscape(o.divergences[d].detail).c_str());
+    }
+    out += "]}";
+    return out;
+}
+
+DiffOutcome
+outcomeFromJson(const std::string &doc)
+{
+    DiffOutcome o;
+    o.mix = getStr(doc, "mix");
+    o.seed = getU64(doc, "seed", 0);
+    o.config = getStr(doc, "config");
+    o.workload = getStr(doc, "workload");
+    o.committedCore = getU64(doc, "committed_core", 0);
+    o.committedRef = getU64(doc, "committed_ref", 0);
+    o.cycles = getU64(doc, "cycles", 0);
+    o.streamHash =
+        std::strtoull(getStr(doc, "stream_hash").c_str(), nullptr, 16);
+    o.skipped = json::getBool(doc, "skipped", false);
+    o.snapshotEvery = getU64(doc, "snapshot_every", 0);
+    o.localized = json::getBool(doc, "localized", false);
+    o.badWindowLo = getU64(doc, "bad_window_lo", 0);
+    o.badWindowHi = getU64(doc, "bad_window_hi", 0);
+    o.exactLocalized = json::getBool(doc, "exact_localized", false);
+    o.firstBadCommit = getU64(doc, "first_bad_commit", 0);
+    const std::size_t divAt = valuePos(doc, "divergences");
+    if (divAt != std::string::npos && divAt < doc.size() &&
+        doc[divAt] == '[') {
+        for (const std::string &d :
+             json::innerObjects(balancedSlice(doc, divAt))) {
+            o.divergences.push_back(
+                Divergence{getStr(d, "kind"), getStr(d, "detail")});
+        }
+    }
+    return o;
 }
 
 std::vector<ReproSpec>

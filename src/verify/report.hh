@@ -59,6 +59,24 @@ std::string programToJson(const Program &prog);
  */
 Program programFromJson(const std::string &json);
 
+/**
+ * One FuzzMix as a flat JSON object (the schema the repro parser reads
+ * back). Also the mix component of diffJobKey's identity string.
+ */
+std::string mixToJson(const FuzzMix &m);
+
+/**
+ * Serialise / parse one DiffOutcome as a checkpoint payload
+ * (driver::CampaignState). Integer counters, flags and escaped strings
+ * only — the round trip is exact, so a report rendered from restored
+ * outcomes is byte-identical to one rendered from fresh outcomes.
+ * Pre-triage state only: "timing" divergences (applyTimingInvariant)
+ * and exact bisection results (shrinkFailures) are recomputed on
+ * resume, not persisted.
+ */
+std::string outcomeToJson(const DiffOutcome &o);
+DiffOutcome outcomeFromJson(const std::string &json);
+
 /** Total divergences across @p outcomes. */
 std::size_t countDivergences(const std::vector<DiffOutcome> &outcomes);
 

@@ -392,6 +392,70 @@ TEST(ParseCliArgs, VerifyModeFlagErrors)
                  CliError);
 }
 
+TEST(ParseCliArgs, CampaignStateFlags)
+{
+    const CliOptions o = parseCliArgs(
+        {"matrix", "--workloads", "gzip", "--configs", "cpr",
+         "--checkpoint", "c.jsonl", "--checkpoint-every", "8",
+         "--shard", "1/3"});
+    EXPECT_EQ(o.checkpointPath, "c.jsonl");
+    EXPECT_EQ(o.checkpointEvery, 8u);
+    EXPECT_EQ(o.shardIndex, 1u);
+    EXPECT_EQ(o.shardCount, 3u);
+
+    // --resume alone checkpoints back into the file it resumes from.
+    const CliOptions r = parseCliArgs({"verify", "--resume", "c.jsonl"});
+    EXPECT_EQ(r.resumePath, "c.jsonl");
+    EXPECT_EQ(r.checkpointPath, "c.jsonl");
+}
+
+TEST(ParseCliArgs, CampaignStateFlagErrors)
+{
+    // --checkpoint-every is meaningless without durable state.
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr",
+                               "--checkpoint-every", "8"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr", "--checkpoint",
+                               "c.jsonl", "--checkpoint-every", "0"}),
+                 CliError);
+    // Bad --shard spellings: not i/N, shard out of range, zero shards.
+    for (const char *bad : {"3", "1-3", "3/3", "4/3", "0/0", "a/3",
+                            "1/b", "1/3x"})
+        EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                                   "--configs", "cpr", "--shard", bad}),
+                     CliError);
+    // State is a campaign feature: spec/scenario/--repro reject it.
+    EXPECT_THROW(parseCliArgs({"fig6", "--checkpoint", "c.jsonl"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "cpr", "--shard",
+                               "0/2"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
+                               "--resume", "c.jsonl"}),
+                 CliError);
+}
+
+TEST(ParseCliArgs, MergeMode)
+{
+    const CliOptions o =
+        parseCliArgs({"merge", "a.json", "b.json", "--json", "out.json"});
+    EXPECT_EQ(o.mode, "merge");
+    ASSERT_EQ(o.mergeInputs.size(), 2u);
+    EXPECT_EQ(o.mergeInputs[0], "a.json");
+    EXPECT_EQ(o.mergeInputs[1], "b.json");
+    EXPECT_EQ(o.jsonPath, "out.json");
+
+    // No inputs, and flags that make no sense when only folding files.
+    EXPECT_THROW(parseCliArgs({"merge"}), CliError);
+    EXPECT_THROW(parseCliArgs({"merge", "a.json", "--threads", "2"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"merge", "a.json", "--checkpoint",
+                               "c.jsonl"}),
+                 CliError);
+}
+
 TEST(ParseCliArgs, MalformedFlagsThrow)
 {
     EXPECT_THROW(parseCliArgs({"fig6", "--bogus"}), CliError);

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,6 +30,7 @@
 #include "driver/cli.hh"
 #include "driver/report.hh"
 #include "driver/scenario.hh"
+#include "driver/state.hh"
 #include "sim/presets.hh"
 #include "sim/spec.hh"
 #include "verify/diff_campaign.hh"
@@ -40,6 +42,32 @@ namespace {
 using namespace msp;
 using namespace msp::driver;
 
+/** Exit status of a campaign stopped by SIGINT/SIGTERM. */
+constexpr int exitInterrupted = 3;
+
+extern "C" void
+handleStopSignal(int sig)
+{
+    // First signal: cooperative stop — campaigns stop starting jobs,
+    // in-flight jobs finish and are checkpointed, and a partial report
+    // is written before exiting with a distinct status. Second signal:
+    // the user really means it; quit without unwinding. Both paths are
+    // async-signal-safe (a lock-free atomic, then _Exit).
+    if (driver::campaignStopRequested())
+        std::_Exit(128 + sig);
+    driver::setCampaignStop(true);
+}
+
+/** Shared --checkpoint/--resume wiring for matrix and verify. */
+void
+configureState(CampaignState &state, const CliOptions &o)
+{
+    if (o.checkpointPath.empty())
+        return;
+    state.configure(o.checkpointPath, o.checkpointEvery,
+                    !o.resumePath.empty(), o.resumePath);
+}
+
 void
 printUsage(std::FILE *to)
 {
@@ -48,6 +76,7 @@ printUsage(std::FILE *to)
         "       msp_sim matrix --workloads A,B --configs C,D [options]\n"
         "       msp_sim verify [--seeds N] [--mixes M,N] [options]\n"
         "       msp_sim spec (--configs P | --machine FILE) [--set k=v]\n"
+        "       msp_sim merge SHARD.json... [--json FILE]\n"
         "       msp_sim --list\n"
         "\n"
         "options:\n"
@@ -59,6 +88,30 @@ printUsage(std::FILE *to)
         "  --json FILE    write per-job results as JSON\n"
         "  --csv FILE     write per-job results as CSV (not verify)\n"
         "  --quiet        suppress the header and per-job progress\n"
+        "\n"
+        "campaign state (matrix and verify modes):\n"
+        "  --checkpoint FILE\n"
+        "                 append per-job completion records to FILE as\n"
+        "                 the campaign runs (atomic header rewrite, then\n"
+        "                 flushed appends)\n"
+        "  --checkpoint-every N\n"
+        "                 flush cadence in completed jobs (default 32)\n"
+        "  --resume FILE  skip jobs already recorded in FILE and keep\n"
+        "                 checkpointing to it; the final report is\n"
+        "                 byte-identical to an uninterrupted run at any\n"
+        "                 thread count. A torn trailing record (crash\n"
+        "                 mid-append) is quarantined to FILE.torn; any\n"
+        "                 other corruption or a checkpoint from a\n"
+        "                 different command line fails with exit 2\n"
+        "  --shard i/N    run only shard i of N (deterministic split;\n"
+        "                 verify shards by fuzzed program so the timing\n"
+        "                 invariant stays intra-shard); write each\n"
+        "                 shard's --json, then fold them with merge\n"
+        "  merge mode reassembles shard reports into one document\n"
+        "  byte-identical to the unsharded run's (--json FILE or stdout)\n"
+        "  SIGINT/SIGTERM stop a campaign cooperatively: in-flight jobs\n"
+        "  finish and are checkpointed, a partial report is written, and\n"
+        "  msp_sim exits 3; a second signal force-quits\n"
         "\n"
         "machine specs (matrix, verify and spec modes):\n"
         "  --machine FILE load a machine from a JSON spec file (flat\n"
@@ -146,6 +199,11 @@ runMatrix(const CliOptions &o)
 
     SimCampaign campaign(o.threads);
     campaign.addMatrix(o.workloads, configs, o.instrs, o.seed, "matrix");
+    if (o.shardCount)
+        campaign.restrictToShard(o.shardIndex, o.shardCount);
+    CampaignState state;
+    configureState(state, o);
+    campaign.attachState(&state);
     if (!o.quiet) {
         std::printf("Custom matrix: %zu workload(s) x %zu config(s) "
                     "(%s). Jobs: %zu on %u thread(s).\n",
@@ -166,11 +224,14 @@ runMatrix(const CliOptions &o)
     {
         msp::Table t("IPC");
         t.header({"workload", "config", "ipc", "cycles", "committed"});
-        for (const auto &jr : results)
+        for (const auto &jr : results) {
+            if (!jr.ran)   // interrupted before this job started
+                continue;
             t.row({jr.result.workload, jr.result.config,
                    msp::Table::num(jr.result.ipc(), 3),
                    std::to_string(jr.result.cycles),
                    std::to_string(jr.result.committed)});
+        }
         std::fputs(t.str().c_str(), stdout);
     }
     return results;
@@ -327,6 +388,11 @@ runVerify(const CliOptions &o)
     campaign.setSnapshotEvery(o.snapshotEvery);
     campaign.setFailFast(o.failFast);
     campaign.setBudgetSec(o.budgetSec);
+    if (o.shardCount)
+        campaign.restrictToShard(o.shardIndex, o.shardCount);
+    CampaignState state;
+    configureState(state, o);
+    campaign.attachState(&state);
     if (!o.quiet) {
         std::printf("Differential verification: %u seed(s) x %zu "
                     "mix(es) x %zu config(s) (%s). Jobs: %zu on %u "
@@ -345,6 +411,23 @@ runVerify(const CliOptions &o)
     // report every divergence the moment it is found.
     const auto campaignStart = std::chrono::steady_clock::now();
     auto outcomes = campaign.run(printDivergences);
+
+    // An interrupted sweep writes its partial report and stops: the
+    // timing invariant and the shrinker both reason over the whole
+    // sweep, which this run no longer is — the --resume run redoes
+    // them over the complete set.
+    if (driver::campaignStopRequested()) {
+        if (!o.jsonPath.empty())
+            driver::writeFile(o.jsonPath, verify::toJson(outcomes));
+        std::fprintf(stderr,
+                     "msp_sim: interrupted — %zu of %zu job(s) done%s\n",
+                     outcomes.size() - verify::countSkipped(outcomes),
+                     outcomes.size(),
+                     o.checkpointPath.empty()
+                         ? ""
+                         : "; resume with --resume");
+        return exitInterrupted;
+    }
 
     // Coarse timing invariant, only meaningful after a clean batch
     // (correctness divergences already fail the run and would make an
@@ -516,6 +599,38 @@ main(int argc, char **argv)
             std::printf("%-22s %s\n", s.name.c_str(), s.title.c_str());
         return 0;
     }
+    if (o.mode == "merge") {
+        try {
+            std::vector<std::string> docs;
+            for (const std::string &p : o.mergeInputs) {
+                std::string doc;
+                if (!driver::tryReadFile(p, doc)) {
+                    std::fprintf(stderr,
+                                 "msp_sim: cannot read shard report "
+                                 "%s\n", p.c_str());
+                    return 2;
+                }
+                docs.push_back(std::move(doc));
+            }
+            const std::string merged = driver::mergeReports(docs);
+            if (o.jsonPath.empty())
+                std::fputs(merged.c_str(), stdout);
+            else
+                driver::writeFile(o.jsonPath, merged);
+            return 0;
+        } catch (const CheckpointError &e) {
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    // Campaign modes run long enough that ^C deserves better than a
+    // lost run: the first signal drains in-flight jobs, flushes the
+    // final checkpoint and writes a partial report (exit 3); the
+    // second force-quits.
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+
     if (o.mode == "spec") {
         try {
             return runSpec(o);
@@ -532,6 +647,12 @@ main(int argc, char **argv)
             // run time, past the grammar check above.
             std::fprintf(stderr, "msp_sim: %s\n", e.what());
             return 2;
+        } catch (const CheckpointError &e) {
+            // A checkpoint that cannot be resumed (corrupt mid-file,
+            // or from a different campaign) must not silently rerun
+            // from scratch under a flag that promised to resume.
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
         }
     }
 
@@ -544,11 +665,25 @@ main(int argc, char **argv)
     } catch (const CliError &e) {
         std::fprintf(stderr, "msp_sim: %s\n", e.what());
         return 2;
+    } catch (const CheckpointError &e) {
+        std::fprintf(stderr, "msp_sim: %s\n", e.what());
+        return 2;
     }
 
     if (!o.jsonPath.empty())
         driver::writeFile(o.jsonPath, driver::toJson(results));
     if (!o.csvPath.empty())
         driver::writeFile(o.csvPath, driver::toCsv(results));
+    if (driver::campaignStopRequested()) {
+        std::size_t ran = 0;
+        for (const JobResult &jr : results)
+            ran += jr.ran ? 1 : 0;
+        std::fprintf(stderr,
+                     "msp_sim: interrupted — %zu of %zu job(s) done%s\n",
+                     ran, results.size(),
+                     o.checkpointPath.empty() ? ""
+                                              : "; resume with --resume");
+        return exitInterrupted;
+    }
     return 0;
 }
