@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Standalone simulator-throughput harness: the default `msp_sim bench`
+ * measurement (Table I ladder x gzip,gcc,swim,mcf), report on stdout.
+ *
+ * Exists so `make bench_throughput && ./bench_throughput` works
+ * without remembering CLI flags; the CLI mode is the full-featured
+ * entry point (pinning, baselines, regression gate).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/bench.hh"
+
+int
+main()
+{
+    using namespace msp::driver;
+
+    BenchOptions o;
+    if (const char *env = std::getenv("MSP_BENCH_INSTRS"))
+        o.instrs = std::strtoull(env, nullptr, 10);
+
+    if (sanitizedBuild()) {
+        std::fprintf(stderr, "bench_throughput: warning: sanitized "
+                             "build — timings are not comparable\n");
+    }
+
+    const BenchReport report = runThroughputBench(
+        o, [](const std::string &cfg, unsigned rep, unsigned reps,
+              double wall) {
+            std::fprintf(stderr, "  [%s %u/%u] %.3f s\n", cfg.c_str(),
+                         rep, reps, wall);
+        });
+    std::fputs(benchReportToJson(report).c_str(), stdout);
+    return 0;
+}

@@ -113,7 +113,7 @@ void
 BaselineCore::doCommit()
 {
     for (unsigned n = 0; n < params.retireWidth && !window.empty(); ++n) {
-        DynInst &h = window.front();
+        DynInst &h = *window.front();
         if (!h.executed || h.squashed)
             break;
         if (h.isTrap()) {

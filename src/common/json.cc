@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace msp {
 namespace json {
@@ -132,21 +133,71 @@ valuePos(const std::string &obj, const std::string &key)
     return p;
 }
 
+namespace {
+
+/**
+ * The raw token starting at @p p: everything up to the next value
+ * delimiter (comma, closing bracket, whitespace, or end of document).
+ */
+std::string
+numberToken(const std::string &obj, std::size_t p)
+{
+    std::size_t e = p;
+    while (e < obj.size()) {
+        const char c = obj[e];
+        if (c == ',' || c == '}' || c == ']' || c == ' ' || c == '\n' ||
+            c == '\t' || c == '\r') {
+            break;
+        }
+        ++e;
+    }
+    return obj.substr(p, e - p);
+}
+
+} // anonymous namespace
+
 double
 getNum(const std::string &obj, const std::string &key, double def)
 {
     const std::size_t p = valuePos(obj, key);
-    return p == std::string::npos ? def
-                                  : std::strtod(obj.c_str() + p, nullptr);
+    if (p == std::string::npos)
+        return def;
+    const std::string tok = numberToken(obj, p);
+    // Validate the whole token: strtod with a null end pointer would
+    // decode "12garbage" as 12 and plain garbage as 0. Also keep
+    // strtod's extensions (hex floats, inf, nan) out of the accepted
+    // grammar — JSON has none of them.
+    bool shape = !tok.empty();
+    for (char c : tok) {
+        if (!((c >= '0' && c <= '9') || c == '-' || c == '+' ||
+              c == '.' || c == 'e' || c == 'E')) {
+            shape = false;
+        }
+    }
+    char *end = nullptr;
+    const double v = shape ? std::strtod(tok.c_str(), &end) : 0.0;
+    if (!shape || end != tok.c_str() + tok.size()) {
+        throw JsonError(csprintf("malformed number for key \"%s\": "
+                                 "'%s'", key.c_str(), tok.c_str()));
+    }
+    return v;
 }
 
 std::uint64_t
 getU64(const std::string &obj, const std::string &key, std::uint64_t def)
 {
     const std::size_t p = valuePos(obj, key);
-    return p == std::string::npos
-               ? def
-               : std::strtoull(obj.c_str() + p, nullptr, 10);
+    if (p == std::string::npos)
+        return def;
+    const std::string tok = numberToken(obj, p);
+    std::uint64_t v = 0;
+    const parse::Status st = parse::decimalU64(tok, v);
+    if (st != parse::Status::Ok) {
+        throw JsonError(csprintf("malformed unsigned for key \"%s\": "
+                                 "'%s' (%s)", key.c_str(), tok.c_str(),
+                                 parse::statusReason(st)));
+    }
+    return v;
 }
 
 bool

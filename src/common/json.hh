@@ -18,11 +18,25 @@
 #define MSPLIB_COMMON_JSON_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace msp {
 namespace json {
+
+/**
+ * A present-but-malformed value. Absent keys still yield the caller's
+ * default (documents legitimately omit optional fields), but a key
+ * that exists with a garbled number must fail loudly: the old
+ * strtoull(..., nullptr) readers silently decoded garbage as 0, so a
+ * corrupt checkpoint row or repro would "replay clean".
+ */
+struct JsonError : std::runtime_error
+{
+    explicit JsonError(const std::string &what)
+        : std::runtime_error(what) {}
+};
 
 /**
  * Escape @p s for embedding in a JSON string literal. Covers the full
@@ -47,10 +61,18 @@ std::string unescape(const std::string &s);
  */
 std::size_t valuePos(const std::string &obj, const std::string &key);
 
-/** Numeric value of "key" in @p obj; @p def when absent. */
+/**
+ * Numeric value of "key" in @p obj; @p def when absent. Throws
+ * JsonError when the key is present but its token is not a finite
+ * JSON number.
+ */
 double getNum(const std::string &obj, const std::string &key, double def);
 
-/** Unsigned value of "key" in @p obj; @p def when absent. */
+/**
+ * Unsigned value of "key" in @p obj; @p def when absent. Throws
+ * JsonError when the key is present but its token is not a plain
+ * non-negative decimal integer that fits in 64 bits.
+ */
 std::uint64_t getU64(const std::string &obj, const std::string &key,
                      std::uint64_t def);
 

@@ -1,0 +1,71 @@
+#include "common/parse.hh"
+
+namespace msp {
+namespace parse {
+
+namespace {
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+Status
+decimalU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return Status::Empty;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return Status::BadChar;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (~std::uint64_t{0} - digit) / 10)
+            return Status::Overflow;
+        v = v * 10 + digit;
+    }
+    out = v;
+    return Status::Ok;
+}
+
+Status
+hexU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return Status::Empty;
+    if (s.size() > 16)
+        return Status::Overflow;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        const int d = hexDigit(c);
+        if (d < 0)
+            return Status::BadChar;
+        v = (v << 4) | static_cast<std::uint64_t>(d);
+    }
+    out = v;
+    return Status::Ok;
+}
+
+const char *
+statusReason(Status st)
+{
+    switch (st) {
+      case Status::Ok:       return "ok";
+      case Status::Empty:    return "empty token";
+      case Status::BadChar:  return "non-digit character";
+      case Status::Overflow: return "overflows 64 bits";
+    }
+    return "unknown";
+}
+
+} // namespace parse
+} // namespace msp

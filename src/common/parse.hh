@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Strict numeric token parsing, shared by every reader that must not
+ * accept what strtoull does: leading whitespace, a sign, trailing
+ * junk, or a silent wrap on overflow. The CLI flag parsers, the
+ * preset-name decoder and the JSON number readers all want the same
+ * contract — digits only, whole token, loud overflow — and each grew
+ * its own (sometimes unchecked) copy before this header existed.
+ */
+
+#ifndef MSPLIB_COMMON_PARSE_HH
+#define MSPLIB_COMMON_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace msp {
+namespace parse {
+
+/** Why a token failed to parse (Ok means it didn't fail). */
+enum class Status {
+    Ok,
+    Empty,      ///< no characters at all
+    BadChar,    ///< sign, whitespace, or any non-digit anywhere
+    Overflow,   ///< token is all digits but exceeds 64 bits
+};
+
+/**
+ * Parse @p s as a strict non-negative decimal integer: every
+ * character must be an ASCII digit and the value must fit in 64 bits.
+ * On Status::Ok @p out holds the value; otherwise @p out is untouched.
+ */
+Status decimalU64(const std::string &s, std::uint64_t &out);
+
+/**
+ * Parse @p s as a strict hexadecimal integer (no 0x prefix, case
+ * insensitive, at most 16 digits). Same contract as decimalU64.
+ */
+Status hexU64(const std::string &s, std::uint64_t &out);
+
+/** Human-readable reason for a non-Ok status ("empty token", ...). */
+const char *statusReason(Status st);
+
+} // namespace parse
+} // namespace msp
+
+#endif // MSPLIB_COMMON_PARSE_HH

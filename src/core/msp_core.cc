@@ -32,6 +32,11 @@ MspCore::MspCore(const CoreParams &p, const Program &program,
                                      "read-port arbitration losses"))
 {
     msp_assert(p.iqSize <= maxIqSlots, "IQ larger than RelIQ rows");
+    // Per-cycle hooks are pay-for-use: rename bookkeeping always, the
+    // port-mask reset only when arbitration is modelled.
+    hookFlags |= kHookRenameCycleBegin;
+    if (p.arbitration)
+        hookFlags |= kHookCycleBegin;
     banks.reserve(numLogRegs);
     for (int b = 0; b < numLogRegs; ++b) {
         banks.emplace_back(b, bankCapacity(p));
@@ -55,12 +60,12 @@ MspCore::flashClear(const DynInst &renaming)
     const std::uint32_t m = stateM;
     for (auto &bk : banks)
         bk.flashClearStateIds(m);
-    for (DynInst &d : window) {
-        if (&d == &renaming)
+    for (DynInst *d : window) {
+        if (d == &renaming)
             continue;   // mid-rename: StateId assigned just after this
-        msp_assert(d.stateId >= m,
-                   "flash-clear: in-flight StateId %u below M", d.stateId);
-        d.stateId -= m;
+        msp_assert(d->stateId >= m,
+                   "flash-clear: in-flight StateId %u below M", d->stateId);
+        d->stateId -= m;
     }
     msp_assert(sc >= m, "flash-clear with small SC");
     sc -= m;
@@ -128,7 +133,7 @@ MspCore::canRename(const DynInst &d)
         // committed state) briefly stall renaming instead.
         const bool safe =
             (anchorPending == 0 || anchorState >= stateM) &&
-            (window.empty() || window.front().stateId >= stateM);
+            (window.empty() || window.front()->stateId >= stateM);
         if (!safe) {
             stallReason = StallReason::Registers;
             stallBank = -1;
@@ -177,10 +182,12 @@ MspCore::renameOne(DynInst &d)
         d.ownerBank = curOwnerBank;
         d.ownerIdx = curOwnerSlot;
         if (d.needsExecution()) {
-            if (curOwnerBank < 0)
+            if (curOwnerBank < 0) {
                 ++anchorPending;
-            else
+            } else {
                 ++banks[curOwnerBank].entry(curOwnerSlot).pendingOps;
+                banks[curOwnerBank].markLcsDirty();
+            }
         }
     }
 }
@@ -262,6 +269,7 @@ MspCore::writebackDest(DynInst &d)
     SctEntry &e = banks[b].entry(slotOf(d.dstPhys));
     e.value = d.result;
     e.ready = true;
+    banks[b].markLcsDirty();
     return true;
 }
 
@@ -276,6 +284,7 @@ MspCore::ownerPendingDec(const DynInst &d)
         msp_assert(e.pendingOps > 0, "pendingOps underflow (bank %d)",
                    static_cast<int>(d.ownerBank));
         --e.pendingOps;
+        banks[d.ownerBank].markLcsDirty();
     }
 }
 
@@ -314,7 +323,7 @@ MspCore::doCommit()
 
     // Commit every state older than LCS (possibly many per cycle).
     while (!window.empty() && !haltCommitted) {
-        DynInst &h = window.front();
+        DynInst &h = *window.front();
         if (h.stateId >= eff)
             break;
         if (h.isTrap()) {
@@ -333,7 +342,7 @@ MspCore::doCommit()
     // two committable states must still find the older mapping alive.
     std::uint32_t releaseLimit = lcs.effective();
     if (!window.empty())
-        releaseLimit = std::min(releaseLimit, window.front().stateId);
+        releaseLimit = std::min(releaseLimit, window.front()->stateId);
     for (auto &bk : banks)
         bk.releaseCommitted(releaseLimit);
 }

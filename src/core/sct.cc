@@ -32,6 +32,7 @@ SctBank::allocate(std::uint32_t stateId)
     e.stateId = stateId;
     e.valid = true;
     order.push_back(s);
+    lcsDirty = true;   // new not-ready tail; previous tail loses exclusion
     return s;
 }
 
@@ -47,6 +48,7 @@ SctBank::setUse(int slot, int iqSlot)
         return false;
     w |= bit;
     ++e.useCount;
+    lcsDirty = true;
     return true;
 }
 
@@ -60,10 +62,11 @@ SctBank::clearUse(int slot, int iqSlot)
     w &= ~bit;
     msp_assert(e.useCount > 0, "bank %d: useCount underflow", id);
     --e.useCount;
+    lcsDirty = true;
 }
 
 std::optional<std::uint32_t>
-SctBank::lcsContribution() const
+SctBank::scanLcsContribution() const
 {
     const int tail = order.empty() ? -1 : order.back();
     for (int s : order) {
@@ -77,9 +80,10 @@ SctBank::lcsContribution() const
 }
 
 int
-SctBank::releaseCommitted(std::uint32_t lcs)
+SctBank::releaseCommittedSlow(std::uint32_t lcs)
 {
     int released = 0;
+    lcsDirty = true;
     while (order.size() >= 2) {
         const SctEntry &succ = slots[order[1]];
         if (succ.stateId >= lcs)
@@ -109,6 +113,7 @@ SctBank::releaseTail(int expectedSlot)
     e.valid = false;
     freeSlots.push_back(order.back());
     order.pop_back();
+    lcsDirty = true;
 }
 
 void
@@ -124,6 +129,10 @@ SctBank::flashClearStateIds(std::uint32_t sub)
         SctEntry &e = slots[s];
         e.stateId = e.stateId >= sub ? e.stateId - sub : 0;
     }
+    // The first holding entry is unchanged (no flags moved); its
+    // StateId shifted exactly like the cache must.
+    if (!lcsDirty && lcsCache)
+        *lcsCache = *lcsCache >= sub ? *lcsCache - sub : 0;
 }
 
 } // namespace msp

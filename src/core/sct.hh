@@ -128,16 +128,46 @@ class SctBank
      * consumers forever, and each consumer already gates the LCS
      * through its own instruction's state. Without this exclusion a
      * single loop-invariant register deadlocks commit.
+     *
+     * The result is cached: the commit stage queries every bank every
+     * cycle, but most banks don't change state in most cycles. Every
+     * mutation that can move the first holding entry (allocate,
+     * use-bit set/clear, pendingOps and ready transitions, releases)
+     * marks the cache dirty; the scan reruns only then.
      */
-    std::optional<std::uint32_t> lcsContribution() const;
+    std::optional<std::uint32_t>
+    lcsContribution() const
+    {
+        if (lcsDirty) {
+            lcsCache = scanLcsContribution();
+            lcsDirty = false;
+        }
+        return lcsCache;
+    }
+
+    /**
+     * Invalidate the cached lcsContribution(). Public because the MSP
+     * core mutates ready/pendingOps directly through entry().
+     */
+    void markLcsDirty() { lcsDirty = true; }
 
     /**
      * Commit-time release: release head entries that have a *committed
      * successor* (successor StateId < @p lcs). The newest entry with
      * StateId < lcs is kept — it holds the architectural value.
      * @return Number of entries released.
+     *
+     * The no-op case (nothing committed in this bank since the last
+     * broadcast) is decided inline — it is the common case for all 64
+     * banks, every cycle.
      */
-    int releaseCommitted(std::uint32_t lcs);
+    int
+    releaseCommitted(std::uint32_t lcs)
+    {
+        if (order.size() < 2 || slots[order[1]].stateId >= lcs)
+            return 0;
+        return releaseCommittedSlow(lcs);
+    }
 
     /** Recovery-time release of the tail entry (squashed allocator). */
     void releaseTail(int expectedSlot);
@@ -152,12 +182,17 @@ class SctBank
 
   private:
     int freeSlot();
+    int releaseCommittedSlow(std::uint32_t lcs);
+    std::optional<std::uint32_t> scanLcsContribution() const;
 
     int id;
     std::size_t cap;
     std::vector<SctEntry> slots;
     std::vector<int> freeSlots;
     std::deque<int> order;   ///< live slots, oldest first
+
+    mutable bool lcsDirty = true;
+    mutable std::optional<std::uint32_t> lcsCache;
 };
 
 } // namespace msp

@@ -265,12 +265,12 @@ CprCore::doCommit()
             if (c.pendingExec > 0)
                 return;
             const SeqNum endSeq = ckptSlots[ckptOrder[1]].startSeq;
-            while (!window.empty() && window.front().seq < endSeq) {
-                if (window.front().isTrap()) {
+            while (!window.empty() && window.front()->seq < endSeq) {
+                if (window.front()->isTrap()) {
                     takeException();
                     return;
                 }
-                msp_assert(window.front().executed,
+                msp_assert(window.front()->executed,
                            "CPR bulk commit of unexecuted instruction");
                 commitOne();
                 if (haltCommitted)
@@ -288,11 +288,11 @@ CprCore::doCommit()
             if (c.pendingExec > 0)
                 return;
             while (!window.empty()) {
-                if (window.front().isTrap()) {
+                if (window.front()->isTrap()) {
                     takeException();
                     return;
                 }
-                msp_assert(window.front().executed,
+                msp_assert(window.front()->executed,
                            "CPR final drain of unexecuted instruction");
                 commitOne();
                 if (haltCommitted)
@@ -332,9 +332,9 @@ CprCore::recoverBranch(DynInst &branch)
     // return would otherwise re-predict from the same restored RAS and
     // could livelock.
     unsigned occ = 0;
-    for (const DynInst &w : window) {
-        if (w.seq >= k.startSeq && w.seq <= branch.seq &&
-            w.pc == branch.pc && w.isControl) {
+    for (const DynInst *w : window) {
+        if (w->seq >= k.startSeq && w->seq <= branch.seq &&
+            w->pc == branch.pc && w->isControl) {
             ++occ;
         }
     }
@@ -419,15 +419,15 @@ CprCore::computeRefCounts() const
         for (int u = 0; u < numLogRegs; ++u)
             ++rc[c.rat[u]];
     }
-    for (const DynInst &d : window) {
-        if (d.squashed)
+    for (const DynInst *d : window) {
+        if (d->squashed)
             continue;
-        if (d.src1.useBitSet)
-            ++rc[d.src1.phys];
-        if (d.src2.useBitSet)
-            ++rc[d.src2.phys];
-        if (d.dstPhys != noReg && !d.executed)
-            ++rc[d.dstPhys];    // producer reference
+        if (d->src1.useBitSet)
+            ++rc[d->src1.phys];
+        if (d->src2.useBitSet)
+            ++rc[d->src2.phys];
+        if (d->dstPhys != noReg && !d->executed)
+            ++rc[d->dstPhys];    // producer reference
     }
     return rc;
 }

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "driver/report.hh"
 #include "driver/scenario.hh"
 #include "sim/presets.hh"
@@ -20,24 +21,21 @@ parseU64Flag(const std::string &flag, const std::string &value)
 {
     // strtoull accepts leading whitespace, a sign, and trailing junk,
     // and wraps negatives into huge positives — all of which a flag
-    // value must reject outright.
-    if (value.empty() || value[0] < '0' || value[0] > '9') {
-        throw CliError(csprintf("%s: expected a non-negative integer, "
-                                "got '%s'", flag.c_str(), value.c_str()));
-    }
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v =
-        std::strtoull(value.c_str(), &end, 10);
-    if (end != value.c_str() + value.size()) {
-        throw CliError(csprintf("%s: trailing garbage in '%s'",
-                                flag.c_str(), value.c_str()));
-    }
-    if (errno == ERANGE) {
+    // value must reject outright; parse::decimalU64 is the strict
+    // digits-only core every checked reader shares.
+    std::uint64_t v = 0;
+    switch (parse::decimalU64(value, v)) {
+      case parse::Status::Ok:
+        return v;
+      case parse::Status::Overflow:
         throw CliError(csprintf("%s: value '%s' overflows 64 bits",
                                 flag.c_str(), value.c_str()));
+      case parse::Status::Empty:
+      case parse::Status::BadChar:
+        break;
     }
-    return static_cast<std::uint64_t>(v);
+    throw CliError(csprintf("%s: expected a non-negative integer, "
+                            "got '%s'", flag.c_str(), value.c_str()));
 }
 
 unsigned
@@ -169,6 +167,8 @@ parseCliArgs(const std::vector<std::string> &args)
     bool seedsSet = false;
     bool threadsSet = false;
     bool checkpointEverySet = false;
+    bool repsSet = false;
+    bool gatePctSet = false;
 
     auto value = [&](std::size_t &i) -> const std::string & {
         if (i + 1 >= args.size())
@@ -209,6 +209,18 @@ parseCliArgs(const std::vector<std::string> &args)
             o.budgetSec = parseDoubleFlag(a, value(i));
             if (o.budgetSec <= 0.0)
                 throw CliError("--budget-sec needs a value > 0");
+        } else if (a == "--reps") {
+            o.reps = parseUnsignedFlag(a, value(i));
+            if (o.reps == 0)
+                throw CliError("--reps needs a value > 0");
+            repsSet = true;
+        } else if (a == "--baseline") {
+            o.baselinePath = value(i);
+        } else if (a == "--gate-pct") {
+            o.gatePct = parseDoubleFlag(a, value(i));
+            if (o.gatePct <= 0.0 || o.gatePct >= 100.0)
+                throw CliError("--gate-pct wants a percentage in (0, 100)");
+            gatePctSet = true;
         } else if (a == "--repro") {
             o.reproPath = value(i);
         } else if (a == "--bisect-exact") {
@@ -290,6 +302,8 @@ parseCliArgs(const std::vector<std::string> &args)
     const bool triageFlags = o.failFast || o.snapshotEvery != 0 ||
                              o.budgetSec > 0.0 || !o.reproPath.empty() ||
                              o.bisectExact || o.reduce;
+    const bool benchFlags = repsSet || gatePctSet ||
+                            !o.baselinePath.empty();
     const bool specSources = !o.machinePath.empty() || !o.sets.empty();
     const bool stateFlags = !o.checkpointPath.empty() ||
                             !o.resumePath.empty() || o.shardCount != 0 ||
@@ -311,9 +325,26 @@ parseCliArgs(const std::vector<std::string> &args)
         if (!o.workloads.empty() || !o.configNames.empty() ||
             !o.mixNames.empty() || predictorSet || seedSet || seedsSet ||
             threadsSet || o.instrs != 0 || !o.csvPath.empty() ||
-            triageFlags || specSources || stateFlags) {
+            triageFlags || specSources || stateFlags || benchFlags) {
             throw CliError("merge mode only takes shard reports and "
                            "--json/--quiet");
+        }
+        return o;
+    }
+    if (o.mode == "bench") {
+        // Throughput measurement is strictly sequential; more than one
+        // worker would time thread scheduling, not the simulator.
+        // --threads 1 additionally pins the process to one CPU.
+        if (threadsSet && o.threads != 1) {
+            throw CliError("bench mode is single-threaded; only "
+                           "--threads 1 (which pins the CPU) applies");
+        }
+        if (seedsSet || !o.mixNames.empty() || !o.csvPath.empty() ||
+            triageFlags || specSources || stateFlags) {
+            throw CliError("bench mode takes --workloads/--configs/"
+                           "--predictor/--instrs/--seed/--reps/"
+                           "--baseline/--gate-pct/--json/--quiet/"
+                           "--threads 1 only");
         }
         return o;
     }
@@ -324,7 +355,7 @@ parseCliArgs(const std::vector<std::string> &args)
         }
         if (!o.workloads.empty() || seedsSet || seedSet ||
             !o.mixNames.empty() || !o.csvPath.empty() || triageFlags ||
-            threadsSet || o.instrs != 0 || stateFlags) {
+            threadsSet || o.instrs != 0 || stateFlags || benchFlags) {
             throw CliError("spec mode only takes --configs/--machine/"
                            "--set/--predictor/--json/--quiet");
         }
@@ -340,9 +371,15 @@ parseCliArgs(const std::vector<std::string> &args)
             throw CliError("--fail-fast/--snapshot-every/--budget-sec/"
                            "--repro/--bisect-exact/--reduce only apply "
                            "to verify mode");
+        if (benchFlags)
+            throw CliError("--reps/--baseline/--gate-pct only apply to "
+                           "bench mode");
     } else if (o.mode == "verify") {
         if (o.seeds == 0)
             throw CliError("verify mode needs --seeds > 0");
+        if (benchFlags)
+            throw CliError("--reps/--baseline/--gate-pct only apply to "
+                           "bench mode");
         if (!o.workloads.empty())
             throw CliError("--workloads does not apply to verify mode "
                            "(programs are fuzzed)");
@@ -380,14 +417,14 @@ parseCliArgs(const std::vector<std::string> &args)
         // flags would mislabel the results the user asked for.
         if (!o.workloads.empty() || !o.configNames.empty() ||
             predictorSet || seedSet || seedsSet || !o.mixNames.empty() ||
-            triageFlags || specSources || stateFlags) {
+            triageFlags || specSources || stateFlags || benchFlags) {
             throw CliError(csprintf(
                 "--workloads/--configs/--machine/--set/--predictor/"
                 "--seed/--seeds/--mixes/--fail-fast/--snapshot-every/"
                 "--budget-sec/--repro/--bisect-exact/--reduce/"
-                "--checkpoint/--resume/--shard only apply to matrix, "
-                "verify or spec mode, not scenario '%s'",
-                o.mode.c_str()));
+                "--checkpoint/--resume/--shard/--reps/--baseline/"
+                "--gate-pct only apply to matrix, verify, spec or "
+                "bench mode, not scenario '%s'", o.mode.c_str()));
         }
     }
     return o;

@@ -29,7 +29,8 @@ struct CliError : std::runtime_error
 /** Parsed msp_sim invocation. */
 struct CliOptions
 {
-    std::string mode;     ///< scenario name, "matrix", "verify" or "spec"
+    std::string mode;     ///< scenario name, "matrix", "verify", "spec",
+                          ///< "bench" or "merge"
     bool help = false;         ///< --help: print usage, exit 0
     bool list = false;         ///< --list: print scenarios, exit 0
     unsigned threads = 0;      ///< 0 = all hardware threads
@@ -55,6 +56,11 @@ struct CliOptions
     std::string reproPath;             ///< replay repros from this report
     bool bisectExact = false;          ///< bisect to the first bad commit
     bool reduce = false;               ///< structurally reduce repro programs
+
+    // ---- bench-mode knobs -------------------------------------------------
+    unsigned reps = 3;                 ///< timed repetitions per config
+    std::string baselinePath;          ///< --baseline FILE to gate against
+    double gatePct = 15.0;             ///< --gate-pct regression threshold
 
     // ---- campaign state (matrix + verify; see driver/state.hh) ------------
     std::string checkpointPath;        ///< --checkpoint FILE (durable state)

@@ -127,9 +127,15 @@ CampaignState::begin(const std::string &campaignMode,
             throw CheckpointError("checkpoint " + resumePath +
                                   " is empty");
 
-        // Header: must identify this exact campaign.
+        // Header: must identify this exact campaign. A garbled
+        // version token (JsonError) is just as much "not a
+        // checkpoint" as a missing one.
         const std::string &head = lines.front();
-        if (json::getU64(head, "msp_checkpoint", 0) != 1) {
+        std::uint64_t version = 0;
+        try {
+            version = json::getU64(head, "msp_checkpoint", 0);
+        } catch (const json::JsonError &) {}
+        if (version != 1) {
             throw CheckpointError(resumePath +
                                   " is not a checkpoint file");
         }
@@ -159,8 +165,14 @@ CampaignState::begin(const std::string &campaignMode,
                         payloadAt < line.size() && line[payloadAt] == '{'
                     ? json::balancedSlice(line, payloadAt)
                     : "";
-            const std::uint64_t index =
-                json::getU64(line, "index", ~std::uint64_t{0});
+            std::uint64_t index = ~std::uint64_t{0};
+            try {
+                index = json::getU64(line, "index", ~std::uint64_t{0});
+            } catch (const json::JsonError &) {
+                // A record torn mid-number is "not parsed", same as a
+                // record torn mid-key; the trailing-record test below
+                // decides whether that is recoverable.
+            }
             const std::string key = json::getStr(line, "key");
 
             const bool parsed = !payload.empty() && !key.empty() &&

@@ -1,77 +1,6 @@
 #include "isa/opcodes.hh"
 
-#include "common/logging.hh"
-
 namespace msp {
-
-namespace {
-
-constexpr RegClass I = RegClass::Int;
-constexpr RegClass F = RegClass::Fp;
-constexpr RegClass N = RegClass::None;
-
-// Columns: mnemonic, fu, lat, dst, s1, s2, load, store, condBr,
-//          uncondDirect, indirect, call, ret, trap, halt
-const OpInfo opTable[] = {
-    {"add",    FuClass::IntAlu, 1,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"sub",    FuClass::IntAlu, 1,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"mul",    FuClass::IntMul, 3,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"div",    FuClass::IntMul, 12, I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"and",    FuClass::IntAlu, 1,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"or",     FuClass::IntAlu, 1,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"xor",    FuClass::IntAlu, 1,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"sll",    FuClass::IntAlu, 1,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"srl",    FuClass::IntAlu, 1,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"slt",    FuClass::IntAlu, 1,  I, I, I, 0,0,0,0,0,0,0,0,0},
-    {"addi",   FuClass::IntAlu, 1,  I, I, N, 0,0,0,0,0,0,0,0,0},
-    {"andi",   FuClass::IntAlu, 1,  I, I, N, 0,0,0,0,0,0,0,0,0},
-    {"ori",    FuClass::IntAlu, 1,  I, I, N, 0,0,0,0,0,0,0,0,0},
-    {"xori",   FuClass::IntAlu, 1,  I, I, N, 0,0,0,0,0,0,0,0,0},
-    {"slli",   FuClass::IntAlu, 1,  I, I, N, 0,0,0,0,0,0,0,0,0},
-    {"srli",   FuClass::IntAlu, 1,  I, I, N, 0,0,0,0,0,0,0,0,0},
-    {"slti",   FuClass::IntAlu, 1,  I, I, N, 0,0,0,0,0,0,0,0,0},
-    {"li",     FuClass::IntAlu, 1,  I, N, N, 0,0,0,0,0,0,0,0,0},
-    {"mov",    FuClass::IntAlu, 1,  I, I, N, 0,0,0,0,0,0,0,0,0},
-    {"ld",     FuClass::Mem,    1,  I, I, N, 1,0,0,0,0,0,0,0,0},
-    {"st",     FuClass::Mem,    1,  N, I, I, 0,1,0,0,0,0,0,0,0},
-    {"fld",    FuClass::Mem,    1,  F, I, N, 1,0,0,0,0,0,0,0,0},
-    {"fst",    FuClass::Mem,    1,  N, I, F, 0,1,0,0,0,0,0,0,0},
-    {"beq",    FuClass::IntAlu, 1,  N, I, I, 0,0,1,0,0,0,0,0,0},
-    {"bne",    FuClass::IntAlu, 1,  N, I, I, 0,0,1,0,0,0,0,0,0},
-    {"blt",    FuClass::IntAlu, 1,  N, I, I, 0,0,1,0,0,0,0,0,0},
-    {"bge",    FuClass::IntAlu, 1,  N, I, I, 0,0,1,0,0,0,0,0,0},
-    {"j",      FuClass::IntAlu, 1,  N, N, N, 0,0,0,1,0,0,0,0,0},
-    {"jal",    FuClass::IntAlu, 1,  I, N, N, 0,0,0,1,0,1,0,0,0},
-    {"jr",     FuClass::IntAlu, 1,  N, I, N, 0,0,0,0,1,0,0,0,0},
-    {"ret",    FuClass::IntAlu, 1,  N, I, N, 0,0,0,0,1,0,1,0,0},
-    {"fadd",   FuClass::FpAlu,  2,  F, F, F, 0,0,0,0,0,0,0,0,0},
-    {"fsub",   FuClass::FpAlu,  2,  F, F, F, 0,0,0,0,0,0,0,0,0},
-    {"fmul",   FuClass::FpAlu,  4,  F, F, F, 0,0,0,0,0,0,0,0,0},
-    {"fdiv",   FuClass::FpAlu,  12, F, F, F, 0,0,0,0,0,0,0,0,0},
-    {"fmov",   FuClass::FpAlu,  1,  F, F, N, 0,0,0,0,0,0,0,0,0},
-    {"fneg",   FuClass::FpAlu,  1,  F, F, N, 0,0,0,0,0,0,0,0,0},
-    {"fitof",  FuClass::FpAlu,  2,  F, I, N, 0,0,0,0,0,0,0,0,0},
-    {"fftoi",  FuClass::FpAlu,  2,  I, F, N, 0,0,0,0,0,0,0,0,0},
-    {"fcmplt", FuClass::FpAlu,  2,  I, F, F, 0,0,0,0,0,0,0,0,0},
-    {"nop",    FuClass::None,   1,  N, N, N, 0,0,0,0,0,0,0,0,0},
-    {"trap",   FuClass::IntAlu, 1,  N, N, N, 0,0,0,0,0,0,0,1,0},
-    {"halt",   FuClass::None,   1,  N, N, N, 0,0,0,0,0,0,0,0,1},
-};
-
-static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
-                  static_cast<std::size_t>(Opcode::NumOpcodes),
-              "opTable out of sync with Opcode enum");
-
-} // anonymous namespace
-
-const OpInfo &
-opInfo(Opcode op)
-{
-    auto idx = static_cast<std::size_t>(op);
-    msp_assert(idx < static_cast<std::size_t>(Opcode::NumOpcodes),
-               "bad opcode %zu", idx);
-    return opTable[idx];
-}
 
 const char *
 opName(Opcode op)

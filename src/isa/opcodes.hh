@@ -78,8 +78,75 @@ struct OpInfo
     }
 };
 
+namespace detail {
+
+// Columns: mnemonic, fu, lat, dst, s1, s2, load, store, condBr,
+//          uncondDirect, indirect, call, ret, trap, halt
+// (I/F/N = Int/Fp/None register class.) Lives in the header so the
+// per-instruction info() lookup — the single most frequent call in the
+// cycle loop — inlines to one indexed load.
+inline constexpr RegClass opI = RegClass::Int;
+inline constexpr RegClass opF = RegClass::Fp;
+inline constexpr RegClass opN = RegClass::None;
+
+inline constexpr OpInfo opTable[] = {
+    {"add",    FuClass::IntAlu, 1,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"sub",    FuClass::IntAlu, 1,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"mul",    FuClass::IntMul, 3,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"div",    FuClass::IntMul, 12, opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"and",    FuClass::IntAlu, 1,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"or",     FuClass::IntAlu, 1,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"xor",    FuClass::IntAlu, 1,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"sll",    FuClass::IntAlu, 1,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"srl",    FuClass::IntAlu, 1,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"slt",    FuClass::IntAlu, 1,  opI, opI, opI, 0,0,0,0,0,0,0,0,0},
+    {"addi",   FuClass::IntAlu, 1,  opI, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"andi",   FuClass::IntAlu, 1,  opI, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"ori",    FuClass::IntAlu, 1,  opI, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"xori",   FuClass::IntAlu, 1,  opI, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"slli",   FuClass::IntAlu, 1,  opI, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"srli",   FuClass::IntAlu, 1,  opI, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"slti",   FuClass::IntAlu, 1,  opI, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"li",     FuClass::IntAlu, 1,  opI, opN, opN, 0,0,0,0,0,0,0,0,0},
+    {"mov",    FuClass::IntAlu, 1,  opI, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"ld",     FuClass::Mem,    1,  opI, opI, opN, 1,0,0,0,0,0,0,0,0},
+    {"st",     FuClass::Mem,    1,  opN, opI, opI, 0,1,0,0,0,0,0,0,0},
+    {"fld",    FuClass::Mem,    1,  opF, opI, opN, 1,0,0,0,0,0,0,0,0},
+    {"fst",    FuClass::Mem,    1,  opN, opI, opF, 0,1,0,0,0,0,0,0,0},
+    {"beq",    FuClass::IntAlu, 1,  opN, opI, opI, 0,0,1,0,0,0,0,0,0},
+    {"bne",    FuClass::IntAlu, 1,  opN, opI, opI, 0,0,1,0,0,0,0,0,0},
+    {"blt",    FuClass::IntAlu, 1,  opN, opI, opI, 0,0,1,0,0,0,0,0,0},
+    {"bge",    FuClass::IntAlu, 1,  opN, opI, opI, 0,0,1,0,0,0,0,0,0},
+    {"j",      FuClass::IntAlu, 1,  opN, opN, opN, 0,0,0,1,0,0,0,0,0},
+    {"jal",    FuClass::IntAlu, 1,  opI, opN, opN, 0,0,0,1,0,1,0,0,0},
+    {"jr",     FuClass::IntAlu, 1,  opN, opI, opN, 0,0,0,0,1,0,0,0,0},
+    {"ret",    FuClass::IntAlu, 1,  opN, opI, opN, 0,0,0,0,1,0,1,0,0},
+    {"fadd",   FuClass::FpAlu,  2,  opF, opF, opF, 0,0,0,0,0,0,0,0,0},
+    {"fsub",   FuClass::FpAlu,  2,  opF, opF, opF, 0,0,0,0,0,0,0,0,0},
+    {"fmul",   FuClass::FpAlu,  4,  opF, opF, opF, 0,0,0,0,0,0,0,0,0},
+    {"fdiv",   FuClass::FpAlu,  12, opF, opF, opF, 0,0,0,0,0,0,0,0,0},
+    {"fmov",   FuClass::FpAlu,  1,  opF, opF, opN, 0,0,0,0,0,0,0,0,0},
+    {"fneg",   FuClass::FpAlu,  1,  opF, opF, opN, 0,0,0,0,0,0,0,0,0},
+    {"fitof",  FuClass::FpAlu,  2,  opF, opI, opN, 0,0,0,0,0,0,0,0,0},
+    {"fftoi",  FuClass::FpAlu,  2,  opI, opF, opN, 0,0,0,0,0,0,0,0,0},
+    {"fcmplt", FuClass::FpAlu,  2,  opI, opF, opF, 0,0,0,0,0,0,0,0,0},
+    {"nop",    FuClass::None,   1,  opN, opN, opN, 0,0,0,0,0,0,0,0,0},
+    {"trap",   FuClass::IntAlu, 1,  opN, opN, opN, 0,0,0,0,0,0,0,1,0},
+    {"halt",   FuClass::None,   1,  opN, opN, opN, 0,0,0,0,0,0,0,0,1},
+};
+
+static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+                  static_cast<std::size_t>(Opcode::NumOpcodes),
+              "opTable out of sync with Opcode enum");
+
+} // namespace detail
+
 /** Lookup table of opcode properties. */
-const OpInfo &opInfo(Opcode op);
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return detail::opTable[static_cast<std::size_t>(op)];
+}
 
 /** Short mnemonic for printing. */
 const char *opName(Opcode op);

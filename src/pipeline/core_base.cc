@@ -19,7 +19,14 @@ CoreBase::CoreBase(const CoreParams &p, const Program &program,
       sq(p.sq1Size, p.sq2Size, p.infiniteSq),
       oracle(program),
       fetchPc(program.entry)
-{}
+{
+    commitTap = p.commitFaultAt != 0 || p.observerFaultAt != 0;
+    progSize = program.size();
+    progAddrMask = program.addrMask();
+    fetchQCap = 8 * p.fetchWidth;
+    wbScratch.reserve(64);
+    squashScratch.reserve(64);
+}
 
 // ---------------------------------------------------------------------------
 // Fetch
@@ -31,12 +38,18 @@ CoreBase::doFetch()
     if (fetchStopped || now < fetchStallUntil)
         return;
 
-    const std::size_t fetchQCap = 8 * params.fetchWidth;
+    // Predictor state only changes when a control instruction is
+    // predicted, so the straight-line snapshot (global history + RAS
+    // top) is computed once per run of non-control slots instead of
+    // per slot.
+    BpSnapshot lineSnap;
+    bool lineSnapValid = false;
+
     for (unsigned i = 0; i < params.fetchWidth; ++i) {
         if (fetchQ.size() >= fetchQCap)
             break;
 
-        const Addr pc = fetchPc % prog->size();
+        const Addr pc = fetchPc % progSize;
         const Instruction &si = prog->at(pc);
 
         // I-cache: one access per new line.
@@ -51,7 +64,7 @@ CoreBase::doFetch()
             }
         }
 
-        DynInst d;
+        DynInst &d = *instPool.alloc();
         d.seq = nextSeq++;
         d.pc = pc;
         d.si = si;
@@ -60,6 +73,7 @@ CoreBase::doFetch()
         const OpInfo &oi = si.info();
         d.isControl = oi.isControl();
         if (d.isControl) {
+            lineSnapValid = false;   // prediction mutates history/RAS
             bool ovTaken = false;
             Addr ovTarget = 0;
             const bool hasOverride = fetchOverride(pc, ovTaken, ovTarget);
@@ -87,15 +101,19 @@ CoreBase::doFetch()
             }
             fetchPc = d.predNextPc;
         } else {
-            d.bpSnap.hist = branchUnit.history();
-            d.bpSnap.ras = branchUnit.ras().snapshot();
+            if (!lineSnapValid) {
+                lineSnap.hist = branchUnit.history();
+                lineSnap.ras = branchUnit.ras().snapshot();
+                lineSnapValid = true;
+            }
+            d.bpSnap = lineSnap;
             d.predNextPc = pc + 1;
             fetchPc = pc + 1;
         }
 
         const bool halt = oi.isHalt;
         const bool takenControl = d.isControl && d.predTaken;
-        fetchQ.push_back(std::move(d));
+        fetchQ.push_back(&d);
 
         if (halt) {
             fetchStopped = true;
@@ -114,12 +132,13 @@ CoreBase::doFetch()
 void
 CoreBase::doRename()
 {
-    renameCycleBegin();
+    if (hookFlags & kHookRenameCycleBegin)
+        renameCycleBegin();
 
     unsigned renamed = 0;
     bool stalled = false;
     while (renamed < params.renameWidth && !fetchQ.empty()) {
-        DynInst &f = fetchQ.front();
+        DynInst &f = *fetchQ.front();
         if (f.renameReadyAt > now)
             return;   // head not yet through the front end: not a stall
 
@@ -150,9 +169,11 @@ CoreBase::doRename()
             break;
         }
 
-        window.push_back(std::move(f));
+        // Rename moves the pointer, not the record: the DynInst stays
+        // put in the pool, so IQ/inExec references stay valid for free.
+        window.push_back(&f);
         fetchQ.pop_front();
-        DynInst &d = window.back();
+        DynInst &d = f;
 
         // IQ slot first: MSP rename indexes RelIQ use bits by it.
         if (d.needsExecution()) {
@@ -205,17 +226,17 @@ CoreBase::executeInst(DynInst &d)
                       ? semantics::branchTaken(d.si, d.srcVal1, d.srcVal2)
                       : true;
         d.actualNextPc = semantics::controlTarget(d.si, d.srcVal1, d.taken,
-                                                  d.pc) % prog->size();
+                                                  d.pc) % progSize;
         if (d.si.writesReg())
             d.result = semantics::aluResult(d.si, d.srcVal1, d.srcVal2, d.pc);
-        d.mispredicted = d.actualNextPc != d.predNextPc % prog->size();
-    } else if (d.isLoad()) {
+        d.mispredicted = d.actualNextPc != d.predNextPc % progSize;
+    } else if (oi.isLoad) {
         d.effAddr = semantics::effectiveAddr(d.si, d.srcVal1,
-                                             prog->addrMask());
+                                             progAddrMask);
         d.actualNextPc = d.pc + 1;
-    } else if (d.isStore()) {
+    } else if (oi.isStore) {
         d.effAddr = semantics::effectiveAddr(d.si, d.srcVal1,
-                                             prog->addrMask());
+                                             progAddrMask);
         d.storeData = d.srcVal2;
         d.actualNextPc = d.pc + 1;
     } else if (oi.isTrap || oi.isHalt || d.si.op == Opcode::NOP) {
@@ -243,8 +264,9 @@ CoreBase::doIssueStage()
         readOperands(d);
         executeInst(d);
 
-        Cycle latency = d.info().latency;
-        if (d.isLoad()) {
+        const OpInfo &oi = d.info();
+        Cycle latency = oi.latency;
+        if (oi.isLoad) {
             ForwardResult fw = sq.probe(d.seq, d.effAddr);
             if (fw.kind == ForwardResult::Kind::Unknown ||
                 fw.kind == ForwardResult::Kind::Stall) {
@@ -261,10 +283,10 @@ CoreBase::doIssueStage()
             }
         } else {
             if (!issuePortsAvailable(d) ||
-                !fuPool.tryAcquire(d.info().fu)) {
+                !fuPool.tryAcquire(oi.fu)) {
                 continue;
             }
-            if (d.isStore()) {
+            if (oi.isStore) {
                 sq.resolve(d.seq, d.effAddr, d.storeData);
                 latency = 1;
             }
@@ -290,7 +312,8 @@ CoreBase::doWritebackStage()
     // are copied out: a recovery triggered mid-loop pops squashed
     // instructions from the window, so younger pointers in this list
     // become invalid and must be filtered by seq *before* dereference.
-    std::vector<std::pair<SeqNum, DynInst *>> done;
+    std::vector<std::pair<SeqNum, DynInst *>> &done = wbScratch;
+    done.clear();
     for (DynInst *d : inExec) {
         if (!d->squashed && !d->executed && d->execDoneAt <= now)
             done.emplace_back(d->seq, d);
@@ -351,10 +374,11 @@ CoreBase::squashAndRedirect(SeqNum boundary, SeqNum classifySeq, Addr newPc,
     const DynInst trigger = triggerRef;
 
     // Collect the doomed instructions youngest-first.
-    std::vector<DynInst *> dead;
+    std::vector<DynInst *> &dead = squashScratch;
+    dead.clear();
     for (auto it = window.rbegin();
-         it != window.rend() && it->seq > boundary; ++it) {
-        dead.push_back(&*it);
+         it != window.rend() && (*it)->seq > boundary; ++it) {
+        dead.push_back(*it);
     }
 
     for (DynInst *d : dead) {
@@ -378,8 +402,12 @@ CoreBase::squashAndRedirect(SeqNum boundary, SeqNum classifySeq, Addr newPc,
 
     lastSqScanned = sq.squashAfter(boundary);
 
-    while (!window.empty() && window.back().seq > boundary)
+    while (!window.empty() && window.back()->seq > boundary) {
+        instPool.free(window.back());
         window.pop_back();
+    }
+    for (DynInst *f : fetchQ)
+        instPool.free(f);
     fetchQ.clear();
 
     // Branch-history repair.
@@ -409,7 +437,7 @@ void
 CoreBase::commitOne()
 {
     msp_assert(!window.empty(), "commit on empty window");
-    DynInst &d = window.front();
+    DynInst &d = *window.front();
     msp_assert(!d.squashed, "committing a squashed instruction");
     msp_assert(d.executed, "committing an unexecuted instruction");
 
@@ -455,15 +483,21 @@ CoreBase::commitOne()
         }
     }
 
-    if (params.commitFaultAt != 0 && d.si.writesReg() &&
-        ++commitFaultSeen == params.commitFaultAt) {
-        d.result ^= 1;
+    // The observer / fault-injection tap is off in plain simulation
+    // runs; one cached flag keeps its three tests out of the per-commit
+    // fast path (commitTap is recomputed whenever the observer or the
+    // fault knobs change).
+    if (commitTap) {
+        if (params.commitFaultAt != 0 && d.si.writesReg() &&
+            ++commitFaultSeen == params.commitFaultAt) {
+            d.result ^= 1;
+        }
+        const bool dropObserved =
+            params.observerFaultAt != 0 &&
+            ++observerFaultSeen == params.observerFaultAt;
+        if (commitObserver && !dropObserved)
+            commitObserver(d);
     }
-    const bool dropObserved =
-        params.observerFaultAt != 0 &&
-        ++observerFaultSeen == params.observerFaultAt;
-    if (commitObserver && !dropObserved)
-        commitObserver(d);
 
     if (d.isStore()) {
         sq.drainOldest(d.seq);
@@ -487,14 +521,17 @@ CoreBase::commitOne()
         haltCommitted = true;
 
     window.pop_front();
+    // Retired and popped: nothing references the record any more (it
+    // left the IQ at issue and inExec when it executed).
+    instPool.free(&d);
 }
 
 void
 CoreBase::takeException()
 {
-    msp_assert(!window.empty() && window.front().isTrap(),
+    msp_assert(!window.empty() && window.front()->isTrap(),
                "takeException without a trap at head");
-    DynInst trap = window.front();   // copy: commitOne pops it
+    DynInst trap = *window.front();   // copy: commitOne pops and frees it
     commitOne();
     ++exceptionsTaken;
     squashAndRedirect(trap.seq, trap.seq, trap.pc + 1, 0, true, trap);
@@ -518,21 +555,21 @@ CoreBase::dumpDeadlock() const
                  static_cast<unsigned long long>(fetchStallUntil),
                  static_cast<unsigned long long>(fetchPc));
     int shown = 0;
-    for (const DynInst &d : window) {
-        if (d.executed)
+    for (const DynInst *d : window) {
+        if (d->executed)
             continue;
         std::fprintf(stderr,
                      "  unexec seq=%llu pc=%llu op=%s issued=%d inIq=%d "
                      "execDoneAt=%llu\n",
-                     static_cast<unsigned long long>(d.seq),
-                     static_cast<unsigned long long>(d.pc),
-                     opName(d.si.op), d.issued, d.inIq,
-                     static_cast<unsigned long long>(d.execDoneAt));
+                     static_cast<unsigned long long>(d->seq),
+                     static_cast<unsigned long long>(d->pc),
+                     opName(d->si.op), d->issued, d->inIq,
+                     static_cast<unsigned long long>(d->execDoneAt));
         if (++shown >= 5)
             break;
     }
     if (!window.empty()) {
-        const DynInst &h = window.front();
+        const DynInst &h = *window.front();
         std::fprintf(stderr,
                      "  head seq=%llu pc=%llu op=%s executed=%d\n",
                      static_cast<unsigned long long>(h.seq),
@@ -545,7 +582,8 @@ void
 CoreBase::stepCycle()
 {
     fuPool.reset();
-    cycleBegin();
+    if (hookFlags & kHookCycleBegin)
+        cycleBegin();
     doCommit();
     doWritebackStage();
     doIssueStage();

@@ -30,6 +30,7 @@
 #include "lsq/store_queue.hh"
 #include "memory/memory_system.hh"
 #include "pipeline/dyninst.hh"
+#include "pipeline/dyninst_pool.hh"
 #include "pipeline/fu_pool.hh"
 #include "pipeline/inst_queue.hh"
 #include "pipeline/params.hh"
@@ -86,10 +87,24 @@ class CoreBase
     void setCommitObserver(CommitObserver obs)
     {
         commitObserver = std::move(obs);
+        commitTap = static_cast<bool>(commitObserver) ||
+                    params.commitFaultAt != 0 || params.observerFaultAt != 0;
     }
 
   protected:
     // ---- per-core policy hooks ------------------------------------------
+
+    /**
+     * Per-cycle hook opt-in bits. The cycle loop is hot enough that
+     * even an empty virtual call per cycle shows up, so cores that
+     * implement cycleBegin()/renameCycleBegin() must also set the
+     * matching flag in their constructor; unset hooks are skipped
+     * without the indirect call.
+     */
+    enum HookFlag : unsigned char {
+        kHookCycleBegin = 1u << 0,
+        kHookRenameCycleBegin = 1u << 1,
+    };
 
     /** Start-of-cycle reset (MSP register-file port masks). */
     virtual void cycleBegin() {}
@@ -218,14 +233,20 @@ class CoreBase
     HierStoreQueue sq;
     FunctionalExecutor oracle;
 
+    /** Arena owning every in-flight DynInst (stable pointers). */
+    DynInstPool instPool;
+
     /** All renamed, in-flight instructions in fetch order. */
-    std::deque<DynInst> window;
+    std::deque<DynInst *> window;
 
     /** Fetched but not yet renamed. */
-    std::deque<DynInst> fetchQ;
+    std::deque<DynInst *> fetchQ;
 
     /** Issued instructions awaiting completion. */
     std::vector<DynInst *> inExec;
+
+    /** Per-cycle hook opt-ins (HookFlag bits, set by subclass ctors). */
+    unsigned char hookFlags = 0;
 
     Cycle now = 0;
     SeqNum nextSeq = 1;
@@ -263,6 +284,18 @@ class CoreBase
     CommitObserver commitObserver;
     std::uint64_t commitFaultSeen = 0;  ///< commitFaultAt progress counter
     std::uint64_t observerFaultSeen = 0;///< observerFaultAt progress counter
+
+    /** True when commitOne must run the observer/fault-injection tap. */
+    bool commitTap = false;
+
+    // Loop-invariant values hoisted out of the fetch/execute paths.
+    Addr progSize = 0;
+    Addr progAddrMask = 0;
+    std::size_t fetchQCap = 0;
+
+    // Reused per-cycle scratch (doWritebackStage / squashAndRedirect).
+    std::vector<std::pair<SeqNum, DynInst *>> wbScratch;
+    std::vector<DynInst *> squashScratch;
 };
 
 } // namespace msp

@@ -49,6 +49,7 @@ struct DynInst
     PhysReg dstPhys = noReg;
     PhysReg oldDstPhys = noReg;     ///< superseded mapping (baseline/CPR)
     int iqSlot = -1;
+    int iqOrderIdx = -1;            ///< position in the IQ age list
 
     // MSP state management.
     std::uint32_t stateId = 0;

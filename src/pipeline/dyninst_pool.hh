@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Chunked arena for DynInst records.
+ *
+ * The window and fetch queue used to hold DynInst by value in
+ * std::deque: at ~200 bytes per record a libstdc++ deque block holds
+ * only two of them, so steady-state fetch/commit churned a heap
+ * allocation roughly every other instruction, and renaming moved the
+ * whole record from one deque to the other. The pool fixes both: it
+ * hands out pointers into fixed chunks (never freed until the core is
+ * destroyed, so pointers are stable for the IQ and inExec lists), the
+ * pipeline queues become pointer deques, and "rename" is a pointer
+ * move instead of a 200-byte copy.
+ */
+
+#ifndef MSPLIB_PIPELINE_DYNINST_POOL_HH
+#define MSPLIB_PIPELINE_DYNINST_POOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "pipeline/dyninst.hh"
+
+namespace msp {
+
+/** Free-list arena; alloc() returns a default-initialised DynInst. */
+class DynInstPool
+{
+  public:
+    DynInstPool() = default;
+    DynInstPool(const DynInstPool &) = delete;
+    DynInstPool &operator=(const DynInstPool &) = delete;
+
+    /** A fresh record, reset to its default-constructed state. */
+    DynInst *
+    alloc()
+    {
+        if (freeList.empty())
+            grow();
+        DynInst *p = freeList.back();
+        freeList.pop_back();
+        *p = DynInst{};
+        return p;
+    }
+
+    /** Return @p p to the free list. Memory is only reclaimed at
+     *  destruction, so stale pointers never alias a *different*
+     *  object's storage until re-allocation reuses the slot. */
+    void free(DynInst *p) { freeList.push_back(p); }
+
+  private:
+    static constexpr std::size_t chunkInsts = 256;
+
+    void
+    grow()
+    {
+        chunks.push_back(std::make_unique<DynInst[]>(chunkInsts));
+        DynInst *base = chunks.back().get();
+        freeList.reserve(freeList.size() + chunkInsts);
+        for (std::size_t i = 0; i < chunkInsts; ++i)
+            freeList.push_back(base + (chunkInsts - 1 - i));
+    }
+
+    std::vector<std::unique_ptr<DynInst[]>> chunks;
+    std::vector<DynInst *> freeList;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_PIPELINE_DYNINST_POOL_HH

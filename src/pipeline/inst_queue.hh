@@ -10,7 +10,6 @@
 #ifndef MSPLIB_PIPELINE_INST_QUEUE_HH
 #define MSPLIB_PIPELINE_INST_QUEUE_HH
 
-#include <algorithm>
 #include <vector>
 
 #include "common/logging.hh"
@@ -27,6 +26,8 @@ class InstQueue
         freeSlots.reserve(capacity);
         for (unsigned i = 0; i < capacity; ++i)
             freeSlots.push_back(capacity - 1 - i);
+        order.reserve(2 * capacity);
+        scratch.reserve(capacity);
     }
 
     /** Remaining capacity. */
@@ -44,6 +45,14 @@ class InstQueue
         slots[slot] = d;
         d->iqSlot = slot;
         d->inIq = true;
+        // Rename inserts in seq order (seq is assigned at fetch and the
+        // fetchQ is a FIFO), so the age list stays sorted by
+        // construction — occupantsBySeq never needs a sort.
+        msp_assert(order.empty() || !order.back() ||
+                       order.back()->seq < d->seq,
+                   "IQ insert out of age order");
+        d->iqOrderIdx = static_cast<int>(order.size());
+        order.push_back(d);
         return slot;
     }
 
@@ -53,10 +62,14 @@ class InstQueue
     {
         msp_assert(d->inIq && d->iqSlot >= 0, "IQ remove of absent inst");
         msp_assert(slots[d->iqSlot] == d, "IQ slot mismatch");
+        msp_assert(d->iqOrderIdx >= 0 &&
+                       order[d->iqOrderIdx] == d, "IQ age-list mismatch");
         slots[d->iqSlot] = nullptr;
         freeSlots.push_back(d->iqSlot);
+        order[d->iqOrderIdx] = nullptr;   // hole; compacted lazily
         d->inIq = false;
         d->iqSlot = -1;
+        d->iqOrderIdx = -1;
     }
 
     /**
@@ -67,13 +80,15 @@ class InstQueue
     occupantsBySeq()
     {
         scratch.clear();
-        for (DynInst *d : slots)
+        for (DynInst *d : order)
             if (d)
                 scratch.push_back(d);
-        std::sort(scratch.begin(), scratch.end(),
-                  [](const DynInst *a, const DynInst *b) {
-                      return a->seq < b->seq;
-                  });
+        if (scratch.size() != order.size()) {
+            // Compact the holes out so the age list stays bounded.
+            order = scratch;
+            for (std::size_t i = 0; i < order.size(); ++i)
+                order[i]->iqOrderIdx = static_cast<int>(i);
+        }
         return scratch;
     }
 
@@ -83,6 +98,9 @@ class InstQueue
   private:
     std::vector<DynInst *> slots;
     std::vector<unsigned> freeSlots;
+
+    /** Occupants oldest-first, with nullptr holes where entries left. */
+    std::vector<DynInst *> order;
     std::vector<DynInst *> scratch;
 };
 

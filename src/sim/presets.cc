@@ -1,8 +1,9 @@
 #include "sim/presets.hh"
 
-#include <cstdlib>
+#include <climits>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "sim/spec.hh"
 
 namespace msp {
@@ -109,14 +110,27 @@ presetByName(const std::string &name, PredictorKind predictor)
         return cprConfig(predictor);
     if (name == "ideal")
         return idealMspConfig(predictor);
-    // <n>sp or <n>sp-noarb, e.g. "16sp", "64sp-noarb".
+    // <n>sp or <n>sp-noarb, e.g. "16sp", "64sp-noarb". The count is
+    // parsed strictly: "+16sp" (atoi would accept the sign) and an
+    // overflowing count (atoi UB) are malformed presets, not typos to
+    // paper over.
     const std::size_t sp = name.find("sp");
     if (sp != std::string::npos && sp > 0) {
-        const unsigned n =
-            static_cast<unsigned>(std::atoi(name.substr(0, sp).c_str()));
         const std::string suffix = name.substr(sp);
-        if (n > 0 && (suffix == "sp" || suffix == "sp-noarb"))
-            return nspConfig(n, predictor, suffix == "sp");
+        if (suffix == "sp" || suffix == "sp-noarb") {
+            const std::string count = name.substr(0, sp);
+            std::uint64_t n = 0;
+            const parse::Status st = parse::decimalU64(count, n);
+            if (st != parse::Status::Ok || n == 0 || n > UINT_MAX) {
+                throw SpecError(csprintf(
+                    "bad subprocessor count '%s' in preset '%s' (%s)",
+                    count.c_str(), name.c_str(),
+                    st == parse::Status::Ok ? "out of range"
+                                            : parse::statusReason(st)));
+            }
+            return nspConfig(static_cast<unsigned>(n), predictor,
+                             suffix == "sp");
+        }
     }
     throw SpecError(csprintf("unknown preset '%s' (want default, "
                              "baseline, cpr, ideal, <n>sp or "

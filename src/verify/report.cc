@@ -6,6 +6,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "driver/report.hh"
 #include "sim/spec.hh"
 
@@ -461,8 +462,18 @@ outcomeFromJson(const std::string &doc)
     o.committedCore = getU64(doc, "committed_core", 0);
     o.committedRef = getU64(doc, "committed_ref", 0);
     o.cycles = getU64(doc, "cycles", 0);
-    o.streamHash =
-        std::strtoull(getStr(doc, "stream_hash").c_str(), nullptr, 16);
+    // The writer always emits stream_hash as 16 hex digits; decoding
+    // garbage as 0 here would make a corrupt repro "replay clean"
+    // (hash comparisons against 0 on both sides).
+    const std::string hash = getStr(doc, "stream_hash");
+    if (!hash.empty()) {
+        const parse::Status st = parse::hexU64(hash, o.streamHash);
+        if (st != parse::Status::Ok || hash.size() != 16) {
+            throw SpecError(csprintf(
+                "malformed stream_hash '%s' (want 16 hex digits)",
+                hash.c_str()));
+        }
+    }
     o.skipped = json::getBool(doc, "skipped", false);
     o.snapshotEvery = getU64(doc, "snapshot_every", 0);
     o.localized = json::getBool(doc, "localized", false);

@@ -456,6 +456,52 @@ TEST(ParseCliArgs, MergeMode)
                  CliError);
 }
 
+TEST(ParseCliArgs, BenchMode)
+{
+    const CliOptions o = parseCliArgs(
+        {"bench", "--configs", "baseline,16sp", "--workloads", "gzip",
+         "--instrs", "50000", "--reps", "5", "--baseline", "base.json",
+         "--gate-pct", "10", "--threads", "1", "--json", "out.json"});
+    EXPECT_EQ(o.mode, "bench");
+    EXPECT_EQ(o.reps, 5u);
+    EXPECT_EQ(o.baselinePath, "base.json");
+    EXPECT_DOUBLE_EQ(o.gatePct, 10.0);
+    EXPECT_EQ(o.threads, 1u);
+    EXPECT_EQ(o.instrs, 50000u);
+
+    // Defaults: everything optional.
+    const CliOptions d = parseCliArgs({"bench"});
+    EXPECT_EQ(d.reps, 3u);
+    EXPECT_DOUBLE_EQ(d.gatePct, 15.0);
+    EXPECT_TRUE(d.baselinePath.empty());
+}
+
+TEST(ParseCliArgs, BenchModeFlagErrors)
+{
+    // Throughput is measured sequentially; a worker pool would time
+    // the scheduler.
+    EXPECT_THROW(parseCliArgs({"bench", "--threads", "2"}), CliError);
+    EXPECT_THROW(parseCliArgs({"bench", "--reps", "0"}), CliError);
+    EXPECT_THROW(parseCliArgs({"bench", "--reps", "3x"}), CliError);
+    EXPECT_THROW(parseCliArgs({"bench", "--gate-pct", "0"}), CliError);
+    EXPECT_THROW(parseCliArgs({"bench", "--gate-pct", "100"}), CliError);
+    // Campaign/verify machinery does not apply to a timing run.
+    EXPECT_THROW(parseCliArgs({"bench", "--seeds", "10"}), CliError);
+    EXPECT_THROW(parseCliArgs({"bench", "--checkpoint", "c.jsonl"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"bench", "--set", "cpr.checkpoints=4"}),
+                 CliError);
+    // And the bench flags stay bench-only in both directions.
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr", "--reps", "3"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--baseline", "b.json"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--gate-pct", "10"}), CliError);
+    EXPECT_THROW(parseCliArgs({"merge", "a.json", "--reps", "2"}),
+                 CliError);
+}
+
 TEST(ParseCliArgs, MalformedFlagsThrow)
 {
     EXPECT_THROW(parseCliArgs({"fig6", "--bogus"}), CliError);

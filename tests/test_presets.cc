@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/presets.hh"
+#include "sim/spec.hh"
 
 namespace msp {
 namespace {
@@ -137,6 +138,39 @@ TEST(Presets, PresetNameForRejectsModifiedConfigs)
 
     MachineConfig cpr = cprConfig(PredictorKind::Gshare, 256);
     EXPECT_EQ(presetNameFor(cpr), "");
+}
+
+TEST(Presets, PresetByNameResolvesTheNspFamily)
+{
+    EXPECT_EQ(presetByName("4sp", PredictorKind::Gshare).core.regsPerBank,
+              4u);
+    EXPECT_FALSE(presetByName("8sp-noarb", PredictorKind::Gshare)
+                     .core.arbitration);
+}
+
+TEST(Presets, PresetByNameRejectsMalformedSpCounts)
+{
+    // The historical atoi() parse accepted every one of these: "+16sp"
+    // ran as 16sp, "1o6sp" as 1sp, "0sp" divided by zero downstream,
+    // and a 21-digit count wrapped to an arbitrary bank size. Each
+    // must now throw a SpecError that names the bad count and preset.
+    for (const char *bad :
+         {"+16sp", "-4sp", "1o6sp", "0sp", " 8sp", "sp",
+          "99999999999999999999sp", "4294967296sp", "0x10sp",
+          "16sp ", "16 sp"}) {
+        EXPECT_THROW((void)presetByName(bad, PredictorKind::Gshare),
+                     SpecError)
+            << "accepted '" << bad << "'";
+    }
+    // The diagnostic carries the offending count and the full name.
+    try {
+        (void)presetByName("1o6sp", PredictorKind::Gshare);
+        FAIL() << "no SpecError for '1o6sp'";
+    } catch (const SpecError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("1o6"), std::string::npos) << what;
+        EXPECT_NE(what.find("1o6sp"), std::string::npos) << what;
+    }
 }
 
 } // namespace

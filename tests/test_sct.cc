@@ -82,10 +82,12 @@ TEST(SctBank, LcsContributionIsFirstNotDone)
     int s1 = b.allocate(1);
     int s2 = b.allocate(2);
     b.entry(s2).ready = true;
+    b.markLcsDirty();              // direct entry() mutation contract
     // Entry 1 not ready: it is the oldest not-done.
     ASSERT_TRUE(b.lcsContribution().has_value());
     EXPECT_EQ(*b.lcsContribution(), 1u);
     b.entry(s1).ready = true;
+    b.markLcsDirty();
     // Everything done: the bank is excluded (RenP==RelP condition).
     EXPECT_FALSE(b.lcsContribution().has_value());
 }

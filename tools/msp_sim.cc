@@ -25,7 +25,13 @@
 #include <string>
 #include <vector>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+#include "common/json.hh"
 #include "common/table.hh"
+#include "driver/bench.hh"
 #include "driver/campaign.hh"
 #include "driver/cli.hh"
 #include "driver/report.hh"
@@ -75,6 +81,7 @@ printUsage(std::FILE *to)
         "usage: msp_sim <scenario> [options]\n"
         "       msp_sim matrix --workloads A,B --configs C,D [options]\n"
         "       msp_sim verify [--seeds N] [--mixes M,N] [options]\n"
+        "       msp_sim bench [--reps N] [--baseline FILE] [options]\n"
         "       msp_sim spec (--configs P | --machine FILE) [--set k=v]\n"
         "       msp_sim merge SHARD.json... [--json FILE]\n"
         "       msp_sim --list\n"
@@ -134,6 +141,28 @@ printUsage(std::FILE *to)
         "  --predictor    gshare (default) or tage\n"
         "  --seed N       workload-synthesis seed (default 1)\n"
         "\n"
+        "bench mode (simulator throughput, MInstr/s per config):\n"
+        "  --configs      presets to time (default: baseline, cpr,\n"
+        "                 ideal, 4sp, 8sp, 16sp)\n"
+        "  --workloads    workloads per timed sweep (default:\n"
+        "                 gzip,gcc,swim,mcf)\n"
+        "  --instrs N     committed budget per run (default 200000)\n"
+        "  --reps N       timed repetitions per config (default 3);\n"
+        "                 the best repetition is the throughput figure,\n"
+        "                 and committed/cycle counts must be identical\n"
+        "                 across repetitions (determinism check)\n"
+        "  --threads 1    pin the process to one CPU before timing\n"
+        "                 (bench always runs sequentially)\n"
+        "  --json FILE    write the BENCH_throughput.json report\n"
+        "                 (refused with a warning in sanitized builds:\n"
+        "                 those timings must never become a baseline)\n"
+        "  --baseline FILE\n"
+        "                 gate against a previous report: exit 1 when\n"
+        "                 any config's MInstr/s fell more than the gate\n"
+        "                 percentage; skipped loudly when the host\n"
+        "                 fingerprint differs from the baseline's\n"
+        "  --gate-pct P   regression threshold (default 15)\n"
+        "\n"
         "verify mode (differential fuzzing against the functional "
         "executor):\n"
         "  --seeds N      fuzzed programs per mix (default 100)\n"
@@ -189,6 +218,111 @@ runSpec(const CliOptions &o)
         std::fputs(json.c_str(), stdout);
     else
         driver::writeFile(o.jsonPath, json);
+    return 0;
+}
+
+/** Simulator-throughput measurement (see driver/bench.hh). */
+int
+runBench(const CliOptions &o)
+{
+    const bool sanitized = sanitizedBuild();
+    if (sanitized) {
+        std::fprintf(stderr,
+                     "msp_sim: warning: sanitized build — timings are "
+                     "not comparable and no report will be written\n");
+    }
+
+    if (o.threads == 1) {
+#ifdef __linux__
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(0, &set);
+        if (sched_setaffinity(0, sizeof set, &set) != 0)
+            std::fprintf(stderr, "msp_sim: warning: could not pin to "
+                                 "CPU 0; timings may be noisier\n");
+#else
+        std::fprintf(stderr, "msp_sim: warning: CPU pinning is not "
+                             "supported on this platform\n");
+#endif
+    }
+
+    BenchOptions b;
+    b.configNames = o.configNames;
+    b.workloads = o.workloads;
+    b.predictor = o.predictor;
+    if (o.instrs)
+        b.instrs = o.instrs;
+    b.reps = o.reps;
+    b.seed = o.seed;
+
+    if (!o.quiet) {
+        std::printf("Throughput bench: %zu config(s) x %u rep(s), "
+                    "%llu instrs/run (%s).\n",
+                    o.configNames.empty() ? 6 : o.configNames.size(),
+                    b.reps,
+                    static_cast<unsigned long long>(b.instrs),
+                    predictorName(o.predictor));
+        std::fflush(stdout);
+    }
+    const BenchReport report = runThroughputBench(
+        b, o.quiet ? BenchProgressFn{}
+                   : [](const std::string &cfg, unsigned rep,
+                        unsigned reps, double wall) {
+                         std::fprintf(stderr, "  [%s %u/%u] %.3f s\n",
+                                      cfg.c_str(), rep, reps, wall);
+                     });
+
+    msp::Table t("Simulator throughput");
+    t.header({"config", "committed", "cycles", "best_wall_s",
+              "MInstr/s", "Mcycles/s"});
+    for (const auto &c : report.configs) {
+        t.row({c.config, std::to_string(c.committed),
+               std::to_string(c.cycles),
+               msp::Table::num(c.bestWallSec(), 3),
+               msp::Table::num(c.minstrPerSec(), 2),
+               msp::Table::num(c.mcyclesPerSec(), 2)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    if (!o.jsonPath.empty() && !sanitized)
+        driver::writeFile(o.jsonPath, benchReportToJson(report));
+
+    if (!o.baselinePath.empty()) {
+        if (sanitized) {
+            std::fprintf(stderr,
+                         "msp_sim: sanitized build — regression gate "
+                         "skipped\n");
+            return 0;
+        }
+        std::string doc;
+        if (!driver::tryReadFile(o.baselinePath, doc)) {
+            std::fprintf(stderr, "msp_sim: cannot read baseline %s\n",
+                         o.baselinePath.c_str());
+            return 2;
+        }
+        const BenchReport base = benchReportFromJson(doc);
+        if (base.host != report.host) {
+            // MInstr/s on a different machine is not a regression
+            // signal; gating on it would fail every contributor whose
+            // laptop differs from the baseline host.
+            std::fprintf(stderr,
+                         "msp_sim: warning: baseline host '%s' differs "
+                         "from this host '%s' — regression gate "
+                         "skipped\n",
+                         base.host.c_str(), report.host.c_str());
+            return 0;
+        }
+        const auto regressions =
+            benchRegressions(base, report, o.gatePct);
+        for (const std::string &r : regressions)
+            std::fprintf(stderr, "msp_sim: throughput regression: %s\n",
+                         r.c_str());
+        if (!regressions.empty())
+            return 1;
+        if (!o.quiet)
+            std::printf("Regression gate passed (threshold %.0f%%).\n",
+                        o.gatePct);
+    }
     return 0;
 }
 
@@ -621,6 +755,11 @@ main(int argc, char **argv)
         } catch (const CheckpointError &e) {
             std::fprintf(stderr, "msp_sim: %s\n", e.what());
             return 2;
+        } catch (const json::JsonError &e) {
+            // A shard report with a garbled number must not fold into
+            // the merge as zeros.
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
         }
     }
 
@@ -639,6 +778,19 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (o.mode == "bench") {
+        try {
+            return runBench(o);
+        } catch (const SpecError &e) {
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        } catch (const json::JsonError &e) {
+            // A corrupt baseline report must fail the gate run loudly,
+            // not silently pass it.
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        }
+    }
     if (o.mode == "verify") {
         try {
             return runVerify(o);
@@ -651,6 +803,15 @@ main(int argc, char **argv)
             // A checkpoint that cannot be resumed (corrupt mid-file,
             // or from a different campaign) must not silently rerun
             // from scratch under a flag that promised to resume.
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        } catch (const SpecError &e) {
+            // Corrupt repro / checkpoint payload fields (stream_hash,
+            // embedded program or spec) fail loudly, never replay as
+            // zeros.
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        } catch (const json::JsonError &e) {
             std::fprintf(stderr, "msp_sim: %s\n", e.what());
             return 2;
         }
@@ -666,6 +827,9 @@ main(int argc, char **argv)
         std::fprintf(stderr, "msp_sim: %s\n", e.what());
         return 2;
     } catch (const CheckpointError &e) {
+        std::fprintf(stderr, "msp_sim: %s\n", e.what());
+        return 2;
+    } catch (const json::JsonError &e) {
         std::fprintf(stderr, "msp_sim: %s\n", e.what());
         return 2;
     }
