@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.hh"
 #include "driver/bench.hh"
 
 int
@@ -19,8 +20,21 @@ main()
     using namespace msp::driver;
 
     BenchOptions o;
-    if (const char *env = std::getenv("MSP_BENCH_INSTRS"))
-        o.instrs = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("MSP_BENCH_INSTRS")) {
+        std::uint64_t v = 0;
+        const auto st = msp::parse::decimalU64(env, v);
+        if (st != msp::parse::Status::Ok || v == 0) {
+            std::fprintf(stderr,
+                         "bench_throughput: bad MSP_BENCH_INSTRS '%s' "
+                         "(%s)\n",
+                         env,
+                         st == msp::parse::Status::Ok
+                             ? "must be nonzero"
+                             : msp::parse::statusReason(st));
+            return 2;
+        }
+        o.instrs = v;
+    }
 
     if (sanitizedBuild()) {
         std::fprintf(stderr, "bench_throughput: warning: sanitized "

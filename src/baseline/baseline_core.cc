@@ -26,6 +26,7 @@ BaselineCore::BaselineCore(const CoreParams &p, const Program &program,
         freeInt.push_back(i);
     for (unsigned i = p.numIntPhys + numFpRegs; i < total; ++i)
         freeFp.push_back(i);
+    waiters.init(total);
 }
 
 bool
@@ -48,6 +49,17 @@ bool
 BaselineCore::windowHasRoom() const
 {
     return window.size() < params.robSize;
+}
+
+void
+BaselineCore::warmArchState(const ArchState &warm)
+{
+    // Reset-state RAT: every logical register maps to a ready physical
+    // register; the warmed value lands straight in it.
+    for (int r = 0; r < numIntRegs; ++r)
+        regVal[rat[r]] = warm.readInt(r);
+    for (int r = 0; r < numFpRegs; ++r)
+        regVal[rat[numIntRegs + r]] = warm.readFp(r);
 }
 
 bool
@@ -95,6 +107,27 @@ BaselineCore::operandsReady(const DynInst &d) const
 }
 
 void
+BaselineCore::initWakeup(DynInst &d)
+{
+    // Count distinct not-yet-ready source tags and subscribe each to
+    // its producer's writeback. Readiness never regresses for a live
+    // consumer (a physical register is only recycled after its last IQ
+    // consumer left), so insert-time state plus wakeups is exact.
+    const std::uint32_t gen = iq.generation(d.iqSlot);
+    unsigned pending = 0;
+    if (d.src1.phys != noReg && !regReady[d.src1.phys]) {
+        waiters.watch(d.src1.phys, d.iqSlot, gen);
+        ++pending;
+    }
+    if (d.src2.phys != noReg && d.src2.phys != d.src1.phys &&
+        !regReady[d.src2.phys]) {
+        waiters.watch(d.src2.phys, d.iqSlot, gen);
+        ++pending;
+    }
+    iq.setPending(d.iqSlot, pending);
+}
+
+void
 BaselineCore::readOperands(DynInst &d)
 {
     d.srcVal1 = d.src1.phys == noReg ? 0 : regVal[d.src1.phys];
@@ -106,6 +139,7 @@ BaselineCore::writebackDest(DynInst &d)
 {
     regVal[d.dstPhys] = d.result;
     regReady[d.dstPhys] = 1;
+    waiters.drain(d.dstPhys, iq);
     return true;
 }
 

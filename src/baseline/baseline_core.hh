@@ -27,6 +27,7 @@ class BaselineCore : public CoreBase
     bool canRename(const DynInst &d) override;
     void renameOne(DynInst &d) override;
     bool operandsReady(const DynInst &d) const override;
+    void initWakeup(DynInst &d) override;
     void readOperands(DynInst &d) override;
     bool writebackDest(DynInst &d) override;
     void doCommit() override;
@@ -34,6 +35,7 @@ class BaselineCore : public CoreBase
     void onSquashInst(DynInst &d) override;
     void onCommitted(DynInst &d) override;
     bool windowHasRoom() const override;
+    void warmArchState(const ArchState &warm) override;
 
   private:
     bool dstIsFp(const DynInst &d) const;
@@ -44,6 +46,7 @@ class BaselineCore : public CoreBase
     std::array<PhysReg, numLogRegs> rat{};
     std::vector<PhysReg> freeInt;
     std::vector<PhysReg> freeFp;
+    RegWaiters waiters;   ///< per-physreg IQ wakeup subscriptions
 };
 
 } // namespace msp

@@ -1,6 +1,7 @@
 #include "core/msp_core.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -48,6 +49,10 @@ MspCore::MspCore(const CoreParams &p, const Program &program,
         e.ready = true;
         e.value = 0;
     }
+    bankLcs.fill(SctBank::noHotState);
+    for (int b = 0; b < numLogRegs; ++b)
+        banks[b].bindHot(&bankGate[b], &bankDirtyWord,
+                         static_cast<unsigned>(b));
 }
 
 // ---------------------------------------------------------------------------
@@ -60,6 +65,11 @@ MspCore::flashClear(const DynInst &renaming)
     const std::uint32_t m = stateM;
     for (auto &bk : banks)
         bk.flashClearStateIds(m);
+    // Every mirrored lcsContribution() shifted; refresh them all on the
+    // next scan. (Gates were republished by flashClearStateIds itself.)
+    bankDirtyWord = numLogRegs == 64
+                        ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << numLogRegs) - 1;
     for (DynInst *d : window) {
         if (d == &renaming)
             continue;   // mid-rename: StateId assigned just after this
@@ -207,6 +217,27 @@ MspCore::operandsReady(const DynInst &d) const
     return ready(d.src1) && ready(d.src2);
 }
 
+void
+MspCore::initWakeup(DynInst &d)
+{
+    // No subscription lists needed: the RelIQ use bits set during
+    // rename are exactly the consumers to wake when an SCT entry's
+    // value arrives. Count the distinct not-yet-ready source entries;
+    // writebackDest broadcasts one wake per use-bit holder when the
+    // entry's ready bit flips (exactly once per allocation — committed
+    // releases stop at done() entries, so a live consumer never
+    // outlives its entry).
+    unsigned pending = 0;
+    auto unready = [&](PhysReg p) {
+        return p != noReg && !banks[bankOf(p)].entry(slotOf(p)).ready;
+    };
+    if (unready(d.src1.phys))
+        ++pending;
+    if (d.src2.phys != d.src1.phys && unready(d.src2.phys))
+        ++pending;
+    iq.setPending(d.iqSlot, pending);
+}
+
 bool
 MspCore::issuePortsAvailable(const DynInst &d)
 {
@@ -270,6 +301,18 @@ MspCore::writebackDest(DynInst &d)
     e.value = d.result;
     e.ready = true;
     banks[b].markLcsDirty();
+    // RelIQ wakeup broadcast: every use-bit holder counted this entry
+    // as a pending source at insert (the ready bit was false then and
+    // flips exactly once, here).
+    for (unsigned w = 0; w < maxIqSlots / 64; ++w) {
+        std::uint64_t bits = e.useBits[w];
+        while (bits) {
+            const int iqSlot =
+                static_cast<int>(w * 64) + std::countr_zero(bits);
+            bits &= bits - 1;
+            iq.wakeSrc(iqSlot);
+        }
+    }
     return true;
 }
 
@@ -300,7 +343,7 @@ MspCore::onExecuted(DynInst &d)
 // ---------------------------------------------------------------------------
 
 std::uint32_t
-MspCore::computeRawLcs() const
+MspCore::computeRawLcs()
 {
     // The current state is still "open": instructions in the front end
     // may yet join it (Fig. 3 tracks pre-rename instructions for this
@@ -309,10 +352,20 @@ MspCore::computeRawLcs() const
         (fetchStopped && fetchQ.empty()) ? sc + 1 : sc;
     if (anchorPending > 0)
         m = std::min(m, anchorState);
-    for (const auto &bk : banks) {
-        if (auto c = bk.lcsContribution())
-            m = std::min(m, *c);
+    // Refresh only the banks whose contribution changed since the last
+    // scan, then take the minimum over the dense mirror. Live StateIds
+    // are far below noHotState, so contribution-less banks drop out of
+    // the minimum without a branch.
+    std::uint64_t dirty = bankDirtyWord;
+    bankDirtyWord = 0;
+    while (dirty) {
+        const int b = std::countr_zero(dirty);
+        dirty &= dirty - 1;
+        const auto c = banks[b].lcsContribution();
+        bankLcs[b] = c ? *c : SctBank::noHotState;
     }
+    for (int b = 0; b < numLogRegs; ++b)
+        m = std::min(m, bankLcs[b]);
     return m;
 }
 
@@ -343,8 +396,13 @@ MspCore::doCommit()
     std::uint32_t releaseLimit = lcs.effective();
     if (!window.empty())
         releaseLimit = std::min(releaseLimit, window.front()->stateId);
-    for (auto &bk : banks)
-        bk.releaseCommitted(releaseLimit);
+    // The gate mirrors each bank's releaseCommitted() early-out (the
+    // successor StateId of the head entry), so the common all-banks-idle
+    // cycle touches only this flat array.
+    for (int b = 0; b < numLogRegs; ++b) {
+        if (bankGate[b] < releaseLimit)
+            banks[b].releaseCommitted(releaseLimit);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +465,19 @@ MspCore::afterSquash(const DynInst &trigger, bool exception)
         curOwnerSlot = trigger.ownerIdx;
     }
     lcs.flush();
+}
+
+void
+MspCore::warmArchState(const ArchState &warm)
+{
+    // Reset state: one live, ready entry per bank (the architectural
+    // mapping). Only its value changes — readiness and StateIds are
+    // untouched, so no LCS invalidation is needed.
+    for (int b = 0; b < numLogRegs; ++b) {
+        SctEntry &e = banks[b].entry(banks[b].renameSlot());
+        e.value = b < numIntRegs ? warm.readInt(b)
+                                 : warm.readFp(b - numIntRegs);
+    }
 }
 
 } // namespace msp

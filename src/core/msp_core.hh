@@ -46,6 +46,7 @@ class MspCore : public CoreBase
     bool canRename(const DynInst &d) override;
     void renameOne(DynInst &d) override;
     bool operandsReady(const DynInst &d) const override;
+    void initWakeup(DynInst &d) override;
     bool issuePortsAvailable(const DynInst &d) override;
     void readOperands(DynInst &d) override;
     void onIssued(DynInst &d) override;
@@ -55,6 +56,7 @@ class MspCore : public CoreBase
     void recoverBranch(DynInst &branch) override;
     void onSquashInst(DynInst &d) override;
     void afterSquash(const DynInst &trigger, bool exception) override;
+    void warmArchState(const ArchState &warm) override;
 
   private:
     static constexpr int slotShift = 20;
@@ -77,13 +79,23 @@ class MspCore : public CoreBase
     void flashClear(const DynInst &renaming);
 
     /** Raw LCS minimum over all banks plus the state-0 anchor. */
-    std::uint32_t computeRawLcs() const;
+    std::uint32_t computeRawLcs();
 
     /** Decrement the pending-operation count of @p d's owning state. */
     void ownerPendingDec(const DynInst &d);
 
     std::vector<SctBank> banks;
     LcsUnit lcs;
+
+    // Dense commit-path mirrors of per-bank state (see SctBank::bindHot):
+    // the per-cycle LCS minimum and release-gate scan walk these flat
+    // arrays instead of 64 scattered bank objects. bankLcs entries are
+    // refreshed lazily — bankDirtyWord has one bit per bank whose cached
+    // lcsContribution() was invalidated since the last computeRawLcs().
+    static_assert(numLogRegs <= 64, "bank dirty bits held in one word");
+    std::array<std::uint32_t, numLogRegs> bankLcs{};
+    std::array<std::uint32_t, numLogRegs> bankGate{};
+    std::uint64_t bankDirtyWord = 0;
 
     std::uint32_t sc = 0;          ///< State Counter (SC)
     std::uint32_t stateM;          ///< M: total physical registers

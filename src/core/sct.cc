@@ -32,7 +32,8 @@ SctBank::allocate(std::uint32_t stateId)
     e.stateId = stateId;
     e.valid = true;
     order.push_back(s);
-    lcsDirty = true;   // new not-ready tail; previous tail loses exclusion
+    markLcsDirty();   // new not-ready tail; previous tail loses exclusion
+    publishHotGate();
     return s;
 }
 
@@ -48,7 +49,7 @@ SctBank::setUse(int slot, int iqSlot)
         return false;
     w |= bit;
     ++e.useCount;
-    lcsDirty = true;
+    markLcsDirty();
     return true;
 }
 
@@ -62,7 +63,7 @@ SctBank::clearUse(int slot, int iqSlot)
     w &= ~bit;
     msp_assert(e.useCount > 0, "bank %d: useCount underflow", id);
     --e.useCount;
-    lcsDirty = true;
+    markLcsDirty();
 }
 
 std::optional<std::uint32_t>
@@ -83,7 +84,7 @@ int
 SctBank::releaseCommittedSlow(std::uint32_t lcs)
 {
     int released = 0;
-    lcsDirty = true;
+    markLcsDirty();
     while (order.size() >= 2) {
         const SctEntry &succ = slots[order[1]];
         if (succ.stateId >= lcs)
@@ -97,6 +98,7 @@ SctBank::releaseCommittedSlow(std::uint32_t lcs)
         order.pop_front();
         ++released;
     }
+    publishHotGate();
     return released;
 }
 
@@ -113,7 +115,8 @@ SctBank::releaseTail(int expectedSlot)
     e.valid = false;
     freeSlots.push_back(order.back());
     order.pop_back();
-    lcsDirty = true;
+    markLcsDirty();
+    publishHotGate();
 }
 
 void
@@ -133,6 +136,10 @@ SctBank::flashClearStateIds(std::uint32_t sub)
     // StateId shifted exactly like the cache must.
     if (!lcsDirty && lcsCache)
         *lcsCache = *lcsCache >= sub ? *lcsCache - sub : 0;
+    // The release gate shifted with every StateId; the hot
+    // lcsContribution copies are refreshed by the core, which marks
+    // every bank dirty after a flash clear.
+    publishHotGate();
 }
 
 } // namespace msp

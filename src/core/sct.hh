@@ -149,7 +149,40 @@ class SctBank
      * Invalidate the cached lcsContribution(). Public because the MSP
      * core mutates ready/pendingOps directly through entry().
      */
-    void markLcsDirty() { lcsDirty = true; }
+    void
+    markLcsDirty()
+    {
+        lcsDirty = true;
+        if (hotDirtyWord)
+            *hotDirtyWord |= hotDirtyMask;
+    }
+
+    /** Sentinel for "no release gate / no contribution" in hot lanes. */
+    static constexpr std::uint32_t noHotState = ~std::uint32_t{0};
+
+    /**
+     * Bind this bank's hot commit-path state into core-owned dense
+     * arrays. The commit stage queries all banks every cycle; touching
+     * 64 scattered bank objects per cycle is most of its cost, so the
+     * bank pushes the two scanned values out instead:
+     *
+     *  - @p gateSlot receives the successor StateId that gates
+     *    releaseCommitted() (noHotState when fewer than two entries),
+     *    updated whenever the live order changes;
+     *  - @p dirtyWord gets bit @p bitIndex set whenever the cached
+     *    lcsContribution() is invalidated, so the core recomputes only
+     *    dirty banks (and clears the bits itself).
+     */
+    void
+    bindHot(std::uint32_t *gateSlot, std::uint64_t *dirtyWord,
+            unsigned bitIndex)
+    {
+        hotGate = gateSlot;
+        hotDirtyWord = dirtyWord;
+        hotDirtyMask = std::uint64_t{1} << bitIndex;
+        publishHotGate();
+        *hotDirtyWord |= hotDirtyMask;
+    }
 
     /**
      * Commit-time release: release head entries that have a *committed
@@ -185,6 +218,15 @@ class SctBank
     int releaseCommittedSlow(std::uint32_t lcs);
     std::optional<std::uint32_t> scanLcsContribution() const;
 
+    void
+    publishHotGate()
+    {
+        if (hotGate) {
+            *hotGate = order.size() >= 2 ? slots[order[1]].stateId
+                                         : noHotState;
+        }
+    }
+
     int id;
     std::size_t cap;
     std::vector<SctEntry> slots;
@@ -193,6 +235,11 @@ class SctBank
 
     mutable bool lcsDirty = true;
     mutable std::optional<std::uint32_t> lcsCache;
+
+    // Core-owned hot commit-path slots (see bindHot).
+    std::uint32_t *hotGate = nullptr;
+    std::uint64_t *hotDirtyWord = nullptr;
+    std::uint64_t hotDirtyMask = 0;
 };
 
 } // namespace msp

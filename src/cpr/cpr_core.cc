@@ -34,6 +34,7 @@ CprCore::CprCore(const CoreParams &p, const Program &program,
         freeInt.push_back(i);
     for (unsigned i = p.numIntPhys + numFpRegs; i < total; ++i)
         freeFp.push_back(i);
+    waiters.init(total);
 }
 
 bool
@@ -201,6 +202,27 @@ CprCore::operandsReady(const DynInst &d) const
 }
 
 void
+CprCore::initWakeup(DynInst &d)
+{
+    // Same scheme as the baseline: the refcounts guarantee a source
+    // register is never recycled while this consumer sits in the IQ
+    // (the consumer reference is only dropped at issue), so readiness
+    // can't regress and insert-time state plus wakeups is exact.
+    const std::uint32_t gen = iq.generation(d.iqSlot);
+    unsigned pending = 0;
+    if (d.src1.phys != noReg && !regReady[d.src1.phys]) {
+        waiters.watch(d.src1.phys, d.iqSlot, gen);
+        ++pending;
+    }
+    if (d.src2.phys != noReg && d.src2.phys != d.src1.phys &&
+        !regReady[d.src2.phys]) {
+        waiters.watch(d.src2.phys, d.iqSlot, gen);
+        ++pending;
+    }
+    iq.setPending(d.iqSlot, pending);
+}
+
+void
 CprCore::readOperands(DynInst &d)
 {
     d.srcVal1 = d.src1.phys == noReg ? 0 : regVal[d.src1.phys];
@@ -226,6 +248,7 @@ CprCore::writebackDest(DynInst &d)
 {
     regVal[d.dstPhys] = d.result;
     regReady[d.dstPhys] = 1;
+    waiters.drain(d.dstPhys, iq);
     dropRef(d.dstPhys);          // producer reference retires
     return true;
 }
@@ -465,6 +488,17 @@ CprCore::dumpDeadlock() const
                      slot, static_cast<unsigned long long>(c.startSeq),
                      c.pendingExec);
     }
+}
+
+void
+CprCore::warmArchState(const ArchState &warm)
+{
+    // Reset-state RAT: every logical register maps to a ready physical
+    // register; the warmed value lands straight in it.
+    for (int r = 0; r < numIntRegs; ++r)
+        regVal[rat[r]] = warm.readInt(r);
+    for (int r = 0; r < numFpRegs; ++r)
+        regVal[rat[numIntRegs + r]] = warm.readFp(r);
 }
 
 } // namespace msp

@@ -44,6 +44,7 @@ class CprCore : public CoreBase
     bool canRename(const DynInst &d) override;
     void renameOne(DynInst &d) override;
     bool operandsReady(const DynInst &d) const override;
+    void initWakeup(DynInst &d) override;
     void readOperands(DynInst &d) override;
     void onIssued(DynInst &d) override;
     bool writebackDest(DynInst &d) override;
@@ -54,6 +55,7 @@ class CprCore : public CoreBase
     void afterSquash(const DynInst &trigger, bool exception) override;
     bool fetchOverride(Addr pc, bool &taken, Addr &target) override;
     void dumpDeadlock() const override;
+    void warmArchState(const ArchState &warm) override;
 
   private:
     /** One checkpoint: full RAT copy plus front-end state. */
@@ -85,6 +87,7 @@ class CprCore : public CoreBase
     std::array<PhysReg, numLogRegs> rat{};
     std::vector<PhysReg> freeInt;
     std::vector<PhysReg> freeFp;
+    RegWaiters waiters;   ///< per-physreg IQ wakeup subscriptions
 
     std::vector<Ckpt> ckptSlots;
     std::deque<int> ckptOrder;   ///< oldest first

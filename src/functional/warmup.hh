@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fast-forward warmup helpers.
+ *
+ * Warmup executes a prefix of the program on the functional model only,
+ * then hands the architectural state to a timing core (see
+ * CoreParams::warmupInstrs). Both the cores and the differential
+ * verifier must agree *exactly* on where the handoff lands, so the
+ * stepping rule lives here and nowhere else: stop after the requested
+ * instruction count, or just before the HALT, whichever comes first.
+ * Stopping before (not on) the HALT keeps the committed-instruction
+ * stream non-empty — the timing run always retires at least the HALT,
+ * and a run's reported state is always the core's own commit path.
+ */
+
+#ifndef MSPLIB_FUNCTIONAL_WARMUP_HH
+#define MSPLIB_FUNCTIONAL_WARMUP_HH
+
+#include <cstdint>
+
+#include "functional/executor.hh"
+#include "isa/program.hh"
+
+namespace msp {
+
+/** True while @p ex may take another warmup step (next inst not HALT). */
+inline bool
+warmupCanStep(const FunctionalExecutor &ex, const Program &prog)
+{
+    return !ex.halted() &&
+           !prog.at(ex.pc() % prog.size()).info().isHalt;
+}
+
+/**
+ * Architecturally execute up to @p n instructions of @p prog on @p ex,
+ * stopping early just before a HALT.
+ * @return Number of instructions actually stepped.
+ */
+inline std::uint64_t
+fastForward(FunctionalExecutor &ex, const Program &prog, std::uint64_t n)
+{
+    std::uint64_t done = 0;
+    while (done < n && warmupCanStep(ex, prog)) {
+        ex.step();
+        ++done;
+    }
+    return done;
+}
+
+} // namespace msp
+
+#endif // MSPLIB_FUNCTIONAL_WARMUP_HH

@@ -7,20 +7,30 @@
  * latency; a CPR rollback must scan the L2 region, which costs cycles
  * proportional to the number of entries scanned (Sec. 1 of the paper).
  * MSP releases entries by StateId broadcast instead — no scan.
+ *
+ * Layout: structure-of-arrays. Every associative operation touches the
+ * seq lane first (and stores allocate in program order, so the lane is
+ * sorted): the age boundary of a load probe and the target of a resolve
+ * are found by binary search on the dense seq lane, and the youngest-
+ * first forwarding walk then streams the flag/addr lanes without pulling
+ * whole entries through the cache. Entries drain from the front by
+ * advancing a head offset; the lanes are compacted wholesale once the
+ * dead prefix outgrows the live region.
  */
 
 #ifndef MSPLIB_LSQ_STORE_QUEUE_HH
 #define MSPLIB_LSQ_STORE_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
 
 namespace msp {
 
-/** One pending (uncommitted) store. */
+/** One pending (uncommitted) store (materialised view of the lanes). */
 struct SqEntry
 {
     SeqNum seq = invalidSeqNum;
@@ -64,7 +74,7 @@ class HierStoreQueue
     bool
     canAllocate() const
     {
-        return unbounded || entries.size() < l1Cap + l2Cap;
+        return unbounded || size() < l1Cap + l2Cap;
     }
 
     /** Append a store in program order; address/data arrive later. */
@@ -72,22 +82,24 @@ class HierStoreQueue
     allocate(SeqNum seq)
     {
         msp_assert(canAllocate(), "SQ overflow");
-        msp_assert(entries.empty() || entries.back().seq < seq,
+        msp_assert(empty() || seqLane.back() < seq,
                    "SQ allocation out of program order");
-        entries.push_back(SqEntry{seq});
+        seqLane.push_back(seq);
+        addrLane.push_back(invalidAddr);
+        dataLane.push_back(0);
+        flagLane.push_back(0);
     }
 
     /** Fill in the resolved address and data of store @p seq. */
     void
     resolve(SeqNum seq, Addr addr, std::uint64_t data)
     {
-        SqEntry *e = find(seq);
-        msp_assert(e, "resolve of absent store %llu",
+        const std::size_t i = indexOf(seq);
+        msp_assert(i != npos, "resolve of absent store %llu",
                    static_cast<unsigned long long>(seq));
-        e->addr = addr;
-        e->addrKnown = true;
-        e->data = data;
-        e->dataKnown = true;
+        addrLane[i] = addr;
+        dataLane[i] = data;
+        flagLane[i] = kAddrKnown | kDataKnown;
     }
 
     /**
@@ -95,30 +107,30 @@ class HierStoreQueue
      *
      * Scans older stores youngest-first. An older store with an unknown
      * address forces the load to wait (conservative, violation-free
-     * disambiguation — identical policy for every core).
+     * disambiguation — identical policy for every core). The age
+     * boundary comes from one binary search on the sorted seq lane;
+     * everything below it is older, so the walk itself compares no
+     * sequence numbers.
      */
     ForwardResult
     probe(SeqNum loadSeq, Addr addr) const
     {
         ForwardResult r;
-        // Walk from youngest to oldest.
-        for (std::size_t i = entries.size(); i-- > 0;) {
-            const SqEntry &e = entries[i];
-            if (e.seq >= loadSeq)
-                continue;
-            if (!e.addrKnown) {
+        const std::size_t bound = lowerBound(loadSeq);
+        for (std::size_t i = bound; i-- > head;) {
+            if (!(flagLane[i] & kAddrKnown)) {
                 r.kind = ForwardResult::Kind::Unknown;
                 return r;
             }
-            if (e.addr == addr) {
-                if (!e.dataKnown) {
+            if (addrLane[i] == addr) {
+                if (!(flagLane[i] & kDataKnown)) {
                     r.kind = ForwardResult::Kind::Stall;
                     return r;
                 }
                 r.kind = ForwardResult::Kind::Forward;
-                r.data = e.data;
+                r.data = dataLane[i];
                 // Entries beyond the youngest l1Cap are in the L2 region.
-                if (entries.size() > l1Cap && i < entries.size() - l1Cap)
+                if (size() > l1Cap && i - head < size() - l1Cap)
                     r.extraLatency = l2Lat;
                 return r;
             }
@@ -130,18 +142,26 @@ class HierStoreQueue
     const SqEntry *
     oldest() const
     {
-        return entries.empty() ? nullptr : &entries.front();
+        if (empty())
+            return nullptr;
+        oldestView.seq = seqLane[head];
+        oldestView.addr = addrLane[head];
+        oldestView.addrKnown = (flagLane[head] & kAddrKnown) != 0;
+        oldestView.data = dataLane[head];
+        oldestView.dataKnown = (flagLane[head] & kDataKnown) != 0;
+        return &oldestView;
     }
 
     /** Drain the oldest entry (must match @p seq). */
     void
     drainOldest(SeqNum seq)
     {
-        msp_assert(!entries.empty() && entries.front().seq == seq,
+        msp_assert(!empty() && seqLane[head] == seq,
                    "drain order violation");
-        msp_assert(entries.front().addrKnown && entries.front().dataKnown,
+        msp_assert(flagLane[head] == (kAddrKnown | kDataKnown),
                    "draining unresolved store");
-        entries.pop_front();
+        ++head;
+        compactIfStale();
     }
 
     /**
@@ -153,28 +173,66 @@ class HierStoreQueue
     squashAfter(SeqNum boundary)
     {
         std::size_t l2Scanned = 0;
-        while (!entries.empty() && entries.back().seq > boundary) {
-            if (entries.size() > l1Cap)
+        while (!empty() && seqLane.back() > boundary) {
+            if (size() > l1Cap)
                 ++l2Scanned;
-            entries.pop_back();
+            seqLane.pop_back();
+            addrLane.pop_back();
+            dataLane.pop_back();
+            flagLane.pop_back();
         }
+        compactIfStale();
         return l2Scanned;
     }
 
-    std::size_t size() const { return entries.size(); }
-    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return seqLane.size() - head; }
+    bool empty() const { return head == seqLane.size(); }
 
   private:
-    SqEntry *
-    find(SeqNum seq)
+    static constexpr std::uint8_t kAddrKnown = 1;
+    static constexpr std::uint8_t kDataKnown = 2;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Index of the first live entry with seq >= @p seq. */
+    std::size_t
+    lowerBound(SeqNum seq) const
     {
-        for (auto &e : entries)
-            if (e.seq == seq)
-                return &e;
-        return nullptr;
+        return static_cast<std::size_t>(
+            std::lower_bound(seqLane.begin() + head, seqLane.end(), seq) -
+            seqLane.begin());
     }
 
-    std::deque<SqEntry> entries;
+    /** Index of the live entry with exactly @p seq, or npos. */
+    std::size_t
+    indexOf(SeqNum seq) const
+    {
+        const std::size_t i = lowerBound(seq);
+        return (i < seqLane.size() && seqLane[i] == seq) ? i : npos;
+    }
+
+    /** Reclaim the drained prefix once it dominates the lanes. */
+    void
+    compactIfStale()
+    {
+        if (head < 64 || head < size())
+            return;
+        seqLane.erase(seqLane.begin(), seqLane.begin() + head);
+        addrLane.erase(addrLane.begin(), addrLane.begin() + head);
+        dataLane.erase(dataLane.begin(), dataLane.begin() + head);
+        flagLane.erase(flagLane.begin(), flagLane.begin() + head);
+        head = 0;
+    }
+
+    // Hot lanes, indexed [head, seqLane.size()), oldest first. The seq
+    // lane is strictly increasing (program-order allocation).
+    std::vector<SeqNum> seqLane;
+    std::vector<Addr> addrLane;
+    std::vector<std::uint64_t> dataLane;
+    std::vector<std::uint8_t> flagLane;
+    std::size_t head = 0;
+
+    mutable SqEntry oldestView;   ///< storage behind oldest()
+
     std::size_t l1Cap;
     std::size_t l2Cap;
     bool unbounded;

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "functional/semantics.hh"
+#include "functional/warmup.hh"
 
 namespace msp {
 
@@ -186,6 +187,12 @@ CoreBase::doRename()
 
         renameOne(d);
 
+        if (d.inIq) {
+            iq.fillTags(d.iqSlot, d.src1.phys, d.src2.phys,
+                        static_cast<unsigned char>(d.info().fu));
+            initWakeup(d);
+        }
+
         if (d.isLoad())
             ++ldqUsed;
         if (d.isStore())
@@ -250,16 +257,24 @@ CoreBase::executeInst(DynInst &d)
 void
 CoreBase::doIssueStage()
 {
+    // Select scans the ready bitvector in age order. The bits are
+    // maintained event-driven (initWakeup at rename, wakeSrc at
+    // writeback); most stalled cycles exit on the anyReady() test
+    // without touching the age list at all.
+    if (!iq.anyReady())
+        return;
     unsigned issuedThisCycle = 0;
-    const auto &ready = iq.occupantsBySeq();
-    for (DynInst *dp : ready) {
+    const auto &order = iq.ageOrder();
+    for (const std::int32_t slot : order) {
         if (issuedThisCycle >= params.issueWidth)
             break;
-        DynInst &d = *dp;
-        msp_assert(!d.squashed && !d.issued, "stale IQ entry");
-
-        if (!operandsReady(d))
+        if (slot < 0 || !iq.ready(slot))
             continue;
+        DynInst &d = *iq.at(slot);
+        msp_assert(!d.squashed && !d.issued, "stale IQ entry");
+        msp_assert(operandsReady(d),
+                   "IQ slot %d ready bit set with operands not ready",
+                   slot);
 
         readOperands(d);
         executeInst(d);
@@ -592,9 +607,46 @@ CoreBase::stepCycle()
     ++now;
 }
 
+void
+CoreBase::applyWarmup()
+{
+    warmupApplied = true;
+    std::uint64_t stepped = 0;
+    while (stepped < params.warmupInstrs && warmupCanStep(oracle, *prog)) {
+        const Addr pc = oracle.pc() % progSize;
+        const Instruction &in = prog->at(pc);
+        if (in.info().isControl()) {
+            // Train exactly like the pipeline would on this path:
+            // predict (pushes speculative history/RAS), resolve-time
+            // direction/confidence update against the actual outcome,
+            // and the mispredict repair that rewinds speculative state
+            // and pushes the truth. Commit-order counters stay
+            // untouched — warmup is not part of the measured run.
+            const BpPrediction p = branchUnit.predictControl(pc, in);
+            const StepResult sr = oracle.step();
+            const Addr actualNext = sr.nextPc % progSize;
+            branchUnit.resolveControl(pc, in, sr.taken, actualNext,
+                                      p.snap);
+            if (actualNext != p.target % progSize)
+                branchUnit.squashRepair(p.snap, in, pc, sr.taken);
+        } else {
+            oracle.step();
+        }
+        ++stepped;
+    }
+    // Handoff: architectural values into the reset-state rename
+    // structures, fetch restarted at the first unexecuted instruction.
+    // The oracle itself already sits at the handoff point, so the
+    // commit-time lock-step check continues seamlessly.
+    warmArchState(oracle.state());
+    fetchPc = oracle.pc() % progSize;
+}
+
 RunResult
 CoreBase::run(std::uint64_t maxCommits, std::uint64_t maxCycles)
 {
+    if (params.warmupInstrs != 0 && !warmupApplied)
+        applyWarmup();
     lastCommitCycle = 0;
     while (!haltCommitted && committedCount < maxCommits &&
            now < maxCycles) {

@@ -122,8 +122,19 @@ class CoreBase
     /** Allocate rename resources for @p d; must succeed after canRename. */
     virtual void renameOne(DynInst &d) = 0;
 
-    /** Are @p d's source operands ready (register state only)? */
+    /** Are @p d's source operands ready (register state only)?
+     *  Readiness is tracked event-driven in the IQ lanes; this
+     *  predicate remains as the oracle the issue stage cross-checks
+     *  ready bits against (and as the naive reference for tests). */
     virtual bool operandsReady(const DynInst &d) const = 0;
+
+    /**
+     * Initialise @p d's wakeup state right after rename: count the
+     * distinct source tags that are not yet ready, subscribe to their
+     * producers, and hand the count to the IQ via iq.setPending().
+     * Called only for instructions inserted into the IQ.
+     */
+    virtual void initWakeup(DynInst &d) = 0;
 
     /**
      * Issue-time structural check (MSP register-file read-port
@@ -165,6 +176,14 @@ class CoreBase
 
     /** Baseline ROB-style window limit. */
     virtual bool windowHasRoom() const { return true; }
+
+    /**
+     * Pour the post-warmup architectural register values into the
+     * core's renamed storage. Called exactly once, before any timing
+     * cycle, with every rename structure still at reset: each logical
+     * register's current mapping simply takes its architectural value.
+     */
+    virtual void warmArchState(const ArchState &warm) = 0;
 
     /** CPR resolved-branch fetch override (see cpr_core.cc). */
     virtual bool
@@ -278,6 +297,16 @@ class CoreBase
     std::array<std::uint64_t, numLogRegs> bankStallCycles{};
 
   private:
+    /**
+     * Fast-forward warmup (CoreParams::warmupInstrs): run the prefix on
+     * the internal oracle, training the branch predictor at every
+     * control instruction, then hand over the architectural state and
+     * the restart pc. Timing caches stay cold by design — warmup is an
+     * architectural contract, not a microarchitectural one.
+     */
+    void applyWarmup();
+    bool warmupApplied = false;
+
     std::size_t lastSqScanned = 0;
     SeqNum lastSquashBoundary = invalidSeqNum;
     Cycle lastCommitCycle = 0;

@@ -5,104 +5,21 @@
  * Slot ids matter: the MSP RelIQ use-bit matrix is indexed by IQ slot,
  * exactly as in the paper (one bit of storage per physical register per
  * instruction-queue entry).
+ *
+ * The implementation is the structure-of-arrays WindowLanes: the
+ * scheduler-scanned hot fields live in dense parallel lanes and
+ * readiness is event-driven (see window_lanes.hh). This header keeps
+ * the historical name for the pipeline's member and includes.
  */
 
 #ifndef MSPLIB_PIPELINE_INST_QUEUE_HH
 #define MSPLIB_PIPELINE_INST_QUEUE_HH
 
-#include <vector>
-
-#include "common/logging.hh"
-#include "pipeline/dyninst.hh"
+#include "pipeline/window_lanes.hh"
 
 namespace msp {
 
-/** Fixed-capacity instruction queue; entries leave at issue. */
-class InstQueue
-{
-  public:
-    explicit InstQueue(unsigned capacity) : slots(capacity, nullptr)
-    {
-        freeSlots.reserve(capacity);
-        for (unsigned i = 0; i < capacity; ++i)
-            freeSlots.push_back(capacity - 1 - i);
-        order.reserve(2 * capacity);
-        scratch.reserve(capacity);
-    }
-
-    /** Remaining capacity. */
-    unsigned freeCount() const { return freeSlots.size(); }
-
-    bool full() const { return freeSlots.empty(); }
-
-    /** Insert @p d; assigns and returns its slot id. */
-    int
-    insert(DynInst *d)
-    {
-        msp_assert(!freeSlots.empty(), "IQ overflow");
-        int slot = static_cast<int>(freeSlots.back());
-        freeSlots.pop_back();
-        slots[slot] = d;
-        d->iqSlot = slot;
-        d->inIq = true;
-        // Rename inserts in seq order (seq is assigned at fetch and the
-        // fetchQ is a FIFO), so the age list stays sorted by
-        // construction — occupantsBySeq never needs a sort.
-        msp_assert(order.empty() || !order.back() ||
-                       order.back()->seq < d->seq,
-                   "IQ insert out of age order");
-        d->iqOrderIdx = static_cast<int>(order.size());
-        order.push_back(d);
-        return slot;
-    }
-
-    /** Remove @p d (at issue or squash). */
-    void
-    remove(DynInst *d)
-    {
-        msp_assert(d->inIq && d->iqSlot >= 0, "IQ remove of absent inst");
-        msp_assert(slots[d->iqSlot] == d, "IQ slot mismatch");
-        msp_assert(d->iqOrderIdx >= 0 &&
-                       order[d->iqOrderIdx] == d, "IQ age-list mismatch");
-        slots[d->iqSlot] = nullptr;
-        freeSlots.push_back(d->iqSlot);
-        order[d->iqOrderIdx] = nullptr;   // hole; compacted lazily
-        d->inIq = false;
-        d->iqSlot = -1;
-        d->iqOrderIdx = -1;
-    }
-
-    /**
-     * Collect current occupants sorted oldest-first (for select).
-     * The returned vector is reused between calls.
-     */
-    const std::vector<DynInst *> &
-    occupantsBySeq()
-    {
-        scratch.clear();
-        for (DynInst *d : order)
-            if (d)
-                scratch.push_back(d);
-        if (scratch.size() != order.size()) {
-            // Compact the holes out so the age list stays bounded.
-            order = scratch;
-            for (std::size_t i = 0; i < order.size(); ++i)
-                order[i]->iqOrderIdx = static_cast<int>(i);
-        }
-        return scratch;
-    }
-
-    /** Total slots. */
-    unsigned capacity() const { return slots.size(); }
-
-  private:
-    std::vector<DynInst *> slots;
-    std::vector<unsigned> freeSlots;
-
-    /** Occupants oldest-first, with nullptr holes where entries left. */
-    std::vector<DynInst *> order;
-    std::vector<DynInst *> scratch;
-};
+using InstQueue = WindowLanes;
 
 } // namespace msp
 

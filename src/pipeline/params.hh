@@ -76,6 +76,17 @@ struct CoreParams
 
     bool oracleCheck = true;       ///< lock-step functional comparison
     Cycle recoveryPenalty = 2;     ///< extra cycles on any recovery
+
+    /**
+     * Fast-forward warmup: before the first timing cycle, execute this
+     * many instructions architecturally (functional model), training the
+     * branch predictor along the way, then hand the warmed architectural
+     * state to the core and start timing at the handoff pc. Committed
+     * counts, cycles and the commit-observer stream cover only the
+     * post-warmup region. 0 disables warmup. Stops early (before the
+     * HALT) if the program is shorter than the requested warmup.
+     */
+    std::uint64_t warmupInstrs = 0;
     std::uint64_t maxIntraStateId = 31; ///< 5-bit same-state ordering ids
 
     // ---- verification-only fault injection --------------------------------

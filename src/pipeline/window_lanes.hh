@@ -1,0 +1,292 @@
+/**
+ * @file
+ * WindowLanes — structure-of-arrays hot state of the instruction queue.
+ *
+ * The issue stage used to re-poll every IQ occupant's operand readiness
+ * through a virtual call and two pointer-chased register-file lookups,
+ * every cycle; the profile showed that polling loop (doIssueStage +
+ * operandsReady) costing about half of the whole simulation. This class
+ * splits the scheduler-scanned fields out of DynInst (the cold record,
+ * which stays in the DynInstPool arena) into dense parallel lanes
+ * indexed by IQ slot id:
+ *
+ *   - a ready bitvector (one bit per slot) the select loop scans,
+ *   - a pending-source counter driving event-driven wakeup,
+ *   - a generation counter guarding against stale wakeups on slot reuse,
+ *   - seq / source-tag / FU-class lanes for asserts and diagnostics,
+ *   - the age-ordered slot list (sorted by construction, holes
+ *     compacted lazily) that fixes select priority.
+ *
+ * Readiness becomes *event-driven*: a slot's pending count is set once
+ * at insert (counting distinct not-yet-ready source tags) and
+ * decremented by wakeSrc() when a producer writes back. This is
+ * cycle-exact with the old polling because of two structural facts:
+ * (1) the cycle order is commit -> writeback -> issue -> rename, so a
+ * value written in cycle T is visible to the poll in cycle T exactly
+ * when the wakeup also lands in T; and (2) no core ever un-readies a
+ * physical register while a consumer is live in the IQ (registers are
+ * only reallocated after their last IQ consumer issued or squashed), so
+ * ready can never regress between insert and issue.
+ *
+ * Slot ids are stable while an instruction waits, which is what lets
+ * the MSP RelIQ use-bit rows double as the wakeup CAM: the bits the
+ * paper already stores per (physical register, IQ slot) are exactly
+ * the consumers to wake when the entry's value arrives.
+ */
+
+#ifndef MSPLIB_PIPELINE_WINDOW_LANES_HH
+#define MSPLIB_PIPELINE_WINDOW_LANES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "pipeline/dyninst.hh"
+
+namespace msp {
+
+/** SoA instruction-queue window: hot lanes + age-ordered ready select. */
+class WindowLanes
+{
+  public:
+    explicit WindowLanes(unsigned capacity)
+        : cap(capacity), orderLimit(2 * capacity)
+    {
+        inst.assign(capacity, nullptr);
+        seqLane.assign(capacity, invalidSeqNum);
+        src1Lane.assign(capacity, noReg);
+        src2Lane.assign(capacity, noReg);
+        fuLane.assign(capacity, 0);
+        pendingLane.assign(capacity, 0);
+        genLane.assign(capacity, 0);
+        readyWords.assign((capacity + 63) / 64, 0);
+        freeSlots.reserve(capacity);
+        for (unsigned i = 0; i < capacity; ++i)
+            freeSlots.push_back(capacity - 1 - i);
+        order.reserve(orderLimit + 1);
+    }
+
+    /** Remaining capacity. */
+    unsigned freeCount() const { return freeSlots.size(); }
+
+    bool full() const { return freeSlots.empty(); }
+
+    /** Total slots. */
+    unsigned capacity() const { return cap; }
+
+    /** Any slot ready? (cheap per-cycle early-out for the select loop) */
+    bool anyReady() const { return readyCount != 0; }
+
+    /** Insert @p d; assigns and returns its slot id. Pending sources
+     *  are not known yet — the core calls setPending() after rename. */
+    int
+    insert(DynInst *d)
+    {
+        msp_assert(!freeSlots.empty(), "IQ overflow");
+        const int slot = static_cast<int>(freeSlots.back());
+        freeSlots.pop_back();
+        inst[slot] = d;
+        seqLane[slot] = d->seq;
+        d->iqSlot = slot;
+        d->inIq = true;
+        // Rename inserts in seq order (seq is assigned at fetch and the
+        // fetchQ is a FIFO), so the age list stays sorted by
+        // construction. Squashes only remove younger entries, so the
+        // last live element is always older than a new insert.
+        msp_assert(order.empty() || order.back() < 0 ||
+                       seqLane[order.back()] < d->seq,
+                   "IQ insert out of age order");
+        if (order.size() >= orderLimit)
+            compact();
+        d->iqOrderIdx = static_cast<int>(order.size());
+        order.push_back(slot);
+        ++liveCount;
+        return slot;
+    }
+
+    /** Record the hot source/FU lanes once rename assigned the tags. */
+    void
+    fillTags(int slot, PhysReg src1, PhysReg src2, unsigned char fu)
+    {
+        src1Lane[slot] = src1;
+        src2Lane[slot] = src2;
+        fuLane[slot] = fu;
+    }
+
+    /**
+     * Set the wakeup counter: @p n distinct source tags not yet ready.
+     * Zero marks the slot ready for select immediately.
+     */
+    void
+    setPending(int slot, unsigned n)
+    {
+        pendingLane[slot] = static_cast<std::uint8_t>(n);
+        if (n == 0)
+            markReady(slot);
+    }
+
+    /** A producer of one of @p slot's pending sources wrote back. */
+    void
+    wakeSrc(int slot)
+    {
+        msp_assert(inst[slot] != nullptr, "wake of empty IQ slot %d", slot);
+        msp_assert(pendingLane[slot] > 0,
+                   "wake underflow on IQ slot %d", slot);
+        if (--pendingLane[slot] == 0)
+            markReady(slot);
+    }
+
+    /**
+     * Generation-checked wakeup for subscription-based wakers
+     * (baseline/CPR register waiter lists): ignores the wake when the
+     * slot was reused since the subscription was taken.
+     */
+    void
+    wakeSrcIfCurrent(int slot, std::uint32_t gen)
+    {
+        if (inst[slot] != nullptr && genLane[slot] == gen)
+            wakeSrc(slot);
+    }
+
+    /** Generation of the current occupancy (captured by subscribers). */
+    std::uint32_t generation(int slot) const { return genLane[slot]; }
+
+    bool
+    ready(int slot) const
+    {
+        return readyWords[slot >> 6] >> (slot & 63) & 1;
+    }
+
+    /** Pending distinct unready sources (tests/diagnostics). */
+    unsigned pendingOf(int slot) const { return pendingLane[slot]; }
+
+    DynInst *at(int slot) const { return inst[slot]; }
+
+    SeqNum seqOf(int slot) const { return seqLane[slot]; }
+    PhysReg src1Of(int slot) const { return src1Lane[slot]; }
+    PhysReg src2Of(int slot) const { return src2Lane[slot]; }
+    unsigned char fuOf(int slot) const { return fuLane[slot]; }
+
+    /** Remove @p d (at issue or squash). */
+    void
+    remove(DynInst *d)
+    {
+        msp_assert(d->inIq && d->iqSlot >= 0, "IQ remove of absent inst");
+        const int slot = d->iqSlot;
+        msp_assert(inst[slot] == d, "IQ slot mismatch");
+        msp_assert(d->iqOrderIdx >= 0 && order[d->iqOrderIdx] == slot,
+                   "IQ age-list mismatch");
+        if (ready(slot)) {
+            readyWords[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+            --readyCount;
+        }
+        inst[slot] = nullptr;
+        seqLane[slot] = invalidSeqNum;
+        src1Lane[slot] = noReg;
+        src2Lane[slot] = noReg;
+        pendingLane[slot] = 0;
+        ++genLane[slot];   // invalidate outstanding subscriptions
+        freeSlots.push_back(slot);
+        order[d->iqOrderIdx] = -1;   // hole; compacted lazily
+        --liveCount;
+        d->inIq = false;
+        d->iqSlot = -1;
+        d->iqOrderIdx = -1;
+    }
+
+    /**
+     * Age-ordered slot list for the select scan: oldest first, holes
+     * are -1. Bounded at twice the capacity by lazy compaction.
+     */
+    const std::vector<std::int32_t> &ageOrder() const { return order; }
+
+  private:
+    void
+    markReady(int slot)
+    {
+        std::uint64_t &w = readyWords[slot >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (slot & 63);
+        msp_assert(!(w & bit), "slot %d marked ready twice", slot);
+        w |= bit;
+        ++readyCount;
+    }
+
+    void
+    compact()
+    {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (order[i] < 0)
+                continue;
+            order[out] = order[i];
+            inst[order[out]]->iqOrderIdx = static_cast<int>(out);
+            ++out;
+        }
+        order.resize(out);
+    }
+
+    unsigned cap;
+    std::size_t orderLimit;
+
+    // Hot lanes, indexed by slot id.
+    std::vector<DynInst *> inst;
+    std::vector<SeqNum> seqLane;
+    std::vector<PhysReg> src1Lane;
+    std::vector<PhysReg> src2Lane;
+    std::vector<std::uint8_t> fuLane;
+    std::vector<std::uint8_t> pendingLane;
+    std::vector<std::uint32_t> genLane;
+    std::vector<std::uint64_t> readyWords;
+    unsigned readyCount = 0;
+    unsigned liveCount = 0;
+
+    std::vector<unsigned> freeSlots;
+
+    /** Live slots oldest-first, with -1 holes where entries left. */
+    std::vector<std::int32_t> order;
+};
+
+/**
+ * Per-physical-register wakeup subscription lists for the flat-file
+ * cores (baseline/CPR). MSP needs none of this: its RelIQ use-bit rows
+ * already record exactly the consumers to wake.
+ *
+ * Subscriptions are only ever *appended* (at rename, for each source
+ * tag not yet ready) and *drained* (when the producer writes back);
+ * consumers that left the IQ in between are skipped by the generation
+ * check. Lists of squashed producers persist until the register is
+ * reallocated and written again, where the drain discards them — so
+ * memory stays bounded without any removal path.
+ */
+class RegWaiters
+{
+  public:
+    void init(std::size_t numPhys) { lists.assign(numPhys, {}); }
+
+    void
+    watch(PhysReg p, int slot, std::uint32_t gen)
+    {
+        lists[p].push_back(Sub{slot, gen});
+    }
+
+    void
+    drain(PhysReg p, WindowLanes &iq)
+    {
+        auto &l = lists[p];
+        for (const Sub &s : l)
+            iq.wakeSrcIfCurrent(s.slot, s.gen);
+        l.clear();
+    }
+
+  private:
+    struct Sub
+    {
+        std::int32_t slot;
+        std::uint32_t gen;
+    };
+    std::vector<std::vector<Sub>> lists;
+};
+
+} // namespace msp
+
+#endif // MSPLIB_PIPELINE_WINDOW_LANES_HH

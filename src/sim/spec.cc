@@ -273,6 +273,10 @@ buildRegistry()
                           "internal lock-step functional comparison"));
     r.push_back(u64Param("recovery.penalty", &CoreParams::recoveryPenalty,
                          0, 1u << 20, "extra cycles on any recovery"));
+    r.push_back(u64Param("warmup.instrs", &CoreParams::warmupInstrs, 0,
+                         u64Max,
+                         "instructions fast-forwarded architecturally "
+                         "before timing starts (0 = no warmup)"));
     r.push_back(u64Param("msp.max_intra_state_id",
                          &CoreParams::maxIntraStateId, 1, u64Max,
                          "same-state ordering id limit"));

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "functional/executor.hh"
+#include "functional/warmup.hh"
 #include "pipeline/core_base.hh"
 
 namespace msp {
@@ -80,14 +81,21 @@ diffRun(const Program &prog, const MachineConfig &config,
     out.snapshotEvery = opt.snapshotEvery;
 
     // ---- golden pass: from-scratch functional execution ------------------
+    // With warmup configured, the timing core only commits (and the
+    // observer only sees) the post-warmup suffix, so the reference
+    // fast-forwards the identical prefix unhashed — fastForward() is
+    // the single definition of where the handoff lands on both sides.
     FunctionalExecutor ref(prog);
+    const std::uint64_t warmSteps =
+        fastForward(ref, prog, config.core.warmupInstrs);
+    const ArchState warmState = ref.state();   // handoff snapshot
     StreamHasher refHash;
-    while (!ref.halted() && ref.instCount() < opt.maxInsts) {
+    while (!ref.halted() && ref.instCount() < warmSteps + opt.maxInsts) {
         const StepResult sr = ref.step();
         refHash.commit(sr.pc, sr.wroteReg, sr.value, sr.isLoad,
                        sr.isStore, sr.memAddr, sr.storeValue);
     }
-    out.committedRef = ref.instCount();
+    out.committedRef = ref.instCount() - warmSteps;
     if (!ref.halted()) {
         addDivergence(out, "ref-no-halt",
                       csprintf("functional model did not HALT within "
@@ -104,7 +112,7 @@ diffRun(const Program &prog, const MachineConfig &config,
     cfg.core.oracleCheck = false;
     Machine m(cfg, prog);
 
-    ArchState replay(prog);
+    ArchState replay = warmState;   // commits replay on top of warmup
     StreamHasher coreHash;
     std::uint64_t replayed = 0;
 
@@ -116,6 +124,7 @@ diffRun(const Program &prog, const MachineConfig &config,
     // value overwritten again before the boundary) that a pure state
     // snapshot would miss.
     FunctionalExecutor snapRef(prog);
+    fastForward(snapRef, prog, warmSteps);
     StreamHasher snapRefHash;
     std::uint64_t lastGoodSnap = 0;
 
@@ -134,18 +143,19 @@ diffRun(const Program &prog, const MachineConfig &config,
             opt.probeCommit != 0 && replayed == opt.probeCommit;
         if (out.localized || (!cadenceHit && !probeHit))
             return;
-        while (!snapRef.halted() && snapRef.instCount() < replayed) {
+        while (!snapRef.halted() &&
+               snapRef.instCount() < warmSteps + replayed) {
             const StepResult sr = snapRef.step();
             snapRefHash.commit(sr.pc, sr.wroteReg, sr.value, sr.isLoad,
                                sr.isStore, sr.memAddr, sr.storeValue);
         }
         // A commit count past the reference HALT point can never match.
         std::string diff;
-        if (snapRef.instCount() != replayed) {
+        if (snapRef.instCount() - warmSteps != replayed) {
             diff = csprintf("functional model halted after %llu "
                             "instructions",
                             static_cast<unsigned long long>(
-                                snapRef.instCount()));
+                                snapRef.instCount() - warmSteps));
         } else {
             diff = firstStateDiff(replay, snapRef.state(), prog.memWords);
             if (diff.empty() && coreHash.h != snapRefHash.h) {

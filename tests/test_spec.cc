@@ -79,7 +79,7 @@ TEST(SpecRegistry, KeysAreUniqueAndResolvable)
     }
     // The registry covers every CoreParams knob plus the predictor; a
     // new field must be registered (this count is the reminder).
-    EXPECT_EQ(machineParams().size(), 35u);
+    EXPECT_EQ(machineParams().size(), 36u);
     EXPECT_EQ(findParam("nope"), nullptr);
 }
 

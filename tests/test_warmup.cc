@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Fast-forward warmup tests: the warmup.instrs spec key round-trips,
+ * warmed differential runs stay bit-clean on every core kind, warmup
+ * replays are deterministic, the handoff composes with fastForward()
+ * (post-warmup commits == functional suffix), and the fault-injection
+ * oracle still bites through a warmed run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "functional/executor.hh"
+#include "functional/warmup.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "sim/spec.hh"
+#include "verify/fuzzer.hh"
+#include "verify/oracle.hh"
+
+namespace msp {
+namespace {
+
+TEST(Warmup, SpecKeyRoundTripsThroughJson)
+{
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    setParamFromString(cfg, "warmup.instrs", "12345");
+    EXPECT_EQ(cfg.core.warmupInstrs, 12345u);
+    EXPECT_EQ(getParam(cfg, "warmup.instrs"),
+              ParamValue::ofU64(12345));
+
+    const std::string json = specToJson(cfg);
+    EXPECT_NE(json.find("\"warmup.instrs\": 12345"), std::string::npos);
+    const MachineConfig back = specFromJson(json);
+    EXPECT_EQ(back.core.warmupInstrs, 12345u);
+    EXPECT_TRUE(sameSpec(cfg, back));
+}
+
+TEST(Warmup, DifferentialRunsStayCleanOnEveryCoreKind)
+{
+    const Program p = verify::fuzzProgram(42);
+    for (const std::uint64_t warm : {std::uint64_t{1}, std::uint64_t{7},
+                                     std::uint64_t{500}}) {
+        for (auto cfg : {baselineConfig(PredictorKind::Gshare),
+                         cprConfig(PredictorKind::Gshare),
+                         nspConfig(8, PredictorKind::Gshare),
+                         nspConfig(16, PredictorKind::Gshare),
+                         idealMspConfig(PredictorKind::Gshare)}) {
+            cfg.core.warmupInstrs = warm;
+            const verify::DiffOutcome out = verify::diffRun(p, cfg);
+            EXPECT_TRUE(out.ok())
+                << cfg.name << " warm=" << warm << " first: "
+                << (out.divergences.empty()
+                        ? "-"
+                        : out.divergences.front().detail);
+            EXPECT_GT(out.committedCore, 0u);
+        }
+    }
+}
+
+TEST(Warmup, SnapshotComparesStayCleanThroughAWarmedRun)
+{
+    const Program p = verify::fuzzProgram(21);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.warmupInstrs = 300;
+    verify::DiffOptions opt;
+    opt.snapshotEvery = 64;
+    const verify::DiffOutcome out = verify::diffRun(p, cfg, opt);
+    EXPECT_TRUE(out.ok());
+    EXPECT_FALSE(out.localized);
+}
+
+TEST(Warmup, ReplaysAreBitIdentical)
+{
+    const Program p = verify::fuzzProgram(7);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.warmupInstrs = 200;
+    const verify::DiffOutcome a = verify::diffRun(p, cfg);
+    const verify::DiffOutcome b = verify::diffRun(p, cfg);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.streamHash, b.streamHash);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committedCore, b.committedCore);
+}
+
+TEST(Warmup, CommitCountEqualsTheFunctionalSuffix)
+{
+    // The timing run after a warmup of N must commit exactly what the
+    // functional model executes after the same fast-forward — including
+    // when N overshoots the program (warmup stops just before HALT and
+    // the core still commits at least the HALT itself).
+    const Program p = verify::fuzzProgram(11);
+
+    FunctionalExecutor whole(p);
+    whole.run(~std::uint64_t{0} >> 1);
+    ASSERT_TRUE(whole.halted());
+    const std::uint64_t total = whole.instCount();
+
+    for (const std::uint64_t warm :
+         {std::uint64_t{100}, total - 1, total + 1000000}) {
+        FunctionalExecutor ff(p);
+        const std::uint64_t warmDone = fastForward(ff, p, warm);
+        EXPECT_LE(warmDone, warm);
+        EXPECT_LT(warmDone, total);   // never swallows the HALT
+
+        MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+        cfg.core.warmupInstrs = warm;
+        Machine m(cfg, p);
+        const RunResult r = m.run(~std::uint64_t{0}, ~std::uint64_t{0});
+        EXPECT_TRUE(m.core().halted()) << "warm=" << warm;
+        EXPECT_EQ(r.committed, total - warmDone) << "warm=" << warm;
+        EXPECT_GT(r.committed, 0u);
+    }
+}
+
+TEST(Warmup, ZeroWarmupMatchesTheUnwarmedRun)
+{
+    const Program p = verify::fuzzProgram(5);
+    MachineConfig plain = nspConfig(16, PredictorKind::Gshare);
+    MachineConfig zero = plain;
+    zero.core.warmupInstrs = 0;
+
+    const verify::DiffOutcome a = verify::diffRun(p, plain);
+    const verify::DiffOutcome b = verify::diffRun(p, zero);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.streamHash, b.streamHash);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Warmup, InjectedFaultIsStillCaughtThroughWarmup)
+{
+    const Program p = verify::fuzzProgram(42);
+    MachineConfig cfg = nspConfig(16, PredictorKind::Gshare);
+    cfg.core.warmupInstrs = 200;
+    cfg.core.commitFaultAt = 50;   // counts post-warmup commits
+    const verify::DiffOutcome out = verify::diffRun(p, cfg);
+    EXPECT_FALSE(out.ok());
+}
+
+TEST(Warmup, FastForwardStopsBeforeHalt)
+{
+    const Program p = verify::fuzzProgram(3);
+    FunctionalExecutor ex(p);
+    const std::uint64_t done =
+        fastForward(ex, p, ~std::uint64_t{0} >> 1);
+    EXPECT_FALSE(ex.halted());
+    EXPECT_FALSE(warmupCanStep(ex, p));
+    EXPECT_TRUE(p.at(ex.pc() % p.size()).info().isHalt);
+    EXPECT_EQ(ex.instCount(), done);
+
+    // One more architectural step retires the HALT.
+    const StepResult sr = ex.step();
+    EXPECT_TRUE(sr.halted);
+    EXPECT_TRUE(ex.halted());
+}
+
+} // anonymous namespace
+} // namespace msp
