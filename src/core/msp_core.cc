@@ -358,9 +358,12 @@ MspCore::computeRawLcs()
     // the minimum without a branch.
     std::uint64_t dirty = bankDirtyWord;
     bankDirtyWord = 0;
+    if (dirty)
+        ++pathEvents.lcsRecompute;
     while (dirty) {
         const int b = std::countr_zero(dirty);
         dirty &= dirty - 1;
+        ++pathEvents.lcsDirtyBank;
         const auto c = banks[b].lcsContribution();
         bankLcs[b] = c ? *c : SctBank::noHotState;
     }
@@ -400,8 +403,10 @@ MspCore::doCommit()
     // successor StateId of the head entry), so the common all-banks-idle
     // cycle touches only this flat array.
     for (int b = 0; b < numLogRegs; ++b) {
-        if (bankGate[b] < releaseLimit)
+        if (bankGate[b] < releaseLimit) {
+            ++pathEvents.sctGateRelease;
             banks[b].releaseCommitted(releaseLimit);
+        }
     }
 }
 

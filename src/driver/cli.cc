@@ -169,6 +169,7 @@ parseCliArgs(const std::vector<std::string> &args)
     bool checkpointEverySet = false;
     bool repsSet = false;
     bool gatePctSet = false;
+    bool wavesSet = false;
 
     auto value = [&](std::size_t &i) -> const std::string & {
         if (i + 1 >= args.size())
@@ -227,6 +228,17 @@ parseCliArgs(const std::vector<std::string> &args)
             o.bisectExact = true;
         } else if (a == "--reduce") {
             o.reduce = true;
+        } else if (a == "--coverage") {
+            o.coverage = true;
+        } else if (a == "--corpus") {
+            o.corpusPath = value(i);
+        } else if (a == "--waves") {
+            o.waves = parseUnsignedFlag(a, value(i));
+            if (o.waves == 0)
+                throw CliError("--waves needs a value > 0");
+            wavesSet = true;
+        } else if (a == "--tune") {
+            o.tune = true;
         } else if (a == "--checkpoint") {
             o.checkpointPath = value(i);
         } else if (a == "--checkpoint-every") {
@@ -304,6 +316,8 @@ parseCliArgs(const std::vector<std::string> &args)
                              o.bisectExact || o.reduce;
     const bool benchFlags = repsSet || gatePctSet ||
                             !o.baselinePath.empty();
+    const bool coverageFlags = o.coverage || !o.corpusPath.empty() ||
+                               wavesSet || o.tune;
     const bool specSources = !o.machinePath.empty() || !o.sets.empty();
     const bool stateFlags = !o.checkpointPath.empty() ||
                             !o.resumePath.empty() || o.shardCount != 0 ||
@@ -325,7 +339,8 @@ parseCliArgs(const std::vector<std::string> &args)
         if (!o.workloads.empty() || !o.configNames.empty() ||
             !o.mixNames.empty() || predictorSet || seedSet || seedsSet ||
             threadsSet || o.instrs != 0 || !o.csvPath.empty() ||
-            triageFlags || specSources || stateFlags || benchFlags) {
+            triageFlags || specSources || stateFlags || benchFlags ||
+            coverageFlags) {
             throw CliError("merge mode only takes shard reports and "
                            "--json/--quiet");
         }
@@ -340,7 +355,7 @@ parseCliArgs(const std::vector<std::string> &args)
                            "--threads 1 (which pins the CPU) applies");
         }
         if (seedsSet || !o.mixNames.empty() || !o.csvPath.empty() ||
-            triageFlags || specSources || stateFlags) {
+            triageFlags || specSources || stateFlags || coverageFlags) {
             throw CliError("bench mode takes --workloads/--configs/"
                            "--predictor/--instrs/--seed/--reps/"
                            "--baseline/--gate-pct/--json/--quiet/"
@@ -355,7 +370,8 @@ parseCliArgs(const std::vector<std::string> &args)
         }
         if (!o.workloads.empty() || seedsSet || seedSet ||
             !o.mixNames.empty() || !o.csvPath.empty() || triageFlags ||
-            threadsSet || o.instrs != 0 || stateFlags || benchFlags) {
+            threadsSet || o.instrs != 0 || stateFlags || benchFlags ||
+            coverageFlags) {
             throw CliError("spec mode only takes --configs/--machine/"
                            "--set/--predictor/--json/--quiet");
         }
@@ -374,6 +390,9 @@ parseCliArgs(const std::vector<std::string> &args)
         if (benchFlags)
             throw CliError("--reps/--baseline/--gate-pct only apply to "
                            "bench mode");
+        if (coverageFlags)
+            throw CliError("--coverage/--corpus/--waves/--tune only "
+                           "apply to verify mode");
     } else if (o.mode == "verify") {
         if (o.seeds == 0)
             throw CliError("verify mode needs --seeds > 0");
@@ -402,12 +421,23 @@ parseCliArgs(const std::vector<std::string> &args)
         }
         if (!o.reproPath.empty() &&
             (o.failFast || o.budgetSec > 0.0 || threadsSet ||
-             o.bisectExact || o.reduce || stateFlags)) {
+             o.bisectExact || o.reduce || stateFlags || coverageFlags)) {
             throw CliError("--fail-fast/--budget-sec/--threads/"
                            "--bisect-exact/--reduce/--checkpoint/"
-                           "--resume/--shard do not apply to --repro "
+                           "--resume/--shard/--coverage/--corpus/"
+                           "--waves/--tune do not apply to --repro "
                            "replay (it runs every recorded reproducer "
                            "sequentially)");
+        }
+        if (coverageFlags && !o.coverage) {
+            throw CliError("--corpus/--waves/--tune need --coverage "
+                           "(they manage and steer the coverage map)");
+        }
+        if (o.coverage && stateFlags) {
+            throw CliError("--coverage does not combine with "
+                           "--checkpoint/--resume/--shard: wave "
+                           "retuning changes the job list mid-campaign, "
+                           "which checkpoint identity cannot describe");
         }
     } else {
         if (!findScenario(o.mode))
@@ -417,11 +447,13 @@ parseCliArgs(const std::vector<std::string> &args)
         // flags would mislabel the results the user asked for.
         if (!o.workloads.empty() || !o.configNames.empty() ||
             predictorSet || seedSet || seedsSet || !o.mixNames.empty() ||
-            triageFlags || specSources || stateFlags || benchFlags) {
+            triageFlags || specSources || stateFlags || benchFlags ||
+            coverageFlags) {
             throw CliError(csprintf(
                 "--workloads/--configs/--machine/--set/--predictor/"
                 "--seed/--seeds/--mixes/--fail-fast/--snapshot-every/"
                 "--budget-sec/--repro/--bisect-exact/--reduce/"
+                "--coverage/--corpus/--waves/--tune/"
                 "--checkpoint/--resume/--shard/--reps/--baseline/"
                 "--gate-pct only apply to matrix, verify, spec or "
                 "bench mode, not scenario '%s'", o.mode.c_str()));

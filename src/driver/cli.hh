@@ -57,6 +57,12 @@ struct CliOptions
     bool bisectExact = false;          ///< bisect to the first bad commit
     bool reduce = false;               ///< structurally reduce repro programs
 
+    // ---- verify-mode coverage-guided fuzzing (verify/corpus.hh) -----------
+    bool coverage = false;             ///< --coverage: harvest path coverage
+    std::string corpusPath;            ///< --corpus FILE (JSONL corpus)
+    unsigned waves = 1;                ///< --waves N: campaign waves
+    bool tune = false;                 ///< --tune: reweight mixes per wave
+
     // ---- bench-mode knobs -------------------------------------------------
     unsigned reps = 3;                 ///< timed repetitions per config
     std::string baselinePath;          ///< --baseline FILE to gate against

@@ -200,8 +200,14 @@ CoreBase::doRename()
         ++renamed;
     }
 
+    if (renamed > 0)
+        prevStall = StallReason::None;
     if (stalled && renamed == 0) {
         ++renameStallCycles;
+        ++pathEvents.stallEdge[static_cast<unsigned>(prevStall) *
+                                   PathEvents::stallKinds +
+                               static_cast<unsigned>(stallReason)];
+        prevStall = stallReason;
         switch (stallReason) {
           case StallReason::Registers:
             ++regStallCycles;
@@ -283,6 +289,7 @@ CoreBase::doIssueStage()
         Cycle latency = oi.latency;
         if (oi.isLoad) {
             ForwardResult fw = sq.probe(d.seq, d.effAddr);
+            ++pathEvents.sqProbe[static_cast<unsigned>(fw.kind)];
             if (fw.kind == ForwardResult::Kind::Unknown ||
                 fw.kind == ForwardResult::Kind::Stall) {
                 continue;   // retry when the blocking store resolves
@@ -290,6 +297,8 @@ CoreBase::doIssueStage()
             if (!issuePortsAvailable(d) || !fuPool.tryAcquire(FuClass::Mem))
                 continue;
             if (fw.kind == ForwardResult::Kind::Forward) {
+                if (fw.extraLatency > 0)
+                    ++pathEvents.sqL2Forward;
                 d.result = fw.data;
                 latency = 2 + fw.extraLatency;
             } else {
@@ -440,6 +449,14 @@ CoreBase::squashAndRedirect(SeqNum boundary, SeqNum classifySeq, Addr newPc,
     lastFetchLine = invalidAddr;
     lastSquashBoundary = boundary;
     ++recoveries;
+    {
+        // log2 depth bucket: 0 -> [0], 1 -> [1], 2..3 -> [2], ... 64+ -> [7].
+        const std::size_t depth = dead.size();
+        unsigned b = 0;
+        for (std::size_t v = depth; v != 0 && b < 7; v >>= 1)
+            ++b;
+        ++pathEvents.squashDepth[b];
+    }
 
     afterSquash(trigger, exception);
 }
@@ -521,6 +538,10 @@ CoreBase::commitOne()
     if (d.isLoad() && !d.ldqReleased)
         --ldqUsed;
     if (d.isControl) {
+        ++pathEvents.predEdge[(d.predTaken ? 8u : 0u) |
+                              (d.taken ? 4u : 0u) |
+                              (d.mispredicted ? 2u : 0u) |
+                              (d.lowConfidence ? 1u : 0u)];
         // A branch committed through a CPR rollback override was
         // mispredicted by the real predictor: count and train it so.
         const bool predicted = !d.mispredicted && !d.forcedOutcome;
@@ -549,6 +570,7 @@ CoreBase::takeException()
     DynInst trap = *window.front();   // copy: commitOne pops and frees it
     commitOne();
     ++exceptionsTaken;
+    ++pathEvents.exceptionSquash;
     squashAndRedirect(trap.seq, trap.seq, trap.pc + 1, 0, true, trap);
 }
 

@@ -48,6 +48,61 @@ enum class StallReason {
     Checkpoint,   ///< CPR: no checkpoint for a must-checkpoint inst
 };
 
+/**
+ * Raw microarchitectural path-event counters, harvested once per run by
+ * the coverage-guided fuzzer (verify/coverage.{hh,cc}) and folded into
+ * its (feature, bucket) bitmap. Pure observation: every increment sits
+ * on an already-branchy path and never feeds back into timing, so
+ * cycle-for-cycle behaviour is identical with or without a harvester.
+ */
+struct PathEvents
+{
+    /** StallReason cardinality (None..Checkpoint). */
+    static constexpr unsigned stallKinds = 7;
+
+    /**
+     * Rename-stall transition matrix [prev * stallKinds + cur], one
+     * count per fully stalled rename cycle. prev is the reason of the
+     * previous stalled cycle, reset to None whenever rename makes
+     * progress — so the matrix distinguishes "stuck on the IQ after the
+     * store queue" from "stuck on the IQ out of nowhere".
+     */
+    std::array<std::uint64_t, stallKinds * stallKinds> stallEdge{};
+
+    /**
+     * Predictor outcome edges at control commit:
+     * [predTaken*8 + taken*4 + mispredicted*2 + lowConfidence].
+     */
+    std::array<std::uint64_t, 16> predEdge{};
+
+    /**
+     * Squash depth (instructions killed per recovery), log2 buckets:
+     * [0]=0, [1]=1, [2]=2..3, [3]=4..7, ... [7]=64+.
+     */
+    std::array<std::uint64_t, 8> squashDepth{};
+
+    /** Exception-path squashes (takeException). */
+    std::uint64_t exceptionSquash = 0;
+
+    /**
+     * Store-queue probe outcomes at load issue, indexed by
+     * ForwardResult::Kind (None / Forward / Stall / Unknown).
+     */
+    std::array<std::uint64_t, 4> sqProbe{};
+
+    /** Store-to-load forwards served from the L2 region of the SQ. */
+    std::uint64_t sqL2Forward = 0;
+
+    /** MSP: SCT bank release gates opened at commit. */
+    std::uint64_t sctGateRelease = 0;
+
+    /** MSP: dirty banks drained by LCS recomputation. */
+    std::uint64_t lcsDirtyBank = 0;
+
+    /** MSP: LCS recomputations that found at least one dirty bank. */
+    std::uint64_t lcsRecompute = 0;
+};
+
 /** Shared out-of-order core skeleton. */
 class CoreBase
 {
@@ -90,6 +145,9 @@ class CoreBase
         commitTap = static_cast<bool>(commitObserver) ||
                     params.commitFaultAt != 0 || params.observerFaultAt != 0;
     }
+
+    /** Path-event counters accumulated so far (coverage harvesting). */
+    const PathEvents &events() const { return pathEvents; }
 
   protected:
     // ---- per-core policy hooks ------------------------------------------
@@ -281,6 +339,14 @@ class CoreBase
     /** Set by canRename() on failure. */
     StallReason stallReason = StallReason::None;
     int stallBank = -1;
+
+    /** Path-event counters (see PathEvents); subclasses bump the
+     *  MSP-specific fields directly. */
+    PathEvents pathEvents;
+
+    /** Reason of the previous fully stalled rename cycle (None after
+     *  any rename progress) — the row index of the stallEdge matrix. */
+    StallReason prevStall = StallReason::None;
 
     // Run counters surfaced into RunResult.
     std::uint64_t wrongPathExec = 0;

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Coverage-guided campaign corpus, mix auto-tuner and divergence dedup.
+ *
+ * The corpus keeps exactly the (mix, seed) runs whose coverage map
+ * added at least one new (feature, bucket) bit over everything admitted
+ * before — the minimal seed set that reproduces the campaign's whole
+ * path coverage deterministically (every entry carries its full FuzzMix,
+ * so `fuzzProgram(seed, mix)` regenerates the program bit-identically).
+ *
+ * Persistence is JSONL with the driver/state checkpoint conventions: a
+ * header line, one record per entry, atomic rewrite on save, and a torn
+ * *trailing* record on load is quarantined to FILE.torn while anything
+ * torn earlier fails loudly (driver::CheckpointError).
+ *
+ * Admission order is the campaign's submission order — deliberately
+ * sequential, after the parallel wave completes — so the corpus (and
+ * everything tuned from it) is bit-identical at any --threads.
+ */
+
+#ifndef MSPLIB_VERIFY_CORPUS_HH
+#define MSPLIB_VERIFY_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "verify/coverage.hh"
+#include "verify/fuzzer.hh"
+#include "verify/shrink.hh"
+
+namespace msp {
+namespace verify {
+
+/** One coverage-novel run the corpus kept. */
+struct CorpusEntry
+{
+    FuzzMix mix;                 ///< full mix (deterministic replay)
+    std::uint64_t seed = 0;      ///< program-generation seed
+    std::uint64_t wave = 0;      ///< campaign wave that found it
+    std::uint64_t newBits = 0;   ///< bits this entry added at admission
+    CoverageMap coverage;        ///< the run's own map
+};
+
+/** The coverage-novel seed set plus its aggregated map. */
+class Corpus
+{
+  public:
+    /**
+     * Load a corpus file. Returns false when @p path does not exist
+     * (a fresh corpus — not an error). A torn trailing record is
+     * dropped and quarantined to @p path + ".torn".
+     *
+     * @throws driver::CheckpointError when the file is not a corpus,
+     * its (features, buckets) shape does not match this build, or a
+     * non-trailing record is corrupt.
+     */
+    bool load(const std::string &path);
+
+    /** Atomically rewrite @p path (driver::writeFile temp + rename). */
+    void save(const std::string &path) const;
+
+    /**
+     * Offer one run: admitted (true) iff @p cov sets at least one bit
+     * the aggregate lacks; the aggregate absorbs it either way only on
+     * admission (a non-novel run adds nothing by definition).
+     */
+    bool consider(const FuzzMix &mix, std::uint64_t seed,
+                  std::uint64_t wave, const CoverageMap &cov);
+
+    /** Union of every admitted entry's map. */
+    const CoverageMap &aggregate() const { return agg; }
+
+    const std::vector<CorpusEntry> &entries() const { return list; }
+
+    /** Records dropped from the torn tail of the loaded file. */
+    std::size_t tornRecords() const { return torn; }
+
+  private:
+    CoverageMap agg;
+    std::vector<CorpusEntry> list;
+    std::size_t torn = 0;
+};
+
+/**
+ * Between-wave mix auto-tuner: reweight @p base toward the coverage
+ * holes of @p aggregate. Each knob family (control-flow probabilities,
+ * memory aliasing pressure, fp/SCT pressure, …) is boosted in
+ * proportion to how empty its feature group still is, with bounded
+ * jitter from a seeded Rng. A pure function of its arguments — same
+ * (base, aggregate, wave, seed) always returns the same mixes, so
+ * multi-wave campaigns stay bit-identical at any --threads. Returned
+ * mixes are renamed "<name>~w<wave>" so wave jobs (and their generated
+ * program names) stay distinct from wave 0's.
+ */
+std::vector<FuzzMix> tuneMixes(const std::vector<FuzzMix> &base,
+                               const CoverageMap &aggregate,
+                               unsigned wave, std::uint64_t seed);
+
+/** FNV-1a over the opcode sequence of @p p — its control "shape". */
+std::uint64_t programShapeHash(const Program &p);
+
+/**
+ * Canonical identity of one triaged failure:
+ * kind | first_bad_commit | shape hash of the embedded reduced program
+ * ("-" when none is embedded). Two failures with the same key are the
+ * same root cause *as far as the triage that ran can tell* — without
+ * --bisect-exact / --reduce the last two components degenerate and
+ * dedup folds by kind alone.
+ */
+std::string dedupKey(const ShrinkResult &s);
+
+/**
+ * Fold duplicate repros in place: for each dedupKey group, keep the
+ * lowest-jobIndex representative and set its ShrinkResult::duplicates
+ * to the group size (every survivor gets duplicates >= 1). Returns the
+ * number of repros folded away.
+ */
+std::size_t dedupShrinks(std::vector<ShrinkResult> &shrinks);
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_CORPUS_HH

@@ -1,0 +1,183 @@
+#include "verify/coverage.hh"
+
+#include <bit>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "pipeline/core_base.hh"
+
+namespace msp {
+namespace verify {
+
+namespace {
+
+// Feature layout offsets (see the header comment).
+constexpr unsigned stallBase = 0;
+constexpr unsigned predBase = 49;
+constexpr unsigned squashBase = 65;
+constexpr unsigned exceptionFeature = 73;
+constexpr unsigned sqProbeBase = 74;
+constexpr unsigned sqL2Feature = 78;
+constexpr unsigned sctGateFeature = 79;
+constexpr unsigned lcsDirtyFeature = 80;
+constexpr unsigned lcsRecomputeFeature = 81;
+
+static_assert(PathEvents::stallKinds == 7,
+              "coverage layout assumes 7 StallReason values");
+static_assert(stallBase + PathEvents::stallKinds * PathEvents::stallKinds ==
+              predBase);
+static_assert(predBase + 16 == squashBase);
+static_assert(squashBase + 8 == exceptionFeature);
+static_assert(lcsRecomputeFeature + 1 == CoverageMap::numFeatures);
+
+void
+fold(CoverageMap &m, unsigned feature, std::uint64_t count)
+{
+    if (count)
+        m.set(feature, coverageBucket(count));
+}
+
+} // anonymous namespace
+
+std::size_t
+CoverageMap::bitsSet() const
+{
+    std::size_t n = 0;
+    for (const std::uint64_t w : words)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+std::size_t
+CoverageMap::featuresHit() const
+{
+    std::size_t n = 0;
+    for (unsigned f = 0; f < numFeatures; ++f) {
+        const unsigned bit = f * numBuckets;
+        const std::uint64_t byte = (words[bit / 64] >> (bit % 64)) & 0xff;
+        if (byte)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+CoverageMap::newBitsVs(const CoverageMap &base) const
+{
+    std::size_t n = 0;
+    for (unsigned w = 0; w < numWords; ++w)
+        n += static_cast<std::size_t>(
+            std::popcount(words[w] & ~base.words[w]));
+    return n;
+}
+
+std::string
+CoverageMap::toHex() const
+{
+    std::string out;
+    out.reserve(numWords * 16);
+    for (const std::uint64_t w : words)
+        out += csprintf("%016llx", static_cast<unsigned long long>(w));
+    return out;
+}
+
+CoverageMap
+CoverageMap::fromHex(const std::string &hex)
+{
+    if (hex.size() != numWords * 16) {
+        throw json::JsonError(csprintf(
+            "coverage bitmap has %zu hex digits, expected %u", hex.size(),
+            numWords * 16));
+    }
+    CoverageMap m;
+    for (unsigned w = 0; w < numWords; ++w) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 16; ++i) {
+            const char c = hex[w * 16 + i];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A') + 10;
+            else
+                throw json::JsonError(csprintf(
+                    "coverage bitmap has non-hex character at offset %u",
+                    w * 16 + i));
+            v = (v << 4) | digit;
+        }
+        m.words[w] = v;
+    }
+    return m;
+}
+
+unsigned
+coverageBucket(std::uint64_t count)
+{
+    if (count <= 3)
+        return static_cast<unsigned>(count - 1);   // 1, 2, 3 -> 0, 1, 2
+    if (count < 8)
+        return 3;
+    if (count < 16)
+        return 4;
+    if (count < 32)
+        return 5;
+    if (count < 128)
+        return 6;
+    return 7;
+}
+
+FeatureGroup
+featureGroup(unsigned feature)
+{
+    if (feature < predBase)
+        return FeatureGroup::Stall;
+    if (feature < squashBase)
+        return FeatureGroup::Pred;
+    if (feature <= exceptionFeature)
+        return FeatureGroup::Squash;
+    if (feature <= sqL2Feature)
+        return FeatureGroup::Sq;
+    return FeatureGroup::Sct;
+}
+
+double
+groupHitFraction(const CoverageMap &m, FeatureGroup g)
+{
+    std::size_t set = 0;
+    std::size_t total = 0;
+    for (unsigned f = 0; f < CoverageMap::numFeatures; ++f) {
+        if (featureGroup(f) != g)
+            continue;
+        for (unsigned b = 0; b < CoverageMap::numBuckets; ++b) {
+            ++total;
+            set += m.test(f, b) ? 1 : 0;
+        }
+    }
+    return total ? static_cast<double>(set) / static_cast<double>(total)
+                 : 0.0;
+}
+
+CoverageMap
+harvestCoverage(const PathEvents &ev)
+{
+    CoverageMap m;
+    for (unsigned i = 0; i < ev.stallEdge.size(); ++i)
+        fold(m, stallBase + i, ev.stallEdge[i]);
+    for (unsigned i = 0; i < ev.predEdge.size(); ++i)
+        fold(m, predBase + i, ev.predEdge[i]);
+    for (unsigned i = 0; i < ev.squashDepth.size(); ++i)
+        fold(m, squashBase + i, ev.squashDepth[i]);
+    fold(m, exceptionFeature, ev.exceptionSquash);
+    for (unsigned i = 0; i < ev.sqProbe.size(); ++i)
+        fold(m, sqProbeBase + i, ev.sqProbe[i]);
+    fold(m, sqL2Feature, ev.sqL2Forward);
+    fold(m, sctGateFeature, ev.sctGateRelease);
+    fold(m, lcsDirtyFeature, ev.lcsDirtyBank);
+    fold(m, lcsRecomputeFeature, ev.lcsRecompute);
+    return m;
+}
+
+} // namespace verify
+} // namespace msp

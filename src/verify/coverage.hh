@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Path-coverage bitmap for the coverage-guided fuzzer.
+ *
+ * Each differential run harvests the core's PathEvents counters (stall
+ * transitions, predictor outcome edges, squash depths, store-queue
+ * forwarding cases, SCT/LCS activity) into a compact (feature, bucket)
+ * bitset: one feature per counter, AFL-style log2 hit-count classes as
+ * buckets. A run that only pushes a counter from 5 to 6 adds nothing; a
+ * run that first crosses a class boundary (or first touches a feature)
+ * sets a new bit — exactly the novelty signal the corpus keeps.
+ *
+ * Feature index layout (stable; documented in the README and relied on
+ * by the corpus JSONL format):
+ *
+ *   [ 0, 49)  rename-stall transitions, prev * 7 + cur (StallReason)
+ *   [49, 65)  predictor edges, predTaken*8 + taken*4 + misp*2 + lowConf
+ *   [65, 73)  squash-depth log2 buckets
+ *    73       exception-path squashes
+ *   [74, 78)  SQ probe outcomes (None / Forward / Stall / Unknown)
+ *    78       SQ forwards served from the L2 region
+ *    79       SCT bank release gates opened
+ *    80       LCS dirty banks drained
+ *    81       LCS recomputations with dirty banks
+ */
+
+#ifndef MSPLIB_VERIFY_COVERAGE_HH
+#define MSPLIB_VERIFY_COVERAGE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace msp {
+
+struct PathEvents;
+
+namespace verify {
+
+/** Which tuner knob family a feature index belongs to. */
+enum class FeatureGroup { Stall, Pred, Squash, Sq, Sct };
+
+/** Compact (feature, bucket) path-coverage bitset. */
+struct CoverageMap
+{
+    static constexpr unsigned numFeatures = 82;
+    static constexpr unsigned numBuckets = 8;
+    static constexpr unsigned numBits = numFeatures * numBuckets;
+    static constexpr unsigned numWords = (numBits + 63) / 64;
+
+    std::array<std::uint64_t, numWords> words{};
+
+    void
+    set(unsigned feature, unsigned bucket)
+    {
+        const unsigned bit = feature * numBuckets + bucket;
+        words[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    }
+
+    bool
+    test(unsigned feature, unsigned bucket) const
+    {
+        const unsigned bit = feature * numBuckets + bucket;
+        return (words[bit / 64] >> (bit % 64)) & 1;
+    }
+
+    /** Fold @p m into this map (set union; order-independent). */
+    void
+    orWith(const CoverageMap &m)
+    {
+        for (unsigned w = 0; w < numWords; ++w)
+            words[w] |= m.words[w];
+    }
+
+    /** Total (feature, bucket) bits set. */
+    std::size_t bitsSet() const;
+
+    /** Features with at least one bucket bit set. */
+    std::size_t featuresHit() const;
+
+    /** Bits set here that @p base does not have (the novelty count). */
+    std::size_t newBitsVs(const CoverageMap &base) const;
+
+    bool
+    empty() const
+    {
+        for (const std::uint64_t w : words)
+            if (w)
+                return false;
+        return true;
+    }
+
+    bool operator==(const CoverageMap &) const = default;
+
+    /** Fixed-length lowercase hex rendering (numWords * 16 chars). */
+    std::string toHex() const;
+
+    /**
+     * Parse a toHex() rendering.
+     * @throws json::JsonError on wrong length or non-hex characters.
+     */
+    static CoverageMap fromHex(const std::string &hex);
+};
+
+/**
+ * AFL-style log2 hit class of a counter value: 1 -> 0, 2 -> 1, 3 -> 2,
+ * 4..7 -> 3, 8..15 -> 4, 16..31 -> 5, 32..127 -> 6, 128+ -> 7.
+ * Precondition: @p count > 0 (a zero counter sets no bit at all).
+ */
+unsigned coverageBucket(std::uint64_t count);
+
+/** Tuner knob family of feature index @p feature (see layout above). */
+FeatureGroup featureGroup(unsigned feature);
+
+/** Fraction of @p g's (feature, bucket) bits that @p m has set. */
+double groupHitFraction(const CoverageMap &m, FeatureGroup g);
+
+/** Fold one run's PathEvents counters into a coverage map. */
+CoverageMap harvestCoverage(const PathEvents &ev);
+
+} // namespace verify
+} // namespace msp
+
+#endif // MSPLIB_VERIFY_COVERAGE_HH

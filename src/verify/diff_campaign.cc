@@ -200,6 +200,7 @@ DiffCampaign::run(const DiffProgressFn &progress)
             opt.maxInsts = j.maxInsts;
             opt.maxCycles = j.maxCycles;
             opt.snapshotEvery = j.snapshotEvery;
+            opt.collectCoverage = collectCoverage;
             o = diffRun(*j.program, j.config, opt);
             if (failFast && !o.ok())
                 stop.store(true, std::memory_order_relaxed);

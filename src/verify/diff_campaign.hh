@@ -111,6 +111,13 @@ class DiffCampaign
     void setBudgetSec(double seconds) { budgetSec = seconds; }
 
     /**
+     * Harvest each run's path coverage into DiffOutcome::coverage
+     * (DiffOptions::collectCoverage). Observation only — executed
+     * outcomes stay bit-identical with it on or off.
+     */
+    void setCollectCoverage(bool on) { collectCoverage = on; }
+
+    /**
      * Generate every distinct (mix, seed) program, fan the jobs across
      * the pool, and return outcomes in submission order.
      *
@@ -124,6 +131,7 @@ class DiffCampaign
     unsigned requestedThreads;
     bool failFast = false;
     double budgetSec = 0.0;
+    bool collectCoverage = false;
     std::vector<DiffJob> jobs;
     std::vector<std::uint64_t> globalIndex;  ///< empty = identity
     driver::CampaignState *state = nullptr;

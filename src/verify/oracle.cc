@@ -190,6 +190,10 @@ diffRun(const Program &prog, const MachineConfig &config,
     out.committedCore = r.committed;
     out.cycles = r.cycles;
     out.streamHash = coreHash.h;
+    if (opt.collectCoverage) {
+        out.hasCoverage = true;
+        out.coverage = harvestCoverage(m.core().events());
+    }
 
     // ---- cross-checks ----------------------------------------------------
     if (replayed != r.committed) {

@@ -31,6 +31,7 @@
 
 #include "isa/program.hh"
 #include "sim/machine.hh"
+#include "verify/coverage.hh"
 
 namespace msp {
 namespace verify {
@@ -105,6 +106,13 @@ struct DiffOptions
      * after exactly N commits?" for an arbitrary N inside a bad window.
      */
     std::uint64_t probeCommit = 0;
+
+    /**
+     * Harvest the core's PathEvents counters into
+     * DiffOutcome::coverage after the timing run. Pure observation —
+     * the run itself is bit-identical either way.
+     */
+    bool collectCoverage = false;
 };
 
 /** Outcome of one differential run (one program on one machine). */
@@ -141,6 +149,12 @@ struct DiffOutcome
     bool exactLocalized = false;      ///< bisection converged to one commit
     std::uint64_t firstBadCommit = 0; ///< 1-based index of the first
                                       ///< divergent commit (exact only)
+
+    // ---- path coverage (DiffOptions::collectCoverage only) ---------------
+    bool hasCoverage = false;         ///< coverage was harvested
+    CoverageMap coverage;             ///< (feature, bucket) bits this run hit
+    bool covNovel = false;            ///< run was admitted to the corpus
+    std::uint64_t covNewBits = 0;     ///< bits new vs the corpus at admission
 
     std::vector<Divergence> divergences;
 

@@ -302,9 +302,90 @@ reduceDivergence(const Program &prog, const MachineConfig &config,
         }
     }
 
+    // ---- data tier: memory geometry, then unread init words --------------
+    // Block deletion shrinks code; the embedded repro also carries a
+    // data footprint (memWords geometry + init_data image). Both are
+    // validated the same way as deletions — a smaller address mask
+    // changes where every access lands, and even an architecturally
+    // inert zeroing can perturb wrong-path load values and thus timing.
+    const auto validateImage = [&](Candidate &c, Program cand) {
+        c.evaluated = true;
+        c.prog = std::move(cand);
+        FunctionalExecutor ref(c.prog);
+        ref.run(dynCap);
+        if (!ref.halted())
+            return;
+        c.dyn = ref.instCount();
+        c.out = diffRun(c.prog, config, dopt);
+        c.kind = sharedDivergenceKind(orig, c.out);
+        c.ok = !c.kind.empty();
+    };
+    const auto accept = [&](Candidate &c) {
+        cur = std::move(c.prog);
+        res.outcome = std::move(c.out);
+        res.kind = std::move(c.kind);
+        res.reducedDynamic = c.dyn;
+    };
+
+    res.memWordsBefore = cur.memWords;
+    while (cur.memWords >= 2 && res.attempts < opt.maxAttempts &&
+           Clock::now() < deadline) {
+        Program cand = cur;
+        cand.memWords /= 2;   // stays a power of two
+        if (cand.initData.size() > cand.memWords)
+            cand.initData.resize(cand.memWords);
+        ++res.attempts;
+        Candidate c;
+        validateImage(c, std::move(cand));
+        if (!c.ok)
+            break;
+        accept(c);
+    }
+    res.memWordsAfter = cur.memWords;
+
+    bool initShrank = false;
+    if (!cur.initData.empty() && res.attempts < opt.maxAttempts &&
+        Clock::now() < deadline) {
+        // Words the functional run never loads cannot reach the
+        // committed stream: zero them and drop the zero tail.
+        std::vector<bool> read(cur.memWords, false);
+        FunctionalExecutor ref(cur);
+        while (!ref.halted() && ref.instCount() < dynCap) {
+            const StepResult sr = ref.step();
+            if (sr.isLoad) {
+                read[static_cast<std::size_t>(
+                    (sr.memAddr & cur.addrMask()) / wordBytes)] = true;
+            }
+        }
+        Program cand = cur;
+        std::size_t zeroed = 0;
+        for (std::size_t w = 0; w < cand.initData.size(); ++w) {
+            if (!read[w] && cand.initData[w] != 0) {
+                cand.initData[w] = 0;
+                ++zeroed;
+            }
+        }
+        while (!cand.initData.empty() && cand.initData.back() == 0)
+            cand.initData.pop_back();
+        if (zeroed != 0 || cand.initData.size() != cur.initData.size()) {
+            ++res.attempts;
+            Candidate c;
+            validateImage(c, std::move(cand));
+            if (c.ok) {
+                accept(c);
+                res.zeroedWords = zeroed;
+                initShrank = true;
+            }
+        }
+    }
+    res.dataReduced =
+        res.memWordsAfter < res.memWordsBefore || initShrank;
+
     res.program = std::move(cur);
     res.reducedStatic = res.program.code.size();
-    res.reduced = res.reducedStatic < res.origStatic;
+    // The embedded image is the replay authority whenever it differs
+    // from the mix-shrunk program — structurally or in its data tier.
+    res.reduced = res.reducedStatic < res.origStatic || res.dataReduced;
     return res;
 }
 

@@ -76,6 +76,12 @@ struct ReduceResult
     std::uint64_t reducedDynamic = 0; ///< output functional length
     unsigned attempts = 0;            ///< candidate evaluations spent
     unsigned rounds = 0;              ///< fixpoint rounds completed
+
+    // ---- data tier (after structural reduction) --------------------------
+    bool dataReduced = false;         ///< memory geometry / init data shrank
+    std::size_t memWordsBefore = 0;   ///< input memory geometry (words)
+    std::size_t memWordsAfter = 0;    ///< output memory geometry (words)
+    std::size_t zeroedWords = 0;      ///< init words proven unread, zeroed
 };
 
 /**

@@ -52,10 +52,8 @@ mixToJson(const FuzzMix &m)
     return out;
 }
 
-namespace {
-
 FuzzMix
-parseMix(const std::string &obj)
+mixFromJson(const std::string &obj)
 {
     FuzzMix m;
     m.name = getStr(obj, "name", m.name);
@@ -87,6 +85,8 @@ parseMix(const std::string &obj)
     m.targetDynamic = getU64(obj, "target_dynamic", m.targetDynamic);
     return m;
 }
+
+namespace {
 
 /** Opcode whose mnemonic is @p name; false when unknown. */
 bool
@@ -266,7 +266,8 @@ countSkipped(const std::vector<DiffOutcome> &outcomes)
 
 std::string
 toJson(const std::vector<DiffOutcome> &outcomes,
-       const std::vector<ShrinkResult> &shrinks)
+       const std::vector<ShrinkResult> &shrinks,
+       const CoverageReport &coverage)
 {
     using driver::jsonEscape;
 
@@ -284,6 +285,28 @@ toJson(const std::vector<DiffOutcome> &outcomes,
     if (shrinkTimedOut)
         out += csprintf("    \"shrink_timed_out\": %zu,\n",
                         shrinkTimedOut);
+    if (coverage.enabled) {
+        out += csprintf("    \"coverage\": {\"features\": %u, "
+                        "\"buckets\": %u, \"features_hit\": %llu, "
+                        "\"bits_set\": %llu, \"novel_runs\": %llu, "
+                        "\"corpus_entries\": %llu, \"waves\": %u, "
+                        "\"wave_bits\": [",
+                        CoverageMap::numFeatures, CoverageMap::numBuckets,
+                        static_cast<unsigned long long>(
+                            coverage.featuresHit),
+                        static_cast<unsigned long long>(coverage.bitsSet),
+                        static_cast<unsigned long long>(
+                            coverage.novelRuns),
+                        static_cast<unsigned long long>(
+                            coverage.corpusEntries),
+                        coverage.waves);
+        for (std::size_t w = 0; w < coverage.waveBits.size(); ++w) {
+            out += csprintf("%s%llu", w ? ", " : "",
+                            static_cast<unsigned long long>(
+                                coverage.waveBits[w]));
+        }
+        out += "]},\n";
+    }
     out += "    \"results\": [";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const DiffOutcome &o = outcomes[i];
@@ -327,6 +350,17 @@ toJson(const std::vector<DiffOutcome> &outcomes,
             out += csprintf("\"first_bad_commit\": %llu, ",
                             static_cast<unsigned long long>(
                                 o.firstBadCommit));
+        }
+        // Coverage only when harvested: a fixed {"hit": 0} on plain
+        // runs would read as "this run touched nothing".
+        if (o.hasCoverage) {
+            out += csprintf("\"coverage\": {\"hit\": %zu, "
+                            "\"total\": %u, \"new_bits\": %llu, "
+                            "\"novel\": %s}, ",
+                            o.coverage.featuresHit(),
+                            CoverageMap::numFeatures,
+                            static_cast<unsigned long long>(o.covNewBits),
+                            o.covNovel ? "true" : "false");
         }
         out += "\"divergences\": [";
         for (std::size_t d = 0; d < o.divergences.size(); ++d) {
@@ -379,6 +413,13 @@ toJson(const std::vector<DiffOutcome> &outcomes,
         }
         if (s.timedOut)
             out += "\"timed_out\": true, ";
+        // Only for actual folds: "duplicates": 1 on every repro would
+        // just restate "this row exists".
+        if (s.duplicates >= 2) {
+            out += csprintf("\"duplicates\": %llu, ",
+                            static_cast<unsigned long long>(
+                                s.duplicates));
+        }
         out += csprintf("\"reproduced\": %s, \"shrunk\": %s, ",
                         s.reproduced ? "true" : "false",
                         s.shrunk ? "true" : "false");
@@ -440,6 +481,12 @@ outcomeToJson(const DiffOutcome &o)
                     o.exactLocalized ? "true" : "false");
     out += csprintf("\"first_bad_commit\": %llu, ",
                     u64(o.firstBadCommit));
+    // Novelty (covNovel/covNewBits) is deliberately not persisted: it
+    // is relative to the corpus, which the campaign recomputes in
+    // submission order on every run.
+    out += csprintf("\"has_coverage\": %s, ",
+                    o.hasCoverage ? "true" : "false");
+    out += csprintf("\"coverage\": \"%s\", ", o.coverage.toHex().c_str());
     out += "\"divergences\": [";
     for (std::size_t d = 0; d < o.divergences.size(); ++d) {
         out += d ? ", {" : "{";
@@ -481,6 +528,16 @@ outcomeFromJson(const std::string &doc)
     o.badWindowHi = getU64(doc, "bad_window_hi", 0);
     o.exactLocalized = json::getBool(doc, "exact_localized", false);
     o.firstBadCommit = getU64(doc, "first_bad_commit", 0);
+    // Same no-silent-garbage rule as stream_hash: a malformed bitmap
+    // must throw (json::JsonError from fromHex), never decode as "this
+    // run covered nothing" — that would poison the corpus aggregate.
+    o.hasCoverage = json::getBool(doc, "has_coverage", false);
+    const std::string cov = getStr(doc, "coverage");
+    if (!cov.empty())
+        o.coverage = CoverageMap::fromHex(cov);
+    else if (o.hasCoverage)
+        throw json::JsonError(
+            "outcome has_coverage set without a coverage bitmap");
     const std::size_t divAt = valuePos(doc, "divergences");
     if (divAt != std::string::npos && divAt < doc.size() &&
         doc[divAt] == '[') {
@@ -547,7 +604,7 @@ parseRepros(const std::string &json)
             }
             const std::size_t mixAt = valuePos(obj, "mix");
             if (mixAt != std::string::npos && obj[mixAt] == '{')
-                spec.mix = parseMix(balancedSlice(obj, mixAt));
+                spec.mix = mixFromJson(balancedSlice(obj, mixAt));
             // A structurally reduced image is the program authority:
             // like the machine spec, it must parse or fail loudly
             // (programFromJson throws SpecError) — regenerating from

@@ -23,12 +23,34 @@ namespace msp {
 namespace verify {
 
 /**
+ * Campaign-level coverage summary for toJson (default: disabled, in
+ * which case the report is byte-identical to the pre-coverage schema).
+ */
+struct CoverageReport
+{
+    bool enabled = false;           ///< emit the "coverage" object at all
+    unsigned waves = 1;             ///< campaign waves run
+    std::uint64_t featuresHit = 0;  ///< features with >=1 bucket hit
+    std::uint64_t bitsSet = 0;      ///< aggregate (feature, bucket) bits
+    std::uint64_t novelRuns = 0;    ///< runs admitted to the corpus
+    std::uint64_t corpusEntries = 0;///< corpus size after this campaign
+
+    /** Cumulative aggregate bits after each wave (strictly growing
+     *  iff every wave reached something new). */
+    std::vector<std::uint64_t> waveBits;
+};
+
+/**
  * Serialise outcomes (plus any shrink results) as one JSON document:
  * {"verify": {"jobs": N, "divergent": M, "skipped": K,
- *             "results": [...], "repros": [...]}}.
+ *             "results": [...], "repros": [...]}}. With
+ * @p coverage.enabled, a "coverage" summary object and per-row
+ * "coverage" objects (features hit, new bits, novelty) are added, and
+ * repros folded by dedupShrinks carry their "duplicates" count.
  */
 std::string toJson(const std::vector<DiffOutcome> &outcomes,
-                   const std::vector<ShrinkResult> &shrinks = {});
+                   const std::vector<ShrinkResult> &shrinks = {},
+                   const CoverageReport &coverage = {});
 
 /**
  * Parse the "repros" array back out of a toJson() document (the
@@ -64,6 +86,12 @@ Program programFromJson(const std::string &json);
  * back). Also the mix component of diffJobKey's identity string.
  */
 std::string mixToJson(const FuzzMix &m);
+
+/**
+ * Parse a mixToJson() object back into a FuzzMix (absent keys keep
+ * their defaults). Shared by the repro parser and the corpus loader.
+ */
+FuzzMix mixFromJson(const std::string &obj);
 
 /**
  * Serialise / parse one DiffOutcome as a checkpoint payload

@@ -150,6 +150,14 @@ struct ShrinkResult
                                       ///< the mix-shrunk program
     std::uint64_t reducedStatic = 0;  ///< reduced static instructions
     std::uint64_t reducedDynamic = 0; ///< reduced dynamic length
+
+    // ---- divergence dedup (verify/corpus.hh, --coverage) -----------------
+    /**
+     * Size of this repro's dedup group — how many failures folded into
+     * this one representative (>= 2 on an actual fold). 0 = dedup did
+     * not run.
+     */
+    std::uint64_t duplicates = 0;
 };
 
 /**

@@ -437,6 +437,77 @@ TEST(ParseCliArgs, CampaignStateFlagErrors)
                  CliError);
 }
 
+TEST(ParseCliArgs, CoverageFlags)
+{
+    const CliOptions o = parseCliArgs(
+        {"verify", "--coverage", "--corpus", "corpus.jsonl", "--waves",
+         "3", "--tune"});
+    EXPECT_TRUE(o.coverage);
+    EXPECT_EQ(o.corpusPath, "corpus.jsonl");
+    EXPECT_EQ(o.waves, 3u);
+    EXPECT_TRUE(o.tune);
+
+    // Defaults: coverage off, one wave, no corpus, no tuning.
+    const CliOptions d = parseCliArgs({"verify"});
+    EXPECT_FALSE(d.coverage);
+    EXPECT_TRUE(d.corpusPath.empty());
+    EXPECT_EQ(d.waves, 1u);
+    EXPECT_FALSE(d.tune);
+
+    // --coverage alone is a valid single-wave campaign.
+    EXPECT_TRUE(parseCliArgs({"verify", "--coverage"}).coverage);
+}
+
+TEST(ParseCliArgs, CoverageFlagErrors)
+{
+    // Values are checked and the error names the flag.
+    EXPECT_THROW(parseCliArgs({"verify", "--coverage", "--waves", "2x"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--coverage", "--waves", "-1"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--corpus"}), CliError);
+    try {
+        parseCliArgs({"verify", "--coverage", "--waves", "0"});
+        FAIL() << "expected CliError";
+    } catch (const CliError &e) {
+        EXPECT_NE(std::string(e.what()).find("--waves"),
+                  std::string::npos);
+    }
+
+    // --corpus/--waves/--tune steer the coverage map; without
+    // --coverage there is nothing to steer.
+    EXPECT_THROW(parseCliArgs({"verify", "--corpus", "c.jsonl"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--waves", "2"}), CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--tune"}), CliError);
+
+    // Coverage is a verify-campaign feature: every other mode — and
+    // --repro replay — rejects it.
+    EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
+                               "--configs", "cpr", "--coverage"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"bench", "--coverage"}), CliError);
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "cpr", "--tune"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"fig6", "--coverage"}), CliError);
+    EXPECT_THROW(parseCliArgs({"merge", "a.json", "--coverage"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--repro", "d.json",
+                               "--coverage"}),
+                 CliError);
+
+    // Wave retuning changes the job list mid-campaign, which durable
+    // checkpoint identity cannot describe.
+    EXPECT_THROW(parseCliArgs({"verify", "--coverage", "--checkpoint",
+                               "c.jsonl"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--coverage", "--resume",
+                               "c.jsonl"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--coverage", "--shard", "0/2"}),
+                 CliError);
+}
+
 TEST(ParseCliArgs, MergeMode)
 {
     const CliOptions o =

@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Coverage-guided fuzzing subsystem tests (verify/coverage.hh,
+ * verify/corpus.hh): bitmap semantics and hex codec, harvest
+ * determinism across thread counts, corpus novelty admission and JSONL
+ * persistence (incl. torn-tail quarantine), tuner purity and knob
+ * bounds, and divergence dedup folding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/json.hh"
+#include "driver/report.hh"
+#include "driver/state.hh"
+#include "isa/program.hh"
+#include "pipeline/core_base.hh"
+#include "sim/presets.hh"
+#include "verify/corpus.hh"
+#include "verify/coverage.hh"
+#include "verify/diff_campaign.hh"
+#include "verify/fuzzer.hh"
+#include "verify/report.hh"
+
+namespace msp {
+namespace {
+
+using driver::CheckpointError;
+using json::JsonError;
+using verify::Corpus;
+using verify::CoverageMap;
+using verify::coverageBucket;
+using verify::dedupShrinks;
+using verify::FeatureGroup;
+using verify::FuzzMix;
+using verify::groupHitFraction;
+using verify::harvestCoverage;
+using verify::programShapeHash;
+using verify::ShrinkResult;
+using verify::tuneMixes;
+
+// ---------------------------------------------------------------------------
+// CoverageMap
+
+TEST(CoverageMap, SetTestAndCounts)
+{
+    CoverageMap m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.bitsSet(), 0u);
+    EXPECT_EQ(m.featuresHit(), 0u);
+
+    m.set(0, 0);
+    m.set(0, 7);
+    m.set(CoverageMap::numFeatures - 1, 3);
+    EXPECT_TRUE(m.test(0, 0));
+    EXPECT_TRUE(m.test(0, 7));
+    EXPECT_FALSE(m.test(0, 1));
+    EXPECT_EQ(m.bitsSet(), 3u);
+    EXPECT_EQ(m.featuresHit(), 2u);  // feature 0 counts once
+
+    CoverageMap base;
+    base.set(0, 0);
+    EXPECT_EQ(m.newBitsVs(base), 2u);
+    EXPECT_EQ(base.newBitsVs(m), 0u);
+
+    base.orWith(m);
+    EXPECT_EQ(base.bitsSet(), 3u);
+    EXPECT_EQ(m.newBitsVs(base), 0u);
+}
+
+TEST(CoverageMap, BucketsAreAflLog2Classes)
+{
+    EXPECT_EQ(coverageBucket(1), 0u);
+    EXPECT_EQ(coverageBucket(2), 1u);
+    EXPECT_EQ(coverageBucket(3), 2u);
+    EXPECT_EQ(coverageBucket(4), 3u);
+    EXPECT_EQ(coverageBucket(7), 3u);
+    EXPECT_EQ(coverageBucket(8), 4u);
+    EXPECT_EQ(coverageBucket(15), 4u);
+    EXPECT_EQ(coverageBucket(16), 5u);
+    EXPECT_EQ(coverageBucket(31), 5u);
+    EXPECT_EQ(coverageBucket(32), 6u);
+    EXPECT_EQ(coverageBucket(127), 6u);
+    EXPECT_EQ(coverageBucket(128), 7u);
+    EXPECT_EQ(coverageBucket(~std::uint64_t{0}), 7u);
+}
+
+TEST(CoverageMap, HexRoundTripsExactly)
+{
+    CoverageMap m;
+    m.set(0, 0);
+    m.set(48, 6);
+    m.set(81, 7);
+    const std::string hex = m.toHex();
+    EXPECT_EQ(hex.size(), CoverageMap::numWords * 16u);
+    EXPECT_EQ(CoverageMap::fromHex(hex), m);
+    EXPECT_EQ(CoverageMap::fromHex(CoverageMap{}.toHex()), CoverageMap{});
+}
+
+TEST(CoverageMap, FromHexRejectsMalformedInput)
+{
+    const std::string good = CoverageMap{}.toHex();
+    EXPECT_THROW(CoverageMap::fromHex(""), JsonError);
+    EXPECT_THROW(CoverageMap::fromHex(good.substr(1)), JsonError);
+    EXPECT_THROW(CoverageMap::fromHex(good + "0"), JsonError);
+    std::string bad = good;
+    bad[5] = 'g';
+    EXPECT_THROW(CoverageMap::fromHex(bad), JsonError);
+    bad = good;
+    bad[0] = ' ';
+    EXPECT_THROW(CoverageMap::fromHex(bad), JsonError);
+}
+
+TEST(CoverageMap, HarvestFoldsCountersIntoBuckets)
+{
+    // A zeroed counter block sets no bit at all.
+    PathEvents ev{};
+    EXPECT_TRUE(harvestCoverage(ev).empty());
+
+    ev.stallEdge[0] = 1;        // feature 0, count 1 -> bucket 0
+    ev.predEdge[3] = 8;         // feature 49 + 3, count 8 -> bucket 4
+    ev.squashDepth[2] = 200;    // feature 65 + 2 -> bucket 7
+    ev.exceptionSquash = 2;     // feature 73 -> bucket 1
+    ev.sqProbe[1] = 3;          // feature 74 + 1 -> bucket 2
+    ev.sqL2Forward = 5;         // feature 78 -> bucket 3
+    ev.sctGateRelease = 16;     // feature 79 -> bucket 5
+    ev.lcsDirtyBank = 40;       // feature 80 -> bucket 6
+    ev.lcsRecompute = 1;        // feature 81 -> bucket 0
+    const CoverageMap m = harvestCoverage(ev);
+    EXPECT_TRUE(m.test(0, 0));
+    EXPECT_TRUE(m.test(49 + 3, 4));
+    EXPECT_TRUE(m.test(65 + 2, 7));
+    EXPECT_TRUE(m.test(73, 1));
+    EXPECT_TRUE(m.test(74 + 1, 2));
+    EXPECT_TRUE(m.test(78, 3));
+    EXPECT_TRUE(m.test(79, 5));
+    EXPECT_TRUE(m.test(80, 6));
+    EXPECT_TRUE(m.test(81, 0));
+    EXPECT_EQ(m.bitsSet(), 9u);
+    EXPECT_EQ(m.featuresHit(), 9u);
+}
+
+TEST(FeatureGroups, PartitionTheLayout)
+{
+    EXPECT_EQ(verify::featureGroup(0), FeatureGroup::Stall);
+    EXPECT_EQ(verify::featureGroup(48), FeatureGroup::Stall);
+    EXPECT_EQ(verify::featureGroup(49), FeatureGroup::Pred);
+    EXPECT_EQ(verify::featureGroup(64), FeatureGroup::Pred);
+    EXPECT_EQ(verify::featureGroup(65), FeatureGroup::Squash);
+    EXPECT_EQ(verify::featureGroup(73), FeatureGroup::Squash);
+    EXPECT_EQ(verify::featureGroup(74), FeatureGroup::Sq);
+    EXPECT_EQ(verify::featureGroup(78), FeatureGroup::Sq);
+    EXPECT_EQ(verify::featureGroup(79), FeatureGroup::Sct);
+    EXPECT_EQ(verify::featureGroup(81), FeatureGroup::Sct);
+
+    CoverageMap m;
+    EXPECT_DOUBLE_EQ(groupHitFraction(m, FeatureGroup::Sct), 0.0);
+    // All 8 buckets of all 3 Sct features: fraction 1.
+    for (unsigned f = 79; f <= 81; ++f)
+        for (unsigned b = 0; b < CoverageMap::numBuckets; ++b)
+            m.set(f, b);
+    EXPECT_DOUBLE_EQ(groupHitFraction(m, FeatureGroup::Sct), 1.0);
+    EXPECT_DOUBLE_EQ(groupHitFraction(m, FeatureGroup::Stall), 0.0);
+}
+
+// The bitmap a campaign harvests must not depend on worker scheduling:
+// same sweep at 1 and 4 threads, same maps bit for bit.
+TEST(CoverageHarvest, DeterministicAcrossThreadCounts)
+{
+    const std::vector<FuzzMix> mixes = {*verify::findMix("mixed")};
+    const std::vector<MachineConfig> cfgs = {
+        presetByName("16sp", PredictorKind::Gshare)};
+
+    const auto sweep = [&](unsigned threads) {
+        verify::DiffCampaign c(threads);
+        c.addSweep(mixes, 3, 7, cfgs, 40000);
+        c.setCollectCoverage(true);
+        return c.run();
+    };
+    const auto a = sweep(1);
+    const auto b = sweep(4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i].hasCoverage);
+        ASSERT_TRUE(b[i].hasCoverage);
+        EXPECT_FALSE(a[i].coverage.empty());
+        EXPECT_EQ(a[i].coverage, b[i].coverage);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+
+struct TempCorpus
+{
+    std::string path;
+    explicit TempCorpus(const char *name)
+        : path(std::string("/tmp/msp_test_") + name + ".jsonl")
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".torn").c_str());
+    }
+    ~TempCorpus()
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".torn").c_str());
+    }
+};
+
+TEST(Corpus, AdmitsOnlyCoverageNovelRuns)
+{
+    const FuzzMix mix = *verify::findMix("mixed");
+    Corpus c;
+
+    CoverageMap m1;
+    m1.set(0, 0);
+    m1.set(5, 3);
+    EXPECT_TRUE(c.consider(mix, 1, 0, m1));
+    // Identical map: nothing new, rejected.
+    EXPECT_FALSE(c.consider(mix, 2, 0, m1));
+    // A subset: rejected too.
+    CoverageMap sub;
+    sub.set(5, 3);
+    EXPECT_FALSE(c.consider(mix, 3, 0, sub));
+    // One fresh bit is enough.
+    CoverageMap m2 = m1;
+    m2.set(7, 1);
+    EXPECT_TRUE(c.consider(mix, 4, 1, m2));
+    // An all-zero map is never novel.
+    EXPECT_FALSE(c.consider(mix, 5, 1, CoverageMap{}));
+
+    ASSERT_EQ(c.entries().size(), 2u);
+    EXPECT_EQ(c.entries()[0].newBits, 2u);
+    EXPECT_EQ(c.entries()[1].newBits, 1u);
+    EXPECT_EQ(c.entries()[1].seed, 4u);
+    EXPECT_EQ(c.entries()[1].wave, 1u);
+    EXPECT_EQ(c.aggregate().bitsSet(), 3u);
+}
+
+TEST(Corpus, JsonlRoundTripsExactly)
+{
+    TempCorpus f("corpus_roundtrip");
+    Corpus c;
+    CoverageMap m1;
+    m1.set(3, 2);
+    CoverageMap m2;
+    m2.set(80, 7);
+    FuzzMix tuned = *verify::findMix("branchy");
+    tuned.name = "branchy~w1";
+    tuned.condProb = 0.625;
+    ASSERT_TRUE(c.consider(*verify::findMix("mixed"), 11, 0, m1));
+    ASSERT_TRUE(c.consider(tuned, 22, 1, m2));
+    c.save(f.path);
+
+    Corpus r;
+    ASSERT_TRUE(r.load(f.path));
+    EXPECT_EQ(r.tornRecords(), 0u);
+    ASSERT_EQ(r.entries().size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(r.entries()[i].seed, c.entries()[i].seed);
+        EXPECT_EQ(r.entries()[i].wave, c.entries()[i].wave);
+        EXPECT_EQ(r.entries()[i].newBits, c.entries()[i].newBits);
+        EXPECT_EQ(r.entries()[i].coverage, c.entries()[i].coverage);
+        EXPECT_EQ(verify::mixToJson(r.entries()[i].mix),
+                  verify::mixToJson(c.entries()[i].mix));
+    }
+    EXPECT_EQ(r.aggregate(), c.aggregate());
+
+    // Save of the reloaded corpus is byte-identical.
+    TempCorpus g("corpus_roundtrip2");
+    r.save(g.path);
+    EXPECT_EQ(driver::readFile(f.path), driver::readFile(g.path));
+}
+
+TEST(Corpus, MissingFileIsAFreshCorpus)
+{
+    Corpus c;
+    EXPECT_FALSE(c.load("/tmp/msp_test_no_such_corpus.jsonl"));
+    EXPECT_TRUE(c.entries().empty());
+}
+
+TEST(Corpus, TornTrailingRecordIsQuarantinedNotFatal)
+{
+    TempCorpus f("corpus_torn");
+    Corpus c;
+    CoverageMap m1, m2;
+    m1.set(1, 1);
+    m2.set(2, 2);
+    ASSERT_TRUE(c.consider(*verify::findMix("mixed"), 1, 0, m1));
+    ASSERT_TRUE(c.consider(*verify::findMix("mixed"), 2, 0, m2));
+    c.save(f.path);
+
+    // Chop the tail mid-record: a crash between write and newline.
+    const std::string content = driver::readFile(f.path);
+    driver::writeFile(f.path, content.substr(0, content.size() - 9));
+
+    Corpus r;
+    ASSERT_TRUE(r.load(f.path));
+    ASSERT_EQ(r.entries().size(), 1u);
+    EXPECT_EQ(r.entries()[0].seed, 1u);
+    EXPECT_EQ(r.tornRecords(), 1u);
+    // The torn bytes are quarantined next to the corpus.
+    std::string torn;
+    ASSERT_TRUE(driver::tryReadFile(f.path + ".torn", torn));
+    EXPECT_NE(torn.find("\"seed\": 2"), std::string::npos);
+}
+
+TEST(Corpus, MidFileCorruptionThrows)
+{
+    TempCorpus f("corpus_corrupt");
+    Corpus c;
+    CoverageMap m1, m2;
+    m1.set(1, 1);
+    m2.set(2, 2);
+    ASSERT_TRUE(c.consider(*verify::findMix("mixed"), 1, 0, m1));
+    ASSERT_TRUE(c.consider(*verify::findMix("mixed"), 2, 0, m2));
+    c.save(f.path);
+
+    // Garble the *first* record (not the tail): unrecoverable.
+    std::string content = driver::readFile(f.path);
+    const std::size_t at = content.find("\"seed\": 1");
+    ASSERT_NE(at, std::string::npos);
+    content.replace(at, 9, "\"sXXd\": 1");
+    driver::writeFile(f.path, content);
+    Corpus r;
+    EXPECT_THROW(r.load(f.path), CheckpointError);
+}
+
+TEST(Corpus, RejectsForeignAndMismatchedFiles)
+{
+    TempCorpus f("corpus_foreign");
+    // Not a corpus at all.
+    driver::writeFile(f.path, "{\"msp_checkpoint\": 1}\n");
+    {
+        Corpus r;
+        EXPECT_THROW(r.load(f.path), CheckpointError);
+    }
+    // A corpus from a build with a different coverage shape: the
+    // bitmaps are uninterpretable, not quietly truncatable.
+    driver::writeFile(f.path, "{\"msp_corpus\": 1, \"features\": 10, "
+                              "\"buckets\": 8, \"entries\": 0}\n");
+    {
+        Corpus r;
+        EXPECT_THROW(r.load(f.path), CheckpointError);
+    }
+    // An empty file is not a corpus either.
+    driver::writeFile(f.path, "");
+    {
+        Corpus r;
+        EXPECT_THROW(r.load(f.path), CheckpointError);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mix auto-tuner
+
+TEST(TuneMixes, IsAPureFunctionOfItsArguments)
+{
+    CoverageMap agg;
+    agg.set(0, 0);  // a lone Stall bit; everything else is a hole
+    const auto a = tuneMixes(verify::standardMixes(), agg, 1, 42);
+    const auto b = tuneMixes(verify::standardMixes(), agg, 1, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(verify::mixToJson(a[i]), verify::mixToJson(b[i]));
+
+    // A different wave (or seed) tunes differently.
+    const auto c = tuneMixes(verify::standardMixes(), agg, 2, 42);
+    EXPECT_NE(verify::mixToJson(a[0]), verify::mixToJson(c[0]));
+}
+
+TEST(TuneMixes, RenamesAndKeepsKnobsInRange)
+{
+    const auto tuned = tuneMixes(verify::standardMixes(), CoverageMap{},
+                                 3, 7);
+    const auto base = verify::standardMixes();
+    ASSERT_EQ(tuned.size(), base.size());
+    for (std::size_t i = 0; i < tuned.size(); ++i) {
+        const FuzzMix &t = tuned[i];
+        EXPECT_EQ(t.name, base[i].name + "~w3");
+        EXPECT_GE(t.condProb, 0.0);
+        EXPECT_LE(t.condProb, 0.9);
+        EXPECT_LE(t.indirectProb, 1.0);
+        EXPECT_LE(t.callProb, 0.5);
+        EXPECT_LE(t.loopProb, 0.8);
+        EXPECT_LE(t.trapProb, 0.05);
+        EXPECT_LE(t.hotProb, 0.95);
+        EXPECT_GE(t.weights.load, 0.05);
+        EXPECT_LE(t.weights.load, 8.0);
+        EXPECT_GE(t.weights.store, 0.05);
+        EXPECT_LE(t.weights.store, 8.0);
+        EXPECT_GE(t.weights.fp, 0.05);
+        EXPECT_LE(t.weights.fp, 8.0);
+        EXPECT_GE(t.hotWords, 1u);
+        EXPECT_GE(t.segMax, t.segMin);
+        EXPECT_GE(t.memWords, t.hotWords);
+        // An empty aggregate is all holes: control-flow pressure rises.
+        EXPECT_GT(t.condProb, base[i].condProb);
+    }
+}
+
+TEST(TuneMixes, FullCoverageLeavesKnobsAlone)
+{
+    CoverageMap full;
+    for (unsigned f = 0; f < CoverageMap::numFeatures; ++f)
+        for (unsigned b = 0; b < CoverageMap::numBuckets; ++b)
+            full.set(f, b);
+    const auto base = verify::standardMixes();
+    const auto tuned = tuneMixes(base, full, 1, 7);
+    for (std::size_t i = 0; i < tuned.size(); ++i) {
+        FuzzMix renamed = tuned[i];
+        renamed.name = base[i].name;  // only the wave suffix may differ
+        EXPECT_EQ(verify::mixToJson(renamed), verify::mixToJson(base[i]));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence dedup
+
+TEST(Dedup, SameRootCauseFoldsToOneRepro)
+{
+    ShrinkResult a, b, c;
+    a.repro.kind = "stream";
+    a.repro.firstBadCommit = 100;
+    a.jobIndex = 0;
+    b.repro.kind = "stream";
+    b.repro.firstBadCommit = 100;
+    b.jobIndex = 3;
+    c.repro.kind = "int-reg";
+    c.repro.firstBadCommit = 100;
+    c.jobIndex = 5;
+
+    std::vector<ShrinkResult> v{a, b, c};
+    EXPECT_EQ(dedupShrinks(v), 1u);
+    ASSERT_EQ(v.size(), 2u);
+    // Lowest-jobIndex representative survives with the group size.
+    EXPECT_EQ(v[0].jobIndex, 0u);
+    EXPECT_EQ(v[0].duplicates, 2u);
+    EXPECT_EQ(v[1].jobIndex, 5u);
+    EXPECT_EQ(v[1].duplicates, 1u);
+}
+
+TEST(Dedup, ProgramShapeSeparatesOtherwiseEqualKeys)
+{
+    Program p1;
+    p1.code.resize(1);
+    Program p2;
+    p2.code.resize(2);
+    EXPECT_NE(programShapeHash(p1), programShapeHash(p2));
+
+    ShrinkResult a, b;
+    a.repro.kind = "stream";
+    a.repro.firstBadCommit = 50;
+    a.repro.program = std::make_shared<const Program>(p1);
+    b = a;
+    b.repro.program = std::make_shared<const Program>(p2);
+    b.jobIndex = 1;
+    std::vector<ShrinkResult> v{a, b};
+    EXPECT_EQ(dedupShrinks(v), 0u);
+    EXPECT_EQ(v.size(), 2u);
+    // No embedded program at all is its own key component.
+    b.repro.program = nullptr;
+    EXPECT_NE(verify::dedupKey(a), verify::dedupKey(b));
+}
+
+TEST(Dedup, FoldedReprosCarryDuplicatesInTheReport)
+{
+    ShrinkResult a, b;
+    a.repro.kind = "stream";
+    a.jobIndex = 0;
+    b.repro.kind = "stream";
+    b.jobIndex = 1;
+    std::vector<ShrinkResult> v{a, b};
+    ASSERT_EQ(dedupShrinks(v), 1u);
+
+    verify::CoverageReport cov;
+    cov.enabled = true;
+    const std::string doc = verify::toJson({}, v, cov);
+    EXPECT_NE(doc.find("\"duplicates\": 2"), std::string::npos);
+
+    // Unfolded repros never emit the field (duplicates 1 would just
+    // restate "this row exists"; 0 means dedup never ran).
+    const std::string clean = verify::toJson({}, {a});
+    EXPECT_EQ(clean.find("\"duplicates\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint payload round trip
+
+TEST(OutcomeCodec, CoverageRoundTripsExactly)
+{
+    verify::DiffOutcome o;
+    o.mix = "mixed";
+    o.seed = 9;
+    o.config = "16-SP";
+    o.hasCoverage = true;
+    o.coverage.set(3, 4);
+    o.coverage.set(81, 7);
+    o.covNovel = true;   // deliberately NOT persisted (recomputed
+    o.covNewBits = 17;   // against the corpus on every run)
+
+    const verify::DiffOutcome r =
+        verify::outcomeFromJson(verify::outcomeToJson(o));
+    EXPECT_TRUE(r.hasCoverage);
+    EXPECT_EQ(r.coverage, o.coverage);
+    EXPECT_FALSE(r.covNovel);
+    EXPECT_EQ(r.covNewBits, 0u);
+
+    verify::DiffOutcome plain;
+    const verify::DiffOutcome rp =
+        verify::outcomeFromJson(verify::outcomeToJson(plain));
+    EXPECT_FALSE(rp.hasCoverage);
+    EXPECT_TRUE(rp.coverage.empty());
+}
+
+TEST(OutcomeCodec, MalformedCoverageFieldsThrow)
+{
+    verify::DiffOutcome o;
+    o.hasCoverage = true;
+    o.coverage.set(0, 0);
+    const std::string good = verify::outcomeToJson(o);
+
+    // Corrupt hex digit.
+    std::string bad = good;
+    const std::size_t at = bad.find("\"coverage\": \"");
+    ASSERT_NE(at, std::string::npos);
+    bad[at + 13] = 'z';
+    EXPECT_THROW(verify::outcomeFromJson(bad), JsonError);
+
+    // Truncated bitmap.
+    std::string shorter = good;
+    shorter.replace(at, shorter.find('"', at + 13) + 1 - at,
+                    "\"coverage\": \"ab\"");
+    EXPECT_THROW(verify::outcomeFromJson(shorter), JsonError);
+
+    // has_coverage set but the bitmap missing entirely.
+    std::string missing = good;
+    const std::size_t covAt = missing.find("\"coverage\": \"");
+    const std::size_t covEnd = missing.find('"', covAt + 13) + 3;
+    missing.erase(covAt, covEnd - covAt);
+    EXPECT_THROW(verify::outcomeFromJson(missing), JsonError);
+}
+
+} // anonymous namespace
+} // namespace msp

@@ -39,6 +39,7 @@
 #include "driver/state.hh"
 #include "sim/presets.hh"
 #include "sim/spec.hh"
+#include "verify/corpus.hh"
 #include "verify/diff_campaign.hh"
 #include "verify/report.hh"
 #include "verify/shrink.hh"
@@ -195,6 +196,25 @@ printUsage(std::FILE *to)
         "                 program image itself (drop whole blocks /\n"
         "                 helpers / loop bodies, relink branches) and\n"
         "                 embed the reduced program in the report\n"
+        "  --coverage     harvest per-run path coverage (stall\n"
+        "                 transitions, predictor edges, squash depths,\n"
+        "                 SQ forwarding, SCT/LCS activity) into a\n"
+        "                 (feature, bucket) bitmap; adds a \"coverage\"\n"
+        "                 summary and per-row coverage to the report and\n"
+        "                 canonicalises repros by root cause (duplicate\n"
+        "                 failures fold into one repro with a\n"
+        "                 \"duplicates\" count). Does not combine with\n"
+        "                 --checkpoint/--resume/--shard\n"
+        "  --corpus FILE  keep the coverage-novel (mix, seed) entries in\n"
+        "                 a JSONL corpus (atomic rewrite; a torn\n"
+        "                 trailing record is quarantined to FILE.torn);\n"
+        "                 an existing corpus seeds the aggregate map\n"
+        "  --waves N      run the sweep N times (needs --coverage);\n"
+        "                 corpus admission happens between waves\n"
+        "  --tune         reweight the fuzz mixes between waves toward\n"
+        "                 coverage holes (pure function of the\n"
+        "                 aggregated map and --seed, so campaigns stay\n"
+        "                 bit-identical at any --threads)\n"
         "  Divergent jobs are re-fuzzed through the shrinker; minimal\n"
         "  reproducers land in the --json report under \"repros\".\n"
         "  After a clean sweep that ran both machines, a coarse timing\n"
@@ -516,69 +536,177 @@ runVerify(const CliOptions &o)
             mixes.push_back(*verify::findMix(n));   // validated by parse
     }
 
-    verify::DiffCampaign campaign(o.threads);
-    campaign.addSweep(mixes, o.seeds, o.seed, configs,
-                      o.instrs ? o.instrs : (1u << 20));
-    campaign.setSnapshotEvery(o.snapshotEvery);
-    campaign.setFailFast(o.failFast);
-    campaign.setBudgetSec(o.budgetSec);
-    if (o.shardCount)
-        campaign.restrictToShard(o.shardIndex, o.shardCount);
+    const std::vector<verify::FuzzMix> baseMixes = mixes;
+
+    // Coverage-guided campaigns grow a corpus of coverage-novel
+    // (mix, seed) runs; an existing --corpus file seeds the aggregate
+    // map, so repeated campaigns only chase what is still unreached.
+    verify::Corpus corpus;
+    if (!o.corpusPath.empty() && corpus.load(o.corpusPath)) {
+        if (corpus.tornRecords() > 0) {
+            std::fprintf(stderr,
+                         "msp_sim: corpus %s had a torn trailing record "
+                         "(quarantined to %s.torn)\n",
+                         o.corpusPath.c_str(), o.corpusPath.c_str());
+        }
+        if (!o.quiet) {
+            std::printf("Corpus: %zu entr%s, %zu coverage bit(s).\n",
+                        corpus.entries().size(),
+                        corpus.entries().size() == 1 ? "y" : "ies",
+                        corpus.aggregate().bitsSet());
+        }
+    }
+
+    verify::CoverageReport covReport;
+    covReport.enabled = o.coverage;
+    covReport.waves = o.waves;
+
     CampaignState state;
     configureState(state, o);
-    campaign.attachState(&state);
-    if (!o.quiet) {
-        std::printf("Differential verification: %u seed(s) x %zu "
-                    "mix(es) x %zu config(s) (%s). Jobs: %zu on %u "
-                    "thread(s).\n",
-                    o.seeds, mixes.size(), configs.size(),
-                    predictorName(o.predictor), campaign.size(),
-                    campaign.effectiveThreads());
-        for (const MachineConfig &cfg : configs)
-            if (presetNameFor(cfg).empty())
-                std::fputs(specDiffReport(cfg).c_str(), stdout);
-        std::printf("\n");
-        std::fflush(stdout);
-    }
 
-    // Progress: stay silent per job (campaigns run thousands), but
-    // report every divergence the moment it is found.
     const auto campaignStart = std::chrono::steady_clock::now();
-    auto outcomes = campaign.run(printDivergences);
+    std::vector<verify::DiffJob> allJobs;
+    std::vector<verify::DiffOutcome> outcomes;
 
-    // An interrupted sweep writes its partial report and stops: the
-    // timing invariant and the shrinker both reason over the whole
-    // sweep, which this run no longer is — the --resume run redoes
-    // them over the complete set.
-    if (driver::campaignStopRequested()) {
-        if (!o.jsonPath.empty())
-            driver::writeFile(o.jsonPath, verify::toJson(outcomes));
-        std::fprintf(stderr,
-                     "msp_sim: interrupted — %zu of %zu job(s) done%s\n",
-                     outcomes.size() - verify::countSkipped(outcomes),
-                     outcomes.size(),
-                     o.checkpointPath.empty()
-                         ? ""
-                         : "; resume with --resume");
-        return exitInterrupted;
+    for (unsigned w = 0; w < o.waves; ++w) {
+        // Wave 0 always fuzzes the user's mixes; later waves reweight
+        // them toward the aggregate map's holes under --tune. Tuning is
+        // a pure function of (mixes, aggregate, wave, seed) and corpus
+        // admission is sequential, so the whole multi-wave campaign is
+        // bit-identical at any --threads.
+        const std::vector<verify::FuzzMix> waveMixes =
+            (w > 0 && o.tune)
+                ? verify::tuneMixes(baseMixes, corpus.aggregate(), w,
+                                    o.seed)
+                : baseMixes;
+
+        verify::DiffCampaign campaign(o.threads);
+        campaign.addSweep(waveMixes, o.seeds, o.seed, configs,
+                          o.instrs ? o.instrs : (1u << 20));
+        campaign.setSnapshotEvery(o.snapshotEvery);
+        campaign.setFailFast(o.failFast);
+        campaign.setCollectCoverage(o.coverage);
+        if (o.budgetSec > 0.0) {
+            // One budget spans every wave; a token floor because 0
+            // means "no budget" (the same rule the shrink slice uses).
+            const std::chrono::duration<double> spent =
+                std::chrono::steady_clock::now() - campaignStart;
+            campaign.setBudgetSec(
+                w == 0 ? o.budgetSec
+                       : std::max(1e-3, o.budgetSec - spent.count()));
+        }
+        if (o.shardCount)
+            campaign.restrictToShard(o.shardIndex, o.shardCount);
+        campaign.attachState(&state);
+        if (!o.quiet && w == 0) {
+            std::printf("Differential verification: %u seed(s) x %zu "
+                        "mix(es) x %zu config(s) (%s). Jobs: %zu on %u "
+                        "thread(s).\n",
+                        o.seeds, baseMixes.size(), configs.size(),
+                        predictorName(o.predictor), campaign.size(),
+                        campaign.effectiveThreads());
+            for (const MachineConfig &cfg : configs)
+                if (presetNameFor(cfg).empty())
+                    std::fputs(specDiffReport(cfg).c_str(), stdout);
+            std::printf("\n");
+            std::fflush(stdout);
+        } else if (!o.quiet) {
+            std::printf("\nWave %u/%u: %zu job(s)%s.\n", w + 1, o.waves,
+                        campaign.size(),
+                        o.tune ? " (mixes retuned toward coverage holes)"
+                               : "");
+            std::fflush(stdout);
+        }
+
+        // Progress: stay silent per job (campaigns run thousands), but
+        // report every divergence the moment it is found.
+        auto waveOutcomes = campaign.run(printDivergences);
+        const std::vector<verify::DiffJob> &waveJobs = campaign.pending();
+
+        const bool interrupted = driver::campaignStopRequested();
+
+        // Coarse timing invariant, only meaningful after a clean batch
+        // (correctness divergences already fail the run and would make
+        // an IPC comparison moot): the ideal MSP must dominate 16-SP on
+        // every fuzzed program both machines ran.
+        if (!interrupted &&
+            verify::countDivergences(waveOutcomes) == 0) {
+            const std::size_t violations = verify::applyTimingInvariant(
+                waveJobs, waveOutcomes);
+            if (violations > 0) {
+                std::fprintf(stderr,
+                             "msp_sim: %zu timing-invariant "
+                             "violation(s) — ideal MSP slower than "
+                             "16-SP\n", violations);
+                for (std::size_t i = 0; i < waveOutcomes.size(); ++i)
+                    if (!waveOutcomes[i].ok())
+                        printDivergences(waveOutcomes[i], i + 1,
+                                         waveOutcomes.size());
+            }
+        }
+
+        // Corpus admission: sequential, in submission order, after the
+        // parallel wave — the aggregate (and everything tuned from it)
+        // never depends on worker scheduling.
+        if (o.coverage && !interrupted) {
+            const std::size_t before = corpus.aggregate().bitsSet();
+            for (std::size_t i = 0; i < waveOutcomes.size(); ++i) {
+                verify::DiffOutcome &out = waveOutcomes[i];
+                if (!out.hasCoverage)
+                    continue;
+                out.covNewBits =
+                    out.coverage.newBitsVs(corpus.aggregate());
+                out.covNovel = corpus.consider(waveJobs[i].mix, out.seed,
+                                               w, out.coverage);
+                covReport.novelRuns += out.covNovel ? 1 : 0;
+            }
+            covReport.waveBits.push_back(corpus.aggregate().bitsSet() -
+                                         before);
+            if (!o.quiet) {
+                std::printf("Wave %u coverage: +%llu new bit(s), "
+                            "aggregate %zu/%u features, %zu bit(s), "
+                            "corpus %zu entr%s.\n",
+                            w + 1,
+                            static_cast<unsigned long long>(
+                                covReport.waveBits.back()),
+                            corpus.aggregate().featuresHit(),
+                            verify::CoverageMap::numFeatures,
+                            corpus.aggregate().bitsSet(),
+                            corpus.entries().size(),
+                            corpus.entries().size() == 1 ? "y" : "ies");
+                std::fflush(stdout);
+            }
+        }
+
+        allJobs.insert(allJobs.end(), waveJobs.begin(), waveJobs.end());
+        for (auto &out : waveOutcomes)
+            outcomes.push_back(std::move(out));
+
+        // An interrupted sweep writes its partial report and stops:
+        // the timing invariant and the shrinker both reason over the
+        // whole sweep, which this run no longer is — the --resume run
+        // redoes them over the complete set.
+        if (interrupted) {
+            if (!o.jsonPath.empty())
+                driver::writeFile(o.jsonPath, verify::toJson(outcomes));
+            std::fprintf(stderr,
+                         "msp_sim: interrupted — %zu of %zu job(s) "
+                         "done%s\n",
+                         outcomes.size() - verify::countSkipped(outcomes),
+                         outcomes.size(),
+                         o.checkpointPath.empty()
+                             ? ""
+                             : "; resume with --resume");
+            return exitInterrupted;
+        }
     }
 
-    // Coarse timing invariant, only meaningful after a clean batch
-    // (correctness divergences already fail the run and would make an
-    // IPC comparison moot): the ideal MSP must dominate 16-SP on every
-    // fuzzed program both machines ran.
-    if (verify::countDivergences(outcomes) == 0) {
-        const std::size_t violations =
-            verify::applyTimingInvariant(campaign.pending(), outcomes);
-        if (violations > 0) {
-            std::fprintf(stderr,
-                         "msp_sim: %zu timing-invariant violation(s) — "
-                         "ideal MSP slower than 16-SP\n", violations);
-            for (std::size_t i = 0; i < outcomes.size(); ++i)
-                if (!outcomes[i].ok())
-                    printDivergences(outcomes[i], i + 1,
-                                     outcomes.size());
-        }
+    if (!o.corpusPath.empty())
+        corpus.save(o.corpusPath);
+    if (o.coverage) {
+        covReport.featuresHit = corpus.aggregate().featuresHit();
+        covReport.bitsSet = corpus.aggregate().bitsSet();
+        covReport.corpusEntries = corpus.entries().size();
     }
 
     // Re-fuzz every divergent job through the shrinker so the report
@@ -603,7 +731,7 @@ runVerify(const CliOptions &o)
             sopt.budgetSec = std::max(1e-3, o.budgetSec - spent.count());
         }
         shrinks = verify::shrinkFailures(
-            campaign.pending(), outcomes, sopt,
+            allJobs, outcomes, sopt,
             [&](const verify::ShrinkResult &s, std::size_t done,
                 std::size_t total) {
                 if (o.quiet)
@@ -654,6 +782,19 @@ runVerify(const CliOptions &o)
                          "report)\n",
                          shrinkTimedOut, shrinks.size());
         }
+
+        // Coverage campaigns canonicalise each failure to its root
+        // cause (kind | first bad commit | reduced-program shape) and
+        // fold duplicates into one representative repro.
+        if (o.coverage && !shrinks.empty()) {
+            const std::size_t before = shrinks.size();
+            const std::size_t folded = verify::dedupShrinks(shrinks);
+            if (folded > 0 && !o.quiet) {
+                std::printf("  deduplicated %zu failure(s) into %zu "
+                            "distinct root cause(s)\n",
+                            before, shrinks.size());
+            }
+        }
     }
 
     // Per-config summary.
@@ -681,8 +822,10 @@ runVerify(const CliOptions &o)
     if (!o.quiet)
         std::fputs(t.str().c_str(), stdout);
 
-    if (!o.jsonPath.empty())
-        driver::writeFile(o.jsonPath, verify::toJson(outcomes, shrinks));
+    if (!o.jsonPath.empty()) {
+        driver::writeFile(o.jsonPath,
+                          verify::toJson(outcomes, shrinks, covReport));
+    }
 
     const std::size_t divergences = verify::countDivergences(outcomes);
     const std::size_t skipped = verify::countSkipped(outcomes);
