@@ -8,9 +8,11 @@
  * sometimes negative) returns, and shows re-executed work shrinking
  * as rollback distances tighten.
  *
- * The sweep itself is the "ablation-checkpoints" entry in the scenario
- * registry (src/driver/scenario.cc); `msp_sim ablation-checkpoints`
- * runs the same campaign.
+ * The sweep itself is the "ablation-checkpoints" grid document in the scenario
+ * registry (src/driver/scenario.cc, shipped as
+ * examples/grids/ablation-checkpoints.json); `msp_sim ablation-checkpoints` and
+ * `msp_sim matrix --grid examples/grids/ablation-checkpoints.json` run the
+ * same campaign.
  */
 
 #include "bench/bench_util.hh"

@@ -6,9 +6,11 @@
  * 512 registers gains only ~1% / ~1.3% IPC — so the MSP's advantage
  * is NOT its larger register file, but its management of it.
  *
- * The sweep itself is the "ablation-cpr-regs" entry in the scenario
- * registry (src/driver/scenario.cc); `msp_sim ablation-cpr-regs` runs
- * the same campaign.
+ * The sweep itself is the "ablation-cpr-regs" grid document in the scenario
+ * registry (src/driver/scenario.cc, shipped as
+ * examples/grids/ablation-cpr-regs.json); `msp_sim ablation-cpr-regs` and
+ * `msp_sim matrix --grid examples/grids/ablation-cpr-regs.json` run the
+ * same campaign.
  */
 
 #include "bench/bench_util.hh"

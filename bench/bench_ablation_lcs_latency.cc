@@ -6,8 +6,10 @@
  * not timing-critical — "even a 4-cycle LCS computation degrades
  * performance by less than 1% compared to a 1-cycle computation".
  *
- * The sweep itself is the "ablation-lcs" entry in the scenario
- * registry (src/driver/scenario.cc); `msp_sim ablation-lcs` runs the
+ * The sweep itself is the "ablation-lcs" grid document in the scenario
+ * registry (src/driver/scenario.cc, shipped as
+ * examples/grids/ablation-lcs.json); `msp_sim ablation-lcs` and
+ * `msp_sim matrix --grid examples/grids/ablation-lcs.json` run the
  * same campaign.
  */
 

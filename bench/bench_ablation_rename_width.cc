@@ -7,9 +7,11 @@
  * Allowing three or more does not improve performance. However,
  * allowing only one leads to a 5% reduction in IPC."
  *
- * The sweep itself is the "ablation-rename" entry in the scenario
- * registry (src/driver/scenario.cc); `msp_sim ablation-rename` runs
- * the same campaign.
+ * The sweep itself is the "ablation-rename" grid document in the scenario
+ * registry (src/driver/scenario.cc, shipped as
+ * examples/grids/ablation-rename.json); `msp_sim ablation-rename` and
+ * `msp_sim matrix --grid examples/grids/ablation-rename.json` run the
+ * same campaign.
  */
 
 #include "bench/bench_util.hh"

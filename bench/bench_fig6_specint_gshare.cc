@@ -7,8 +7,11 @@
  * n; 8-SP averages ~+5% over CPR, 16-SP+Arb ~+14%, 128-SP is
  * essentially the ideal MSP, and the baseline trails everything.
  *
- * The sweep itself is the "fig6" entry in the scenario registry
- * (src/driver/scenario.cc); `msp_sim fig6` runs the same campaign.
+ * The sweep itself is the "fig6" grid document in the scenario
+ * registry (src/driver/scenario.cc, shipped as
+ * examples/grids/fig6.json); `msp_sim fig6` and
+ * `msp_sim matrix --grid examples/grids/fig6.json` run the
+ * same campaign.
  */
 
 #include "bench/bench_util.hh"

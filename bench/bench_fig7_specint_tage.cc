@@ -6,8 +6,11 @@
  * than the MSP (fewer rollbacks to pay for): 8-SP drops to ~-10% vs
  * CPR and 16-SP+Arb to ~+1%, with the same overall trend in n.
  *
- * The sweep itself is the "fig7" entry in the scenario registry
- * (src/driver/scenario.cc); `msp_sim fig7` runs the same campaign.
+ * The sweep itself is the "fig7" grid document in the scenario
+ * registry (src/driver/scenario.cc, shipped as
+ * examples/grids/fig7.json); `msp_sim fig7` and
+ * `msp_sim matrix --grid examples/grids/fig7.json` run the
+ * same campaign.
  */
 
 #include "bench/bench_util.hh"

@@ -6,8 +6,11 @@
  * small banks starve — MSP only overtakes CPR at ~64 registers per
  * logical register; low-stall programs (fma3d) win even at 8-SP.
  *
- * The sweep itself is the "fig8" entry in the scenario registry
- * (src/driver/scenario.cc); `msp_sim fig8` runs the same campaign.
+ * The sweep itself is the "fig8" grid document in the scenario
+ * registry (src/driver/scenario.cc, shipped as
+ * examples/grids/fig8.json); `msp_sim fig8` and
+ * `msp_sim matrix --grid examples/grids/fig8.json` run the
+ * same campaign.
  */
 
 #include "bench/bench_util.hh"

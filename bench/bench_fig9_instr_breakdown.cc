@@ -9,8 +9,11 @@
  * recovery) and ~12% fewer with TAGE (~7 points from precise
  * recovery). MSP's re-executed component is (near) zero.
  *
- * The sweep itself is the "fig9" entry in the scenario registry
- * (src/driver/scenario.cc); `msp_sim fig9` runs the same campaign.
+ * The sweep itself is the "fig9" grid document in the scenario
+ * registry (src/driver/scenario.cc, shipped as
+ * examples/grids/fig9.json); `msp_sim fig9` and
+ * `msp_sim matrix --grid examples/grids/fig9.json` run the
+ * same campaign.
  */
 
 #include "bench/bench_util.hh"

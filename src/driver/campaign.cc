@@ -13,7 +13,7 @@
 #include "common/logging.hh"
 #include "driver/state.hh"
 #include "sim/spec.hh"
-#include "workload/spec.hh"
+#include "workload/registry.hh"
 
 namespace msp {
 namespace driver {
@@ -70,6 +70,30 @@ matrixJobs(const std::string &scenario,
             j.seed = seed;
             out.push_back(std::move(j));
         }
+    }
+    return out;
+}
+
+std::vector<CampaignJob>
+gridJobs(const std::string &scenario, const grid::Grid &grid,
+         std::uint64_t maxInsts, std::uint64_t seed)
+{
+    std::vector<CampaignJob> out;
+    out.reserve(grid.points.size());
+    for (const grid::GridPoint &pt : grid.points) {
+        if (pt.workload.empty()) {
+            throw SpecError(csprintf(
+                "grid point '%s' binds no workload (add a "
+                "workload.name or workload.trace axis)",
+                pt.label.c_str()));
+        }
+        CampaignJob j;
+        j.scenario = scenario;
+        j.workload = pt.workload;
+        j.config = pt.machine;
+        j.maxInsts = maxInsts;
+        j.seed = pt.hasSeed ? pt.seed : seed;
+        out.push_back(std::move(j));
     }
     return out;
 }
@@ -171,7 +195,7 @@ simJobKey(const CampaignJob &job)
                          static_cast<unsigned long long>(job.maxCycles));
     // Pre-built programs can't be hashed from the job alone; their
     // name is the best stable identity available (campaign CLI paths
-    // never set one — spec::build regenerates from workload + seed).
+    // never set one — workload::build regenerates from workload + seed).
     if (job.program)
         identity += job.program->name + "|";
     identity += specToJson(job.config);
@@ -296,7 +320,7 @@ SimCampaign::run(const ProgressFn &progress)
         auto it = programs.find(key);
         if (it == programs.end()) {
             it = programs.emplace(key, std::make_shared<Program>(
-                                      spec::build(j.workload, j.seed)))
+                                      workload::build(j.workload, j.seed)))
                      .first;
         }
         j.program = it->second;

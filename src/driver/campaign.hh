@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "isa/program.hh"
+#include "sim/grid.hh"
 #include "sim/machine.hh"
 
 namespace msp {
@@ -31,7 +32,7 @@ class CampaignState;
 struct CampaignJob
 {
     std::string scenario;      ///< grouping label in reports ("fig6", ...)
-    std::string workload;      ///< spec::build() benchmark name
+    std::string workload;      ///< workload::build() registry name
     MachineConfig config;
     std::uint64_t maxInsts = 0;///< committed-instruction budget (0 = default)
     std::uint64_t maxCycles = ~std::uint64_t{0};
@@ -112,6 +113,19 @@ matrixJobs(const std::string &scenario,
            const std::vector<std::string> &workloads,
            const std::vector<MachineConfig> &configs,
            std::uint64_t maxInsts = 0, std::uint64_t seed = 1);
+
+/**
+ * One job per grid point, in expansion order. A grid whose points bind
+ * workloads (a "workload.name"/"workload.trace" axis) is a complete
+ * campaign; expansion order for a workload-first grid is workload-major,
+ * so the matrixJobs reporting contract carries over.
+ *
+ * @throws SpecError when a point binds no workload — cross such a grid
+ *         with an explicit workload list via matrixJobs instead.
+ */
+std::vector<CampaignJob>
+gridJobs(const std::string &scenario, const grid::Grid &grid,
+         std::uint64_t maxInsts = 0, std::uint64_t seed = 1);
 
 /** A batch of simulation jobs run on a worker pool. */
 class SimCampaign

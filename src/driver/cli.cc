@@ -12,6 +12,7 @@
 #include "sim/presets.hh"
 #include "sim/spec.hh"
 #include "verify/fuzzer.hh"
+#include "workload/registry.hh"
 
 namespace msp {
 namespace driver {
@@ -264,6 +265,8 @@ parseCliArgs(const std::vector<std::string> &args)
             }
         } else if (a == "--machine") {
             o.machinePath = value(i);
+        } else if (a == "--grid") {
+            o.gridPath = value(i);
         } else if (a == "--set") {
             o.sets.push_back(value(i));
         } else if (a == "--workloads") {
@@ -303,6 +306,18 @@ parseCliArgs(const std::vector<std::string> &args)
     for (const std::string &c : o.configNames)
         (void)configByName(c, o.predictor);
 
+    // Every workload name must be registered (the trace file itself is
+    // only read at run time; here only the reference shape is checked).
+    for (const std::string &w : o.workloads) {
+        if (!workload::known(w)) {
+            throw CliError(csprintf("unknown workload '%s' (want a "
+                                    "registry name such as gzip, swim, "
+                                    "tight-loop, ptrchase, prodcons or "
+                                    "interp, or trace:FILE)",
+                                    w.c_str()));
+        }
+    }
+
     // Every --set override must name a registered parameter and carry a
     // valid value (proven against a scratch machine) — fail at parse,
     // not mid-campaign.
@@ -319,6 +334,7 @@ parseCliArgs(const std::vector<std::string> &args)
     const bool coverageFlags = o.coverage || !o.corpusPath.empty() ||
                                wavesSet || o.tune;
     const bool specSources = !o.machinePath.empty() || !o.sets.empty();
+    const bool gridFlag = !o.gridPath.empty();
     const bool stateFlags = !o.checkpointPath.empty() ||
                             !o.resumePath.empty() || o.shardCount != 0 ||
                             checkpointEverySet;
@@ -339,8 +355,8 @@ parseCliArgs(const std::vector<std::string> &args)
         if (!o.workloads.empty() || !o.configNames.empty() ||
             !o.mixNames.empty() || predictorSet || seedSet || seedsSet ||
             threadsSet || o.instrs != 0 || !o.csvPath.empty() ||
-            triageFlags || specSources || stateFlags || benchFlags ||
-            coverageFlags) {
+            triageFlags || specSources || gridFlag || stateFlags ||
+            benchFlags || coverageFlags) {
             throw CliError("merge mode only takes shard reports and "
                            "--json/--quiet");
         }
@@ -355,7 +371,8 @@ parseCliArgs(const std::vector<std::string> &args)
                            "--threads 1 (which pins the CPU) applies");
         }
         if (seedsSet || !o.mixNames.empty() || !o.csvPath.empty() ||
-            triageFlags || specSources || stateFlags || coverageFlags) {
+            triageFlags || specSources || gridFlag || stateFlags ||
+            coverageFlags) {
             throw CliError("bench mode takes --workloads/--configs/"
                            "--predictor/--instrs/--seed/--reps/"
                            "--baseline/--gate-pct/--json/--quiet/"
@@ -370,16 +387,38 @@ parseCliArgs(const std::vector<std::string> &args)
         }
         if (!o.workloads.empty() || seedsSet || seedSet ||
             !o.mixNames.empty() || !o.csvPath.empty() || triageFlags ||
-            threadsSet || o.instrs != 0 || stateFlags || benchFlags ||
-            coverageFlags) {
+            gridFlag || threadsSet || o.instrs != 0 || stateFlags ||
+            benchFlags || coverageFlags) {
             throw CliError("spec mode only takes --configs/--machine/"
                            "--set/--predictor/--json/--quiet");
         }
+    } else if (o.mode == "trace") {
+        if (o.workloads.size() != 1) {
+            throw CliError("trace mode dumps exactly one workload "
+                           "(--workloads NAME)");
+        }
+        if (!o.configNames.empty() || specSources || gridFlag ||
+            seedsSet || !o.mixNames.empty() || predictorSet ||
+            threadsSet || o.instrs != 0 || !o.csvPath.empty() ||
+            triageFlags || benchFlags || coverageFlags || stateFlags) {
+            throw CliError("trace mode only takes --workloads NAME, "
+                           "--seed, --json and --quiet");
+        }
     } else if (o.mode == "matrix") {
-        if (o.workloads.empty() ||
-            (o.configNames.empty() && o.machinePath.empty())) {
+        if (gridFlag) {
+            // A grid document carries its own machines (and usually its
+            // own workloads); --workloads stays legal so a machine-only
+            // grid can be crossed with an explicit workload list.
+            if (!o.configNames.empty() || !o.machinePath.empty()) {
+                throw CliError("--grid carries its own machines; "
+                               "--configs/--machine do not combine "
+                               "with it");
+            }
+        } else if (o.workloads.empty() ||
+                   (o.configNames.empty() && o.machinePath.empty())) {
             throw CliError("matrix mode needs --workloads and a machine "
-                           "(--configs and/or --machine)");
+                           "(--configs and/or --machine), or a --grid "
+                           "document");
         }
         if (seedsSet || !o.mixNames.empty())
             throw CliError("--seeds/--mixes only apply to verify mode");
@@ -399,9 +438,39 @@ parseCliArgs(const std::vector<std::string> &args)
         if (benchFlags)
             throw CliError("--reps/--baseline/--gate-pct only apply to "
                            "bench mode");
-        if (!o.workloads.empty())
-            throw CliError("--workloads does not apply to verify mode "
-                           "(programs are fuzzed)");
+        // --workloads (or a workload-binding --grid) switches verify
+        // from fuzzed sweeps to deterministic named-workload runs: a
+        // small sequential diffRun loop, so the fuzz-campaign and
+        // checkpoint machinery does not apply.
+        if (!o.workloads.empty() && gridFlag) {
+            throw CliError("--grid binds its own workloads in verify "
+                           "mode; --workloads does not combine with it");
+        }
+        if (gridFlag && (!o.configNames.empty() ||
+                         !o.machinePath.empty())) {
+            throw CliError("--grid carries its own machines; "
+                           "--configs/--machine do not combine with it");
+        }
+        if (!o.workloads.empty() || gridFlag) {
+            if (seedsSet || !o.mixNames.empty()) {
+                throw CliError("--seeds/--mixes fuzz programs; they do "
+                               "not apply when verifying named "
+                               "workloads (--workloads/--grid)");
+            }
+            if (o.failFast || o.budgetSec > 0.0 || !o.reproPath.empty() ||
+                o.bisectExact || o.reduce || coverageFlags) {
+                throw CliError("--fail-fast/--budget-sec/--repro/"
+                               "--bisect-exact/--reduce/--coverage/"
+                               "--corpus/--waves/--tune only apply to "
+                               "the fuzzed verify sweep, not "
+                               "--workloads/--grid verification");
+            }
+            if (stateFlags) {
+                throw CliError("named-workload verification runs its "
+                               "few jobs sequentially; --checkpoint/"
+                               "--resume/--shard do not apply");
+            }
+        }
         if (!o.csvPath.empty())
             throw CliError("--csv does not apply to verify mode "
                            "(use --json)");
@@ -447,16 +516,18 @@ parseCliArgs(const std::vector<std::string> &args)
         // flags would mislabel the results the user asked for.
         if (!o.workloads.empty() || !o.configNames.empty() ||
             predictorSet || seedSet || seedsSet || !o.mixNames.empty() ||
-            triageFlags || specSources || stateFlags || benchFlags ||
-            coverageFlags) {
+            triageFlags || specSources || gridFlag || stateFlags ||
+            benchFlags || coverageFlags) {
             throw CliError(csprintf(
-                "--workloads/--configs/--machine/--set/--predictor/"
+                "--workloads/--configs/--machine/--set/--grid/"
+                "--predictor/"
                 "--seed/--seeds/--mixes/--fail-fast/--snapshot-every/"
                 "--budget-sec/--repro/--bisect-exact/--reduce/"
                 "--coverage/--corpus/--waves/--tune/"
                 "--checkpoint/--resume/--shard/--reps/--baseline/"
                 "--gate-pct only apply to matrix, verify, spec or "
-                "bench mode, not scenario '%s'", o.mode.c_str()));
+                "bench mode, not scenario '%s' (its grid document "
+                "ships in examples/grids/)", o.mode.c_str()));
         }
     }
     return o;

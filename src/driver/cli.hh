@@ -30,7 +30,7 @@ struct CliError : std::runtime_error
 struct CliOptions
 {
     std::string mode;     ///< scenario name, "matrix", "verify", "spec",
-                          ///< "bench" or "merge"
+                          ///< "bench", "trace" or "merge"
     bool help = false;         ///< --help: print usage, exit 0
     bool list = false;         ///< --list: print scenarios, exit 0
     unsigned threads = 0;      ///< 0 = all hardware threads
@@ -48,6 +48,7 @@ struct CliOptions
     // ---- MachineSpec sources (matrix / verify / spec modes) ---------------
     std::string machinePath;           ///< --machine FILE spec to load
     std::vector<std::string> sets;     ///< --set key=value, in flag order
+    std::string gridPath;              ///< --grid FILE (sim/grid.hh document)
 
     // ---- verify-mode triage knobs -----------------------------------------
     bool failFast = false;             ///< stop starting jobs on divergence
@@ -129,11 +130,14 @@ std::vector<MachineConfig> resolveMachines(const CliOptions &o);
 /**
  * Parse and validate argv[1..] (program name excluded).
  *
- * Validation is mode-aware: matrix requires --workloads/--configs,
- * verify accepts --seeds/--mixes/--configs, and scenario modes reject
- * every matrix/verify-only flag so a mislabelled sweep cannot run
- * silently. Unknown scenario names are rejected here against the
- * scenario registry.
+ * Validation is mode-aware: matrix requires --workloads/--configs (or
+ * a --grid document), verify accepts --seeds/--mixes/--configs for the
+ * fuzzed sweep or --workloads/--grid for deterministic named-workload
+ * verification, trace takes exactly one --workloads name, and scenario
+ * modes reject every matrix/verify-only flag so a mislabelled sweep
+ * cannot run silently. Unknown scenario names are rejected here
+ * against the scenario registry; workload names are checked against
+ * the workload registry.
  *
  * @throws CliError on any user error.
  */

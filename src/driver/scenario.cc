@@ -4,12 +4,11 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
-#include <memory>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/grid.hh"
 #include "sim/presets.hh"
-#include "workload/micro.hh"
 #include "workload/spec.hh"
 
 namespace msp {
@@ -146,19 +145,44 @@ reportIpcFigure(const std::string &caption,
     std::printf("128-SP / ideal: %.3f\n", sp128 / ideal);
 }
 
+/** ["a", "b", ...] for embedding a workload list in a grid doc. */
+std::string
+quotedList(const std::vector<std::string> &names)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < names.size(); ++i)
+        out += std::string(i ? ", " : "") + "\"" + names[i] + "\"";
+    return out + "]";
+}
+
+/** The generic expander: every scenario's build() is its grid doc. */
+std::function<std::vector<CampaignJob>(std::uint64_t)>
+gridBuild(const std::string &name, const std::string &doc)
+{
+    return [name, doc](std::uint64_t maxInsts) {
+        return gridJobs(name, grid::expand(doc), maxInsts);
+    };
+}
+
 Scenario
 ipcFigureScenario(const std::string &name, const std::string &title,
                   const std::string &caption,
                   std::vector<std::string> (*benchNames)(),
-                  PredictorKind predictor)
+                  const char *predictor)
 {
     Scenario s;
     s.name = name;
     s.title = title;
-    s.build = [name, benchNames, predictor](std::uint64_t maxInsts) {
-        return matrixJobs(name, benchNames(), figureLadder(predictor),
-                          maxInsts);
-    };
+    s.gridJson = csprintf(
+        "{\"name\": \"%s\",\n"
+        " \"predictor\": \"%s\",\n"
+        " \"axes\": [\n"
+        "  {\"keys\": {\"workload.name\": %s}},\n"
+        "  {\"keys\": {\"base\": [\"baseline\", \"cpr\", \"8sp\", "
+        "\"16sp\", \"32sp\", \"64sp\", \"128sp\", \"ideal\"]}}\n"
+        " ]}\n",
+        name.c_str(), predictor, quotedList(benchNames()).c_str());
+    s.build = gridBuild(name, s.gridJson);
     s.report = [caption](const std::vector<JobResult> &results) {
         reportIpcFigure(caption, results);
     };
@@ -185,19 +209,19 @@ fig9Scenario()
     Scenario s;
     s.name = "fig9";
     s.title = "Reproduction of Fig. 9 (executed-instruction breakdown)";
-    s.build = [](std::uint64_t maxInsts) {
-        std::vector<MachineConfig> cfgs = {
-            cprConfig(PredictorKind::Gshare),
-            cprConfig(PredictorKind::Tage),
-            nspConfig(16, PredictorKind::Gshare),
-            nspConfig(16, PredictorKind::Tage),
-        };
-        cfgs[0].name = "CPR gshare";
-        cfgs[1].name = "CPR TAGE";
-        cfgs[2].name = "16-SP gshare";
-        cfgs[3].name = "16-SP TAGE";
-        return matrixJobs("fig9", spec::intBenchmarks(), cfgs, maxInsts);
-    };
+    s.gridJson = csprintf(
+        "{\"name\": \"fig9\",\n"
+        " \"axes\": [\n"
+        "  {\"keys\": {\"workload.name\": %s}},\n"
+        "  {\"mode\": \"zip\",\n"
+        "   \"keys\": {\"base\": [\"cpr\", \"cpr\", \"16sp\", \"16sp\"],\n"
+        "            \"predictor\": [\"gshare\", \"tage\", \"gshare\", "
+        "\"tage\"],\n"
+        "            \"label\": [\"CPR gshare\", \"CPR TAGE\", "
+        "\"16-SP gshare\", \"16-SP TAGE\"]}}\n"
+        " ]}\n",
+        quotedList(spec::intBenchmarks()).c_str());
+    s.build = gridBuild(s.name, s.gridJson);
     s.report = [](const std::vector<JobResult> &results) {
         const Grid g = makeGrid(results);
 
@@ -246,18 +270,17 @@ ablationCheckpointsScenario()
     Scenario s;
     s.name = "ablation-checkpoints";
     s.title = "Ablation: CPR checkpoint-count sweep (gshare)";
-    s.build = [](std::uint64_t maxInsts) {
-        const unsigned counts[] = {2, 4, 8, 16, 32};
-        std::vector<MachineConfig> cfgs;
-        for (unsigned c : counts) {
-            MachineConfig m = cprConfig(PredictorKind::Gshare, 192, c);
-            m.name = csprintf("CPR/%u ckpts", c);
-            cfgs.push_back(m);
-        }
-        return matrixJobs("ablation-checkpoints",
-                          {"gzip", "gcc", "bzip2", "twolf", "parser"},
-                          cfgs, maxInsts);
-    };
+    s.gridJson =
+        "{\"name\": \"ablation-checkpoints\",\n"
+        " \"predictor\": \"gshare\",\n"
+        " \"base\": \"cpr\",\n"
+        " \"label_format\": \"CPR/{cpr.checkpoints} ckpts\",\n"
+        " \"axes\": [\n"
+        "  {\"keys\": {\"workload.name\": [\"gzip\", \"gcc\", \"bzip2\", "
+        "\"twolf\", \"parser\"]}},\n"
+        "  {\"keys\": {\"cpr.checkpoints\": [2, 4, 8, 16, 32]}}\n"
+        " ]}\n";
+    s.build = gridBuild(s.name, s.gridJson);
     s.report = [](const std::vector<JobResult> &results) {
         const Grid g = makeGrid(results);
         Table t("CPR IPC (and re-executed fraction) vs checkpoints");
@@ -291,16 +314,20 @@ ablationCprRegsScenario()
     Scenario s;
     s.name = "ablation-cpr-regs";
     s.title = "Ablation: CPR physical-register sweep (TAGE)";
-    s.build = [](std::uint64_t maxInsts) {
-        std::vector<MachineConfig> cfgs = {
-            cprConfig(PredictorKind::Tage, 192),
-            cprConfig(PredictorKind::Tage, 256),
-            cprConfig(PredictorKind::Tage, 512),
-        };
-        cfgs[0].name = "CPR-192";
-        return matrixJobs("ablation-cpr-regs", spec::intBenchmarks(),
-                          cfgs, maxInsts);
-    };
+    s.gridJson = csprintf(
+        "{\"name\": \"ablation-cpr-regs\",\n"
+        " \"predictor\": \"tage\",\n"
+        " \"base\": \"cpr\",\n"
+        " \"axes\": [\n"
+        "  {\"keys\": {\"workload.name\": %s}},\n"
+        "  {\"mode\": \"zip\",\n"
+        "   \"keys\": {\"regs.int\": [192, 256, 512],\n"
+        "            \"regs.fp\": [192, 256, 512],\n"
+        "            \"label\": [\"CPR-192\", \"CPR-256\", "
+        "\"CPR-512\"]}}\n"
+        " ]}\n",
+        quotedList(spec::intBenchmarks()).c_str());
+    s.build = gridBuild(s.name, s.gridJson);
     s.report = [](const std::vector<JobResult> &results) {
         const Grid g = makeGrid(results);
         Table t("SPECint IPC vs CPR register-file size (TAGE)");
@@ -335,19 +362,17 @@ ablationLcsScenario()
     Scenario s;
     s.name = "ablation-lcs";
     s.title = "Ablation: LCS latency sweep on 16-SP (gshare)";
-    s.build = [](std::uint64_t maxInsts) {
-        const unsigned lats[] = {0, 1, 2, 4, 8};
-        std::vector<MachineConfig> cfgs;
-        for (unsigned l : lats) {
-            MachineConfig m = nspConfig(16, PredictorKind::Gshare);
-            m.core.lcsLatency = l;
-            m.name = csprintf("16-SP/%u cyc", l);
-            cfgs.push_back(m);
-        }
-        return matrixJobs("ablation-lcs",
-                          {"gzip", "gcc", "crafty", "bzip2", "swim"},
-                          cfgs, maxInsts);
-    };
+    s.gridJson =
+        "{\"name\": \"ablation-lcs\",\n"
+        " \"predictor\": \"gshare\",\n"
+        " \"base\": \"16sp\",\n"
+        " \"label_format\": \"16-SP/{lcs.latency} cyc\",\n"
+        " \"axes\": [\n"
+        "  {\"keys\": {\"workload.name\": [\"gzip\", \"gcc\", "
+        "\"crafty\", \"bzip2\", \"swim\"]}},\n"
+        "  {\"keys\": {\"lcs.latency\": [0, 1, 2, 4, 8]}}\n"
+        " ]}\n";
+    s.build = gridBuild(s.name, s.gridJson);
     s.report = [](const std::vector<JobResult> &results) {
         const Grid g = makeGrid(results);
         Table t("IPC vs LCS propagation delay (16-SP+Arb)");
@@ -379,38 +404,24 @@ ablationRenameScenario()
     Scenario s;
     s.name = "ablation-rename";
     s.title = "Ablation: same-register renames/cycle on 16-SP (gshare)";
-    s.build = [](std::uint64_t maxInsts) {
-        const unsigned widths[] = {1, 2, 3, 4};
-        std::vector<MachineConfig> cfgs;
-        for (unsigned w : widths) {
-            // Full ports (no arbitration): isolates the renaming-logic
-            // question of Sec. 3.3 from the banked-RF write port,
-            // which otherwise serialises same-register writebacks.
-            MachineConfig m =
-                nspConfig(16, PredictorKind::Gshare, false);
-            m.core.maxSameRegRenames = w;
-            m.name = csprintf("%u/cycle", w);
-            cfgs.push_back(m);
-        }
-        auto jobs = matrixJobs(
-            "ablation-rename",
-            {"gzip", "bzip2", "twolf", "crafty", "swim", "mgrid"},
-            cfgs, maxInsts);
-        // Back-to-back independent same-register writes (compiler
-        // temporaries): the case the dual-rename SCT port exists for.
-        auto tight = std::make_shared<Program>(
-            micro::tightRenameIndependent(1u << 30));
-        for (const auto &c : cfgs) {
-            CampaignJob j;
-            j.scenario = "ablation-rename";
-            j.workload = "tight-loop";
-            j.config = c;
-            j.maxInsts = maxInsts;
-            j.program = tight;
-            jobs.push_back(std::move(j));
-        }
-        return jobs;
-    };
+    // 16sp-noarb (full ports) isolates the renaming-logic question of
+    // Sec. 3.3 from the banked-RF write port, which otherwise
+    // serialises same-register writebacks. "tight-loop" is the
+    // back-to-back independent same-register-write microbenchmark
+    // (compiler temporaries): the case the dual-rename SCT port
+    // exists for.
+    s.gridJson =
+        "{\"name\": \"ablation-rename\",\n"
+        " \"predictor\": \"gshare\",\n"
+        " \"base\": \"16sp-noarb\",\n"
+        " \"label_format\": \"{rename.same_reg}/cycle\",\n"
+        " \"axes\": [\n"
+        "  {\"keys\": {\"workload.name\": [\"gzip\", \"bzip2\", "
+        "\"twolf\", \"crafty\", \"swim\", \"mgrid\", "
+        "\"tight-loop\"]}},\n"
+        "  {\"keys\": {\"rename.same_reg\": [1, 2, 3, 4]}}\n"
+        " ]}\n";
+    s.build = gridBuild(s.name, s.gridJson);
     s.report = [](const std::vector<JobResult> &results) {
         const Grid g = makeGrid(results);
         Table t("IPC vs same-logical-register renames per cycle "
@@ -443,15 +454,15 @@ makeScenarios()
         ipcFigureScenario("fig6",
                           "Reproduction of Fig. 6 (SPECint, gshare 64K)",
                           "Fig. 6: SPECint IPC, gshare", intBenches,
-                          PredictorKind::Gshare),
+                          "gshare"),
         ipcFigureScenario("fig7",
                           "Reproduction of Fig. 7 (SPECint, TAGE)",
                           "Fig. 7: SPECint IPC, TAGE", intBenches,
-                          PredictorKind::Tage),
+                          "tage"),
         ipcFigureScenario("fig8",
                           "Reproduction of Fig. 8 (SPECfp, TAGE)",
                           "Fig. 8: SPECfp IPC, TAGE", fpBenches,
-                          PredictorKind::Tage),
+                          "tage"),
         fig9Scenario(),
         ablationCheckpointsScenario(),
         ablationCprRegsScenario(),

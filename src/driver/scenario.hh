@@ -30,6 +30,13 @@ struct Scenario
     std::string name;   ///< CLI key, e.g. "fig6"
     std::string title;  ///< header line, e.g. "Reproduction of Fig. 6 ..."
 
+    /**
+     * The sweep as a grid document (sim/grid.hh). Every scenario is
+     * data: build() is grid::expand(gridJson) piped through gridJobs().
+     * The same documents ship as examples/grids/<name>.json.
+     */
+    std::string gridJson;
+
     /** Produce the job list; @p maxInsts is the per-run budget. */
     std::function<std::vector<CampaignJob>(std::uint64_t maxInsts)> build;
 

@@ -1,0 +1,625 @@
+#include "sim/grid.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+
+#include "common/logging.hh"
+#include "sim/presets.hh"
+
+namespace msp {
+namespace grid {
+
+namespace {
+
+/**
+ * The machine-spec reader's strict scanner, extended with the slice
+ * capture the grid grammar needs for its nested "base" object. (The
+ * spec.cc scanner is file-local by design; the two grammars stay
+ * independently strict.)
+ */
+struct Scanner
+{
+    const std::string &s;
+    std::size_t p = 0;
+
+    explicit Scanner(const std::string &text) : s(text) {}
+
+    void
+    ws()
+    {
+        while (p < s.size() && (s[p] == ' ' || s[p] == '\t' ||
+                                s[p] == '\n' || s[p] == '\r')) {
+            ++p;
+        }
+    }
+
+    bool eof() { ws(); return p >= s.size(); }
+
+    char
+    peek()
+    {
+        ws();
+        if (p >= s.size())
+            throw SpecError("grid spec: unexpected end of input");
+        return s[p];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw SpecError(csprintf("grid spec: expected '%c' at "
+                                     "offset %zu", c, p));
+        ++p;
+    }
+
+    /** Parse a quoted string, decoding standard JSON escapes. */
+    std::string
+    str()
+    {
+        expect('"');
+        std::string out;
+        while (p < s.size() && s[p] != '"') {
+            char c = s[p++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= s.size())
+                break;   // reported as unterminated below
+            const char esc = s[p++];
+            switch (esc) {
+              case '"': case '\\': case '/': out += esc; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              default:
+                throw SpecError(csprintf("grid spec: unknown escape "
+                                         "\\%c", esc));
+            }
+        }
+        if (p >= s.size())
+            throw SpecError("grid spec: unterminated string");
+        ++p;   // closing quote
+        return out;
+    }
+
+    /** An unquoted token: number / true / false. */
+    std::string
+    rawToken()
+    {
+        ws();
+        const std::size_t start = p;
+        while (p < s.size() && s[p] != ',' && s[p] != '}' &&
+               s[p] != ']' && s[p] != ' ' && s[p] != '\t' &&
+               s[p] != '\n' && s[p] != '\r') {
+            ++p;
+        }
+        if (p == start)
+            throw SpecError(csprintf("grid spec: expected a value at "
+                                     "offset %zu", start));
+        return s.substr(start, p - start);
+    }
+
+    /** The balanced {...} starting here, cursor advanced past it. */
+    std::string
+    objectSlice()
+    {
+        ws();
+        const std::size_t start = p;
+        int depth = 0;
+        bool inStr = false;
+        while (p < s.size()) {
+            const char c = s[p];
+            if (inStr) {
+                if (c == '\\' && p + 1 < s.size())
+                    ++p;
+                else if (c == '"')
+                    inStr = false;
+            } else if (c == '"') {
+                inStr = true;
+            } else if (c == '{' || c == '[') {
+                ++depth;
+            } else if (c == '}' || c == ']') {
+                if (--depth == 0) {
+                    ++p;
+                    return s.substr(start, p - start);
+                }
+            }
+            ++p;
+        }
+        throw SpecError("grid spec: unterminated base object");
+    }
+};
+
+/** One axis element, quoted values kept distinct from raw tokens. */
+struct RawValue
+{
+    std::string text;
+    bool quoted = false;
+};
+
+struct AxisKey
+{
+    std::string key;
+    std::vector<RawValue> values;
+};
+
+struct Axis
+{
+    bool zip = false;
+    std::vector<AxisKey> keys;
+};
+
+struct Doc
+{
+    std::string name;
+    std::string labelFormat;
+    bool haveLabelFormat = false;
+    std::string basePreset;
+    bool haveBasePreset = false;
+    std::string baseObject;   ///< verbatim slice, fed to specFromJson
+    PredictorKind predictor = PredictorKind::Gshare;
+    bool havePredictor = false;
+    std::vector<Axis> axes;
+};
+
+[[noreturn]] void
+failAxis(std::size_t axis, const std::string &what)
+{
+    throw SpecError(csprintf("grid axis %zu: %s", axis + 1,
+                             what.c_str()));
+}
+
+[[noreturn]] void
+failKey(std::size_t axis, const std::string &key, const std::string &what)
+{
+    throw SpecError(csprintf("grid axis %zu, key '%s': %s", axis + 1,
+                             key.c_str(), what.c_str()));
+}
+
+[[noreturn]] void
+failElem(std::size_t axis, const std::string &key, std::size_t elem,
+         const std::string &what)
+{
+    throw SpecError(csprintf("grid axis %zu, key '%s', element %zu: %s",
+                             axis + 1, key.c_str(), elem,
+                             what.c_str()));
+}
+
+bool
+reservedWorkloadKey(const std::string &key)
+{
+    return key == "workload.name" || key == "workload.trace" ||
+           key == "workload.seed";
+}
+
+std::uint64_t
+parseSeed(const std::string &text, std::size_t axis, std::size_t elem)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size() ||
+        text.empty() || text[0] == '-') {
+        failElem(axis, "workload.seed", elem,
+                 "expected an unsigned integer, got '" + text + "'");
+    }
+    return v;
+}
+
+Axis
+parseAxis(Scanner &sc, std::size_t axisIdx)
+{
+    Axis axis;
+    bool haveKeys = false;
+    sc.expect('{');
+    if (sc.peek() == '}') {
+        ++sc.p;
+        failAxis(axisIdx, "empty axis (no keys)");
+    }
+    for (;;) {
+        const std::string key = sc.str();
+        sc.expect(':');
+        if (key == "mode") {
+            const std::string mode = sc.str();
+            if (mode == "zip")
+                axis.zip = true;
+            else if (mode != "product")
+                failAxis(axisIdx, "unknown mode '" + mode +
+                                  "' (want \"product\" or \"zip\")");
+        } else if (key == "keys") {
+            haveKeys = true;
+            sc.expect('{');
+            if (sc.peek() == '}') {
+                ++sc.p;
+            } else {
+                for (;;) {
+                    AxisKey ak;
+                    ak.key = sc.str();
+                    sc.expect(':');
+                    sc.expect('[');
+                    if (sc.peek() == ']') {
+                        ++sc.p;
+                    } else {
+                        for (;;) {
+                            RawValue v;
+                            const char c = sc.peek();
+                            if (c == '"') {
+                                v.text = sc.str();
+                                v.quoted = true;
+                            } else if (c == '{' || c == '[') {
+                                failKey(axisIdx, ak.key,
+                                        "elements must be scalars");
+                            } else {
+                                v.text = sc.rawToken();
+                            }
+                            ak.values.push_back(std::move(v));
+                            if (sc.peek() == ',') {
+                                ++sc.p;
+                                continue;
+                            }
+                            sc.expect(']');
+                            break;
+                        }
+                    }
+                    axis.keys.push_back(std::move(ak));
+                    if (sc.peek() == ',') {
+                        ++sc.p;
+                        continue;
+                    }
+                    sc.expect('}');
+                    break;
+                }
+            }
+        } else {
+            failAxis(axisIdx, "unknown axis key '" + key +
+                              "' (want \"mode\" or \"keys\")");
+        }
+        if (sc.peek() == ',') {
+            ++sc.p;
+            continue;
+        }
+        sc.expect('}');
+        break;
+    }
+    if (!haveKeys || axis.keys.empty())
+        failAxis(axisIdx, "empty axis (no keys)");
+    return axis;
+}
+
+Doc
+parseDoc(const std::string &json)
+{
+    Doc doc;
+    Scanner sc(json);
+    std::set<std::string> seenTop;
+    sc.expect('{');
+    if (sc.peek() == '}') {
+        ++sc.p;
+    } else {
+        for (;;) {
+            const std::string key = sc.str();
+            sc.expect(':');
+            if (!seenTop.insert(key).second)
+                throw SpecError("grid spec: duplicate top-level key '" +
+                                key + "'");
+            if (key == "name") {
+                doc.name = sc.str();
+            } else if (key == "predictor") {
+                const std::string p = sc.str();
+                if (p == "gshare")
+                    doc.predictor = PredictorKind::Gshare;
+                else if (p == "tage")
+                    doc.predictor = PredictorKind::Tage;
+                else
+                    throw SpecError("grid spec: unknown predictor '" +
+                                    p + "' (want gshare or tage)");
+                doc.havePredictor = true;
+            } else if (key == "base") {
+                if (sc.peek() == '{') {
+                    doc.baseObject = sc.objectSlice();
+                } else {
+                    doc.basePreset = sc.str();
+                    doc.haveBasePreset = true;
+                }
+            } else if (key == "label_format") {
+                doc.labelFormat = sc.str();
+                doc.haveLabelFormat = true;
+            } else if (key == "axes") {
+                sc.expect('[');
+                if (sc.peek() == ']') {
+                    ++sc.p;
+                } else {
+                    for (;;) {
+                        doc.axes.push_back(
+                            parseAxis(sc, doc.axes.size()));
+                        if (sc.peek() == ',') {
+                            ++sc.p;
+                            continue;
+                        }
+                        sc.expect(']');
+                        break;
+                    }
+                }
+            } else {
+                throw SpecError("grid spec: unknown top-level key '" +
+                                key + "'");
+            }
+            if (sc.peek() == ',') {
+                ++sc.p;
+                continue;
+            }
+            sc.expect('}');
+            break;
+        }
+    }
+    // A truncated or concatenated document must not half-load.
+    if (!sc.eof())
+        throw SpecError(csprintf("grid spec: trailing content at "
+                                 "offset %zu", sc.p));
+    return doc;
+}
+
+/**
+ * Validate every element of every axis against the spec registry (or
+ * the reserved-key rules) before any expansion happens: a bad element
+ * fails the whole document up front, naming axis/key/element.
+ */
+void
+validateDoc(const Doc &doc, const MachineConfig &scratchBase)
+{
+    std::set<std::string> seenKeys;
+    bool haveName = false, haveTrace = false;
+    for (std::size_t a = 0; a < doc.axes.size(); ++a) {
+        const Axis &axis = doc.axes[a];
+        std::size_t zipLen = 0;
+        for (std::size_t k = 0; k < axis.keys.size(); ++k) {
+            const AxisKey &ak = axis.keys[k];
+            // "label" fragments may come from several axes; every
+            // other key must expand from exactly one place.
+            if (ak.key != "label" && !seenKeys.insert(ak.key).second) {
+                throw SpecError(csprintf("grid: key '%s' appears in "
+                                         "more than one axis",
+                                         ak.key.c_str()));
+            }
+            if (ak.values.empty())
+                failKey(a, ak.key, "empty value list");
+            if (axis.zip) {
+                if (k == 0) {
+                    zipLen = ak.values.size();
+                } else if (ak.values.size() != zipLen) {
+                    failAxis(a, csprintf(
+                        "zip keys have unequal lengths ('%s' has %zu, "
+                        "'%s' has %zu)", axis.keys[0].key.c_str(),
+                        zipLen, ak.key.c_str(), ak.values.size()));
+                }
+            }
+            if (ak.key == "workload.name")
+                haveName = true;
+            if (ak.key == "workload.trace")
+                haveTrace = true;
+
+            for (std::size_t e = 0; e < ak.values.size(); ++e) {
+                const RawValue &v = ak.values[e];
+                if (ak.key == "base") {
+                    if (!v.quoted)
+                        failElem(a, ak.key, e,
+                                 "expected a preset name string");
+                    try {
+                        presetByName(v.text, doc.predictor);
+                    } catch (const SpecError &err) {
+                        failElem(a, ak.key, e, err.what());
+                    }
+                    continue;
+                }
+                if (ak.key == "label" || ak.key == "workload.name" ||
+                    ak.key == "workload.trace") {
+                    if (!v.quoted)
+                        failElem(a, ak.key, e, "expected a string");
+                    if (ak.key != "label" && v.text.empty())
+                        failElem(a, ak.key, e, "empty name");
+                    continue;
+                }
+                if (ak.key == "workload.seed") {
+                    if (v.quoted)
+                        failElem(a, ak.key, e,
+                                 "expected an unsigned integer, got a "
+                                 "string");
+                    parseSeed(v.text, a, e);
+                    continue;
+                }
+                const ParamSpec *p = findParam(ak.key);
+                if (!p)
+                    failKey(a, ak.key, "unknown machine parameter");
+                if (p->type == ParamValue::Type::Str) {
+                    if (!v.quoted)
+                        failElem(a, ak.key, e, "expected a string");
+                } else if (v.quoted) {
+                    failElem(a, ak.key, e, "expected a number or "
+                                           "boolean, got a string");
+                }
+                try {
+                    MachineConfig scratch = scratchBase;
+                    setParamFromString(scratch, ak.key, v.text);
+                } catch (const SpecError &err) {
+                    failElem(a, ak.key, e, err.what());
+                }
+            }
+        }
+    }
+    if (haveName && haveTrace) {
+        throw SpecError("grid: both workload.name and workload.trace "
+                        "are set; a point binds one workload");
+    }
+}
+
+/** Elements-per-point contributed by one axis. */
+std::size_t
+axisCount(const Axis &axis)
+{
+    if (axis.zip)
+        return axis.keys[0].values.size();
+    std::size_t n = 1;
+    for (const AxisKey &ak : axis.keys)
+        n *= ak.values.size();
+    return n;
+}
+
+/** Element index of key @p k within @p axis at axis position @p idx. */
+std::size_t
+elemIndex(const Axis &axis, std::size_t k, std::size_t idx)
+{
+    if (axis.zip)
+        return idx;
+    // First key slowest: divide out the sizes of all later keys.
+    std::size_t stride = 1;
+    for (std::size_t j = axis.keys.size(); j-- > k + 1;)
+        stride *= axis.keys[j].values.size();
+    return (idx / stride) % axis.keys[k].values.size();
+}
+
+std::string
+formatLabel(const std::string &fmt, const MachineConfig &m,
+            const GridPoint &pt)
+{
+    std::string out;
+    for (std::size_t i = 0; i < fmt.size();) {
+        if (fmt[i] != '{') {
+            out += fmt[i++];
+            continue;
+        }
+        const std::size_t close = fmt.find('}', i);
+        if (close == std::string::npos)
+            throw SpecError("grid label_format: unterminated '{'");
+        const std::string key = fmt.substr(i + 1, close - i - 1);
+        if (key == "workload.name") {
+            out += pt.workload;
+        } else if (key == "workload.seed") {
+            out += std::to_string(pt.seed);
+        } else {
+            // getParam throws SpecError naming the key when unknown.
+            out += paramValueStr(getParam(m, key));
+        }
+        i = close + 1;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+Grid
+expand(const std::string &json, PredictorKind defaultPredictor)
+{
+    Doc doc = parseDoc(json);
+    // A document that names no predictor inherits the caller's (the
+    // CLI threads --predictor through here).
+    if (!doc.havePredictor)
+        doc.predictor = defaultPredictor;
+    if (doc.basePreset.empty() && doc.baseObject.empty() &&
+        doc.haveBasePreset) {
+        throw SpecError("grid spec: empty base preset name");
+    }
+
+    // The document's starting machine: a preset, an inline flat spec
+    // object (the --machine file grammar), or the registry defaults.
+    MachineConfig docBase;
+    bool namedDocBase = false;
+    if (!doc.baseObject.empty()) {
+        docBase = specFromJson(doc.baseObject, doc.predictor);
+        namedDocBase = true;
+    } else if (doc.haveBasePreset) {
+        docBase = presetByName(doc.basePreset, doc.predictor);
+        namedDocBase = true;
+    } else {
+        docBase.predictor = doc.predictor;
+    }
+
+    validateDoc(doc, docBase);
+
+    std::size_t total = 1;
+    for (const Axis &axis : doc.axes)
+        total *= axisCount(axis);
+
+    Grid grid;
+    grid.name = doc.name;
+    grid.points.reserve(total);
+    for (std::size_t pi = 0; pi < total; ++pi) {
+        // Axis positions for this point, first axis slowest.
+        std::vector<std::size_t> pos(doc.axes.size());
+        {
+            std::size_t rest = pi;
+            for (std::size_t a = doc.axes.size(); a-- > 0;) {
+                const std::size_t n = axisCount(doc.axes[a]);
+                pos[a] = rest % n;
+                rest /= n;
+            }
+        }
+
+        // "base" resolves first regardless of which axis carries it,
+        // so parameter keys from any axis override the preset — the
+        // same rule the flat spec reader applies.
+        GridPoint pt;
+        MachineConfig m = docBase;
+        bool namedStart = namedDocBase;
+        for (std::size_t a = 0; a < doc.axes.size(); ++a) {
+            for (std::size_t k = 0; k < doc.axes[a].keys.size(); ++k) {
+                const AxisKey &ak = doc.axes[a].keys[k];
+                if (ak.key != "base")
+                    continue;
+                const std::size_t e = elemIndex(doc.axes[a], k, pos[a]);
+                m = presetByName(ak.values[e].text, doc.predictor);
+                namedStart = true;
+            }
+        }
+        const MachineConfig start = m;
+
+        std::string labelParts;
+        for (std::size_t a = 0; a < doc.axes.size(); ++a) {
+            for (std::size_t k = 0; k < doc.axes[a].keys.size(); ++k) {
+                const AxisKey &ak = doc.axes[a].keys[k];
+                if (ak.key == "base")
+                    continue;
+                const std::size_t e = elemIndex(doc.axes[a], k, pos[a]);
+                const std::string &text = ak.values[e].text;
+                if (ak.key == "label") {
+                    if (!labelParts.empty())
+                        labelParts += ' ';
+                    labelParts += text;
+                } else if (ak.key == "workload.name") {
+                    pt.workload = text;
+                } else if (ak.key == "workload.trace") {
+                    pt.workload = "trace:" + text;
+                } else if (ak.key == "workload.seed") {
+                    pt.seed = parseSeed(text, a, e);
+                    pt.hasSeed = true;
+                } else {
+                    try {
+                        setParamFromString(m, ak.key, text);
+                    } catch (const SpecError &err) {
+                        failElem(a, ak.key, e, err.what());
+                    }
+                }
+            }
+        }
+
+        if (doc.haveLabelFormat)
+            pt.label = formatLabel(doc.labelFormat, m, pt);
+        else if (!labelParts.empty())
+            pt.label = labelParts;
+        else if (namedStart && sameSpec(m, start))
+            pt.label = start.name;
+        else
+            pt.label = describeSpec(m);
+        m.name = pt.label;
+        pt.machine = std::move(m);
+        grid.points.push_back(std::move(pt));
+    }
+    return grid;
+}
+
+} // namespace grid
+} // namespace msp

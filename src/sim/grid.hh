@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Grid specs: whole ablation studies as data.
+ *
+ * A grid document is a JSON object that maps dotted MachineSpec keys
+ * to *lists* of values, organised into named axes that expand either
+ * as a cross-product or zipped in lockstep:
+ *
+ *   {"name": "ablation-checkpoints",
+ *    "base": "cpr",
+ *    "label_format": "CPR/{cpr.checkpoints} ckpts",
+ *    "axes": [
+ *      {"keys": {"workload.name": ["gzip", "gcc", "bzip2"]}},
+ *      {"mode": "product", "keys": {"cpr.checkpoints": [2, 4, 8, 16, 32]}}
+ *    ]}
+ *
+ * Axes always cross with each other, first axis slowest. Within one
+ * axis, "product" (the default) crosses its keys (first key slowest)
+ * while "zip" advances all keys in lockstep and demands equal list
+ * lengths. Every value is validated key-by-key through the spec
+ * registry at parse time; a bad element throws SpecError naming the
+ * axis, the key and the element index, so a 300-point study never
+ * fails 40 minutes in.
+ *
+ * Reserved keys, usable inside axes like any parameter:
+ *   "base"           preset name — the point starts from this preset
+ *                    (resolved first, like specFromJson's "base");
+ *   "label"          a label fragment; fragments from all axes join
+ *                    with spaces to form the point label;
+ *   "workload.name"  registry workload for the point;
+ *   "workload.trace" trace file — shorthand for "trace:FILE";
+ *   "workload.seed"  generator seed for the point.
+ * Top level also accepts "base" (preset name or a flat spec object),
+ * "predictor" (default predictor for preset resolution), "name" and
+ * "label_format" ("{key}" substitutes the point's value of key).
+ *
+ * When no label is given, a point that is exactly its base preset is
+ * labelled with the preset display name; anything else falls back to
+ * describeSpec(). Expansion is deterministic: same document, same
+ * ordered point list, so sharded campaign runs merge byte-identically.
+ */
+
+#ifndef MSPLIB_SIM_GRID_HH
+#define MSPLIB_SIM_GRID_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/spec.hh"
+
+namespace msp {
+namespace grid {
+
+/** One expanded grid point: a labelled machine plus workload binding. */
+struct GridPoint
+{
+    std::string label;       ///< also written to machine.name
+    MachineConfig machine;
+    std::string workload;    ///< "" when the grid binds no workload
+    bool hasSeed = false;
+    std::uint64_t seed = 1;
+};
+
+/** An expanded grid document. */
+struct Grid
+{
+    std::string name;               ///< document "name" ("" if absent)
+    std::vector<GridPoint> points;  ///< deterministic expansion order
+};
+
+/**
+ * Parse and expand a grid document.
+ * @throws SpecError on malformed JSON, unknown keys, out-of-range
+ *         elements (naming axis/key/element), zip axes of unequal
+ *         length, empty axes and duplicate keys across axes.
+ */
+Grid expand(const std::string &json,
+            PredictorKind defaultPredictor = PredictorKind::Gshare);
+
+} // namespace grid
+} // namespace msp
+
+#endif // MSPLIB_SIM_GRID_HH

@@ -96,7 +96,7 @@ diffRun(const Program &prog, const MachineConfig &config,
                        sr.isStore, sr.memAddr, sr.storeValue);
     }
     out.committedRef = ref.instCount() - warmSteps;
-    if (!ref.halted()) {
+    if (!ref.halted() && !opt.boundedOk) {
         addDivergence(out, "ref-no-halt",
                       csprintf("functional model did not HALT within "
                                "%llu instructions",
@@ -189,6 +189,20 @@ diffRun(const Program &prog, const MachineConfig &config,
     const RunResult r = m.run(opt.maxInsts, opt.maxCycles);
     out.committedCore = r.committed;
     out.cycles = r.cycles;
+
+    // The core's cycle loop retires whole groups, so a budget-bounded
+    // run can overshoot maxInsts by up to one retire width. Under
+    // boundedOk, walk the reference forward over the same extra
+    // commits so both sides cover the identical prefix.
+    if (opt.boundedOk) {
+        while (!ref.halted() &&
+               ref.instCount() < warmSteps + r.committed) {
+            const StepResult sr = ref.step();
+            refHash.commit(sr.pc, sr.wroteReg, sr.value, sr.isLoad,
+                           sr.isStore, sr.memAddr, sr.storeValue);
+        }
+        out.committedRef = ref.instCount() - warmSteps;
+    }
     out.streamHash = coreHash.h;
     if (opt.collectCoverage) {
         out.hasCoverage = true;
@@ -208,7 +222,10 @@ diffRun(const Program &prog, const MachineConfig &config,
                                static_cast<unsigned long long>(
                                    r.committed)));
     }
-    if (!m.core().halted()) {
+    // Under boundedOk, stopping at the commit budget is the expected
+    // end; falling short of it (a stall/deadlock) is still a failure.
+    if (!m.core().halted() &&
+        !(opt.boundedOk && r.committed >= opt.maxInsts)) {
         addDivergence(out, "no-halt",
                       csprintf("core committed %llu instructions in %llu "
                                "cycles without reaching HALT",

@@ -113,6 +113,18 @@ struct DiffOptions
      * the run itself is bit-identical either way.
      */
     bool collectCoverage = false;
+
+    /**
+     * Treat running into the maxInsts bound as a clean end of program
+     * instead of a "no-halt"/"ref-no-halt" divergence: both executions
+     * cover exactly the first maxInsts commits of the same
+     * deterministic program, so the stream/state cross-checks still
+     * hold over that prefix. Named-workload verification sets this so
+     * the unbounded IPC workloads (the synthetic SPEC loops,
+     * tight-loop) can be verified; fuzzed sweeps keep it off — a
+     * fuzzed program that fails to HALT is itself the bug.
+     */
+    bool boundedOk = false;
 };
 
 /** Outcome of one differential run (one program on one machine). */

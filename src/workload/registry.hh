@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The workload registry: every runnable workload behind one dotted
+ * name, so campaigns, grid documents ("workload.name" axes) and the
+ * CLI resolve programs the same way.
+ *
+ * Registered names:
+ *  - the synthetic SPEC benchmarks (workload/spec.hh): gzip, gcc,
+ *    swim, ... — seed-parameterised as before;
+ *  - "tight-loop": the back-to-back independent same-register-write
+ *    microbenchmark the ablation-rename scenario appends (identical
+ *    program to the historical hand-built job);
+ *  - three generator families the paper never measured:
+ *      "ptrchase"  — parallel pointer-chasing over randomised rings
+ *                    (dependent loads, memory-level parallelism);
+ *      "prodcons"  — a bounded producer-consumer ring buffer with
+ *                    data-dependent burst lengths (store-to-load
+ *                    forwarding through the queue);
+ *      "interp"    — an interpreter-style bytecode dispatch loop
+ *                    (indirect jumps through a handler table);
+ *  - "trace:FILE": an external instruction stream ingested from the
+ *    JSONL trace format (workload/trace.hh); the seed is ignored —
+ *    the file is the program.
+ *
+ * Every generator is a pure function of (name, seed), so campaign
+ * results stay bit-identical at any thread count, and every generated
+ * program halts (verify's differential oracle treats "no-halt" within
+ * budget as a divergence).
+ */
+
+#ifndef MSPLIB_WORKLOAD_REGISTRY_HH
+#define MSPLIB_WORKLOAD_REGISTRY_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace msp {
+namespace workload {
+
+/** An unknown workload name (lists the registered names). */
+struct WorkloadError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** The prefix that routes a name to the trace loader. */
+constexpr const char *tracePrefix = "trace:";
+
+/**
+ * Every registered generator name, in presentation order (SPEC int,
+ * SPEC fp, then the micro/new families). "trace:FILE" names are not
+ * enumerable and so not listed.
+ */
+std::vector<std::string> registeredNames();
+
+/**
+ * True when @p name resolves without building it: a registered
+ * generator, or a "trace:FILE" reference with a non-empty path (the
+ * file itself is only read at build time).
+ */
+bool known(const std::string &name);
+
+/**
+ * Build the program for @p name.
+ * @throws WorkloadError on an unknown name; trace::TraceError on a
+ *         missing or malformed trace file.
+ */
+Program build(const std::string &name, std::uint64_t seed = 1);
+
+} // namespace workload
+} // namespace msp
+
+#endif // MSPLIB_WORKLOAD_REGISTRY_HH

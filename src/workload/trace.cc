@@ -1,0 +1,250 @@
+#include "workload/trace.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "driver/report.hh"
+#include "isa/opcodes.hh"
+
+namespace msp {
+namespace trace {
+
+const char *const formatId = "msp-trace-v1";
+
+namespace {
+
+/** Opcode whose mnemonic is @p name; false when unknown. */
+bool
+opcodeByName(const std::string &name, Opcode &out)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        if (name == opName(static_cast<Opcode>(i))) {
+            out = static_cast<Opcode>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+[[noreturn]] void
+fail(std::size_t line, const std::string &what)
+{
+    throw TraceError(csprintf("trace line %zu: %s", line, what.c_str()));
+}
+
+/**
+ * One ["mnemonic", rd, rs1, rs2, imm] record. The same strictness
+ * rules as the verify-report program codec: operands must be complete
+ * decimal integers up to the next delimiter, register fields must fit
+ * the logical file, and a fifth operand is an error, not dropped.
+ */
+Instruction
+parseRecord(const std::string &e, std::size_t line)
+{
+    if (e.empty() || e[0] != '[')
+        fail(line, "expected an instruction tuple starting with '['");
+    const std::size_t q1 = e.find('"');
+    const std::size_t q2 =
+        q1 == std::string::npos ? std::string::npos : e.find('"', q1 + 1);
+    if (q2 == std::string::npos)
+        fail(line, "instruction record without a mnemonic");
+    const std::string mn = e.substr(q1 + 1, q2 - q1 - 1);
+    Instruction in;
+    if (!opcodeByName(mn, in.op))
+        fail(line, "unknown opcode mnemonic '" + mn + "'");
+    std::int64_t v[4] = {0, 0, 0, 0};
+    std::size_t p = q2 + 1;
+    for (int i = 0; i < 4; ++i) {
+        p = e.find(',', p);
+        if (p == std::string::npos)
+            fail(line, "instruction record has fewer than 4 operands");
+        ++p;
+        while (p < e.size() && e[p] == ' ')
+            ++p;
+        errno = 0;
+        char *end = nullptr;
+        v[i] = std::strtoll(e.c_str() + p, &end, 10);
+        if (errno == ERANGE)
+            fail(line, "operand overflows 64 bits");
+        std::size_t q = static_cast<std::size_t>(end - e.c_str());
+        if (q == p)
+            fail(line, csprintf("non-numeric operand %d", i + 1));
+        while (q < e.size() && e[q] == ' ')
+            ++q;
+        const char delim = i < 3 ? ',' : ']';
+        if (q >= e.size() || e[q] != delim) {
+            fail(line, i < 3 ? csprintf("malformed operand %d", i + 1)
+                             : "trailing content after the 5-tuple");
+        }
+        p = q;
+    }
+    // The tuple must end at its closing bracket (trailing whitespace
+    // was stripped by the line splitter).
+    if (p + 1 != e.size())
+        fail(line, "trailing content after the instruction tuple");
+    for (int i = 0; i < 3; ++i) {
+        if (v[i] < -1 || v[i] >= numLogRegs / 2) {
+            fail(line, csprintf("register operand %lld out of range "
+                                "[-1, %d]",
+                                static_cast<long long>(v[i]),
+                                numLogRegs / 2 - 1));
+        }
+    }
+    in.rd = static_cast<std::int8_t>(v[0]);
+    in.rs1 = static_cast<std::int8_t>(v[1]);
+    in.rs2 = static_cast<std::int8_t>(v[2]);
+    in.imm = v[3];
+    return in;
+}
+
+/** Strip an optional trailing '\r' and surrounding spaces. */
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                     s[e - 1] == '\r')) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+} // anonymous namespace
+
+std::string
+toJsonl(const Program &prog)
+{
+    std::string out = "{";
+    out += csprintf("\"format\": \"%s\", ", formatId);
+    out += csprintf("\"name\": \"%s\", ",
+                    json::escape(prog.name).c_str());
+    out += csprintf("\"mem_words\": %zu, ", prog.memWords);
+    out += csprintf("\"entry\": %llu, ",
+                    static_cast<unsigned long long>(prog.entry));
+    out += csprintf("\"code_base\": %llu, ",
+                    static_cast<unsigned long long>(prog.codeBase));
+    out += "\"init_data\": [";
+    for (std::size_t i = 0; i < prog.initData.size(); ++i) {
+        out += csprintf("%s\"%016llx\"", i ? ", " : "",
+                        static_cast<unsigned long long>(
+                            prog.initData[i]));
+    }
+    out += "]}\n";
+    for (const Instruction &in : prog.code) {
+        out += csprintf("[\"%s\", %d, %d, %d, %lld]\n", opName(in.op),
+                        static_cast<int>(in.rd),
+                        static_cast<int>(in.rs1),
+                        static_cast<int>(in.rs2),
+                        static_cast<long long>(in.imm));
+    }
+    return out;
+}
+
+Program
+fromJsonl(const std::string &text)
+{
+    // Split into lines, keeping 1-based numbering for every error.
+    std::vector<std::pair<std::size_t, std::string>> lines;
+    {
+        std::size_t start = 0, n = 1;
+        while (start <= text.size()) {
+            const std::size_t nl = text.find('\n', start);
+            const std::string raw = text.substr(
+                start, nl == std::string::npos ? std::string::npos
+                                               : nl - start);
+            const std::string t = trimmed(raw);
+            if (!t.empty())
+                lines.emplace_back(n, t);
+            if (nl == std::string::npos)
+                break;
+            start = nl + 1;
+            ++n;
+        }
+    }
+    if (lines.empty())
+        throw TraceError("trace line 1: empty trace (no header record)");
+
+    const auto &[headerLine, header] = lines.front();
+    if (header.empty() || header[0] != '{')
+        fail(headerLine, "expected the header object on the first "
+                         "non-empty line");
+    const std::string fmt = json::getStr(header, "format");
+    if (fmt != formatId) {
+        fail(headerLine, csprintf("unsupported format '%s' (want '%s')",
+                                  fmt.c_str(), formatId));
+    }
+
+    Program prog;
+    try {
+        prog.name = json::getStr(header, "name");
+        prog.memWords = static_cast<std::size_t>(
+            json::getU64(header, "mem_words", prog.memWords));
+        prog.entry = json::getU64(header, "entry", 0);
+        prog.codeBase = json::getU64(header, "code_base", prog.codeBase);
+    } catch (const json::JsonError &e) {
+        fail(headerLine, e.what());
+    }
+    if (prog.memWords == 0 || (prog.memWords & (prog.memWords - 1)) != 0)
+        fail(headerLine, csprintf("mem_words %zu is not a power of two",
+                                  prog.memWords));
+    // Geometry must fail here, not as a bad_alloc when ArchState
+    // materialises the image (2^24 words is already 128 MiB).
+    if (prog.memWords > (std::size_t{1} << 24))
+        fail(headerLine, csprintf("mem_words %zu is implausibly large",
+                                  prog.memWords));
+
+    const std::size_t dataAt = json::valuePos(header, "init_data");
+    if (dataAt != std::string::npos) {
+        if (header[dataAt] != '[')
+            fail(headerLine, "init_data must be an array of hex words");
+        for (const std::string &w :
+             json::innerStrings(json::balancedSlice(header, dataAt))) {
+            char *end = nullptr;
+            const std::uint64_t word = std::strtoull(w.c_str(), &end, 16);
+            if (w.empty() || end != w.c_str() + w.size())
+                fail(headerLine, "non-hexadecimal init_data word '" + w +
+                                 "'");
+            prog.initData.push_back(word);
+        }
+    }
+    if (prog.initData.size() > prog.memWords) {
+        fail(headerLine, csprintf("init_data (%zu words) exceeds "
+                                  "mem_words (%zu)",
+                                  prog.initData.size(), prog.memWords));
+    }
+    if (prog.name.empty())
+        prog.name = "trace";
+
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        prog.code.push_back(parseRecord(lines[i].second, lines[i].first));
+    if (prog.code.empty()) {
+        fail(headerLine + 1, "trace carries no instruction records");
+    }
+    if (prog.entry >= prog.code.size())
+        fail(headerLine, csprintf("entry %llu is past the last "
+                                  "instruction (%zu records)",
+                                  static_cast<unsigned long long>(
+                                      prog.entry),
+                                  prog.code.size()));
+    return prog;
+}
+
+Program
+load(const std::string &path)
+{
+    std::string text;
+    if (!driver::tryReadFile(path, text))
+        throw TraceError("cannot read trace file " + path);
+    try {
+        return fromJsonl(text);
+    } catch (const TraceError &e) {
+        throw TraceError(path + ": " + e.what());
+    }
+}
+
+} // namespace trace
+} // namespace msp

@@ -383,8 +383,9 @@ TEST(ParseCliArgs, ScenarioModeRejectsMatrixAndVerifyFlags)
 TEST(ParseCliArgs, VerifyModeFlagErrors)
 {
     EXPECT_THROW(parseCliArgs({"verify", "--seeds", "0"}), CliError);
-    EXPECT_THROW(parseCliArgs({"verify", "--workloads", "gzip"}),
-                 CliError);
+    // --workloads on its own is valid (named verification); combining
+    // it with the fuzz-campaign flags is not (GridFlagGrammar).
+    EXPECT_NO_THROW(parseCliArgs({"verify", "--workloads", "gzip"}));
     EXPECT_THROW(parseCliArgs({"verify", "--csv", "out.csv"}), CliError);
     EXPECT_THROW(parseCliArgs({"verify", "--mixes", "warp"}), CliError);
     EXPECT_THROW(parseCliArgs({"matrix", "--workloads", "gzip",
@@ -570,6 +571,87 @@ TEST(ParseCliArgs, BenchModeFlagErrors)
                  CliError);
     EXPECT_THROW(parseCliArgs({"fig6", "--gate-pct", "10"}), CliError);
     EXPECT_THROW(parseCliArgs({"merge", "a.json", "--reps", "2"}),
+                 CliError);
+}
+
+TEST(ParseCliArgs, GridFlagGrammar)
+{
+    // matrix: --grid replaces --configs/--machine (and, for a bound
+    // grid, --workloads — enforced at expansion, not parse).
+    const CliOptions o = parseCliArgs({"matrix", "--grid", "g.json"});
+    EXPECT_EQ(o.mode, "matrix");
+    EXPECT_EQ(o.gridPath, "g.json");
+    EXPECT_NO_THROW(parseCliArgs({"matrix", "--grid", "g.json",
+                                  "--workloads", "gzip"}));
+    EXPECT_THROW(parseCliArgs({"matrix", "--grid", "g.json", "--configs",
+                               "cpr"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--grid", "g.json", "--machine",
+                               "m.json"}),
+                 CliError);
+
+    // verify: --grid XOR --workloads selects deterministic named
+    // verification; campaign-style triage flags don't combine.
+    EXPECT_NO_THROW(parseCliArgs({"verify", "--grid", "g.json"}));
+    EXPECT_NO_THROW(parseCliArgs({"verify", "--workloads",
+                                  "gzip,trace:t.jsonl"}));
+    EXPECT_THROW(parseCliArgs({"verify", "--grid", "g.json",
+                               "--workloads", "gzip"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--grid", "g.json", "--seeds",
+                               "4"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--workloads", "gzip",
+                               "--mixes", "fpedge"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--workloads", "gzip",
+                               "--fail-fast"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"verify", "--workloads", "gzip",
+                               "--coverage"}),
+                 CliError);
+    EXPECT_NO_THROW(parseCliArgs({"verify", "--workloads", "gzip",
+                                  "--snapshot-every", "256", "--configs",
+                                  "cpr,16sp"}));
+
+    // Workload names are validated at parse time.
+    EXPECT_THROW(parseCliArgs({"verify", "--workloads", "frobnicate"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"matrix", "--grid", "g.json",
+                               "--workloads", "trace:"}),
+                 CliError);
+
+    // The other modes reject --grid outright.
+    EXPECT_THROW(parseCliArgs({"fig6", "--grid", "g.json"}), CliError);
+    EXPECT_THROW(parseCliArgs({"merge", "a.json", "--grid", "g.json"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"bench", "--grid", "g.json"}), CliError);
+    EXPECT_THROW(parseCliArgs({"spec", "--configs", "cpr", "--grid",
+                               "g.json"}),
+                 CliError);
+}
+
+TEST(ParseCliArgs, TraceMode)
+{
+    const CliOptions o = parseCliArgs(
+        {"trace", "--workloads", "ptrchase", "--seed", "9", "--json",
+         "out.jsonl"});
+    EXPECT_EQ(o.mode, "trace");
+    EXPECT_EQ(o.workloads, (std::vector<std::string>{"ptrchase"}));
+    EXPECT_EQ(o.seed, 9u);
+    EXPECT_EQ(o.jsonPath, "out.jsonl");
+
+    EXPECT_THROW(parseCliArgs({"trace"}), CliError);
+    EXPECT_THROW(parseCliArgs({"trace", "--workloads", "gzip,gcc"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"trace", "--workloads", "gzip",
+                               "--configs", "cpr"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"trace", "--workloads", "gzip",
+                               "--threads", "2"}),
+                 CliError);
+    EXPECT_THROW(parseCliArgs({"trace", "--workloads", "gzip", "--grid",
+                               "g.json"}),
                  CliError);
 }
 

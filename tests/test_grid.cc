@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Grid-spec tests (sim/grid.{hh,cc}): expansion order and label
+ * precedence, workload binding (name / trace / seed axes), the
+ * validation error paths (each naming axis, key and element), the
+ * shipped examples/grids/ documents staying byte-identical to the
+ * embedded scenario documents, and the golden-equivalence contract —
+ * every scenario's grid expansion builds the exact job list the
+ * legacy hand-coded builders produced, and runs to byte-identical
+ * reports at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "driver/campaign.hh"
+#include "driver/report.hh"
+#include "driver/scenario.hh"
+#include "sim/grid.hh"
+#include "sim/presets.hh"
+#include "sim/spec.hh"
+#include "workload/spec.hh"
+
+namespace msp {
+namespace {
+
+using driver::CampaignJob;
+using driver::SimCampaign;
+
+/** expand() must throw a SpecError whose message contains @p want. */
+void
+expectGridError(const std::string &doc, const std::string &want)
+{
+    try {
+        grid::expand(doc);
+        FAIL() << "expected SpecError containing '" << want << "'";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find(want), std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+// ---- expansion -------------------------------------------------------------
+
+TEST(GridExpand, ProductOrderFirstAxisSlowest)
+{
+    const grid::Grid g = grid::expand(
+        R"({"axes": [
+             {"keys": {"workload.name": ["gzip", "gcc"]}},
+             {"keys": {"base": ["baseline", "cpr"]}}
+           ]})");
+    ASSERT_EQ(g.points.size(), 4u);
+    EXPECT_EQ(g.points[0].workload, "gzip");
+    EXPECT_EQ(g.points[0].label, "Baseline");
+    EXPECT_EQ(g.points[1].workload, "gzip");
+    EXPECT_EQ(g.points[1].label, "CPR");
+    EXPECT_EQ(g.points[2].workload, "gcc");
+    EXPECT_EQ(g.points[2].label, "Baseline");
+    EXPECT_EQ(g.points[3].workload, "gcc");
+    EXPECT_EQ(g.points[3].label, "CPR");
+    // The label is also the machine's report name.
+    EXPECT_EQ(g.points[1].machine.name, "CPR");
+}
+
+TEST(GridExpand, MultiKeyAxisFirstKeySlowest)
+{
+    const grid::Grid g = grid::expand(
+        R"({"base": "cpr",
+            "label_format": "{cpr.checkpoints}/{lcs.latency}",
+            "axes": [
+             {"keys": {"cpr.checkpoints": [2, 4], "lcs.latency": [0, 1]}}
+           ]})");
+    ASSERT_EQ(g.points.size(), 4u);
+    EXPECT_EQ(g.points[0].label, "2/0");
+    EXPECT_EQ(g.points[1].label, "2/1");
+    EXPECT_EQ(g.points[2].label, "4/0");
+    EXPECT_EQ(g.points[3].label, "4/1");
+}
+
+TEST(GridExpand, ZipWalksKeysInLockstep)
+{
+    const grid::Grid g = grid::expand(
+        R"({"axes": [
+             {"mode": "zip",
+              "keys": {"base": ["cpr", "16sp"],
+                       "predictor": ["gshare", "tage"],
+                       "label": ["CPR gshare", "16-SP TAGE"]}}
+           ]})");
+    ASSERT_EQ(g.points.size(), 2u);
+    EXPECT_EQ(g.points[0].label, "CPR gshare");
+    EXPECT_EQ(g.points[0].machine.predictor, PredictorKind::Gshare);
+    EXPECT_EQ(g.points[1].label, "16-SP TAGE");
+    EXPECT_EQ(g.points[1].machine.predictor, PredictorKind::Tage);
+    EXPECT_EQ(g.points[1].machine.core.lcsLatency,
+              presetByName("16sp", PredictorKind::Tage).core.lcsLatency);
+}
+
+TEST(GridExpand, LabelPrecedence)
+{
+    // label_format wins over joined label parts and preset names.
+    const grid::Grid fmt = grid::expand(
+        R"({"base": "cpr", "label_format": "ckpt={cpr.checkpoints}",
+            "axes": [{"keys": {"cpr.checkpoints": [8]}}]})");
+    EXPECT_EQ(fmt.points[0].label, "ckpt=8");
+
+    // An unmodified preset point keeps the preset's display name...
+    const grid::Grid preset = grid::expand(
+        R"({"axes": [{"keys": {"base": ["16sp"]}}]})");
+    EXPECT_EQ(preset.points[0].label, "16-SP+Arb");
+
+    // ...while a modified one falls back to its describeSpec identity.
+    const grid::Grid touched = grid::expand(
+        R"({"base": "baseline",
+            "axes": [{"keys": {"iq.size": [17]}}]})");
+    MachineConfig expect = presetByName("baseline", PredictorKind::Gshare);
+    setParamFromString(expect, "iq.size", "17");
+    EXPECT_EQ(touched.points[0].label, describeSpec(expect));
+}
+
+TEST(GridExpand, WorkloadTraceAndSeedAxes)
+{
+    const grid::Grid g = grid::expand(
+        R"({"axes": [
+             {"keys": {"workload.trace": ["/tmp/a.jsonl"]}},
+             {"keys": {"workload.seed": [7, 9]}},
+             {"keys": {"base": ["baseline"]}}
+           ]})");
+    ASSERT_EQ(g.points.size(), 2u);
+    EXPECT_EQ(g.points[0].workload, "trace:/tmp/a.jsonl");
+    EXPECT_TRUE(g.points[0].hasSeed);
+    EXPECT_EQ(g.points[0].seed, 7u);
+    EXPECT_EQ(g.points[1].seed, 9u);
+}
+
+TEST(GridExpand, InlineBaseObjectAndDefaultPredictor)
+{
+    // "base" may be an inline flat spec object (the --machine grammar);
+    // the expand() default predictor seeds documents that set none.
+    const grid::Grid g = grid::expand(
+        R"({"base": {"base": "cpr", "iq.size": 24},
+            "axes": [{"keys": {"rob.size": [96]}}]})",
+        PredictorKind::Tage);
+    ASSERT_EQ(g.points.size(), 1u);
+    EXPECT_EQ(g.points[0].machine.predictor, PredictorKind::Tage);
+    EXPECT_EQ(getParam(g.points[0].machine, "iq.size").u, 24u);
+    EXPECT_EQ(getParam(g.points[0].machine, "rob.size").u, 96u);
+}
+
+// ---- validation errors -----------------------------------------------------
+
+TEST(GridValidate, UnknownMachineParameter)
+{
+    expectGridError(
+        R"({"axes": [{"keys": {"bogus.key": [1]}}]})",
+        "grid axis 1, key 'bogus.key': unknown machine parameter");
+}
+
+TEST(GridValidate, OutOfRangeElementNamesItsPosition)
+{
+    expectGridError(
+        R"({"axes": [{"keys": {"width.fetch": [4, 99999]}}]})",
+        "grid axis 1, key 'width.fetch', element 1");
+}
+
+TEST(GridValidate, UnequalZipLengths)
+{
+    expectGridError(
+        R"({"axes": [{"mode": "zip",
+                      "keys": {"iq.size": [8, 16],
+                               "rob.size": [64]}}]})",
+        "zip keys have unequal lengths");
+}
+
+TEST(GridValidate, EmptyAxis)
+{
+    expectGridError(R"({"axes": [{}]})", "empty axis");
+    expectGridError(R"({"axes": [{"mode": "product"}]})", "empty axis");
+    expectGridError(R"({"axes": [{"keys": {}}]})", "empty axis");
+}
+
+TEST(GridValidate, DuplicateKeyAcrossAxes)
+{
+    expectGridError(
+        R"({"axes": [{"keys": {"iq.size": [8]}},
+                     {"keys": {"iq.size": [16]}}]})",
+        "key 'iq.size' appears in more than one axis");
+    // "label" fragments are the one key allowed from several axes.
+    const grid::Grid g = grid::expand(
+        R"({"axes": [{"mode": "zip",
+                      "keys": {"iq.size": [8], "label": ["a"]}},
+                     {"mode": "zip",
+                      "keys": {"rob.size": [64], "label": ["b"]}}]})");
+    EXPECT_EQ(g.points[0].label, "a b");
+}
+
+TEST(GridValidate, EmptyValueList)
+{
+    expectGridError(R"({"axes": [{"keys": {"iq.size": []}}]})",
+                    "empty value list");
+}
+
+TEST(GridValidate, BothWorkloadNameAndTrace)
+{
+    expectGridError(
+        R"({"axes": [{"keys": {"workload.name": ["gzip"],
+                               "workload.trace": ["t.jsonl"]}}]})",
+        "both workload.name and workload.trace");
+}
+
+TEST(GridValidate, TypeMismatches)
+{
+    expectGridError(
+        R"({"axes": [{"keys": {"iq.size": ["8"]}}]})",
+        "expected a number or boolean, got a string");
+    expectGridError(
+        R"({"axes": [{"keys": {"predictor": [1]}}]})",
+        "expected a string");
+    expectGridError(
+        R"({"axes": [{"keys": {"workload.seed": ["7"]}}]})",
+        "expected an unsigned integer, got a string");
+    expectGridError(
+        R"({"axes": [{"keys": {"iq.size": [{"x": 1}]}}]})",
+        "elements must be scalars");
+}
+
+TEST(GridValidate, DocumentGrammar)
+{
+    expectGridError(R"({"nope": 1})", "unknown top-level key 'nope'");
+    expectGridError(R"({"name": "a", "name": "b"})",
+                    "duplicate top-level key 'name'");
+    expectGridError(R"({"predictor": "magic"})", "unknown predictor");
+    expectGridError(R"({"axes": []} trailing)", "trailing content");
+    expectGridError(R"({"base": ""})", "empty base preset name");
+    expectGridError(
+        R"({"axes": [{"keys": {"base": ["no-such-preset"]}}]})",
+        "grid axis 1, key 'base', element 0");
+    expectGridError(
+        R"({"label_format": "{oops",
+            "axes": [{"keys": {"base": ["cpr"]}}]})",
+        "unterminated '{'");
+    expectGridError(
+        R"({"axes": [{"mode": "diag", "keys": {"iq.size": [8]}}]})",
+        "unknown mode 'diag'");
+}
+
+// ---- gridJobs --------------------------------------------------------------
+
+TEST(GridJobs, WorkloadMajorContractAndSeeds)
+{
+    const grid::Grid g = grid::expand(
+        R"({"axes": [
+             {"keys": {"workload.name": ["gzip", "gcc"]}},
+             {"keys": {"base": ["baseline", "cpr"]}}
+           ]})");
+    const std::vector<CampaignJob> jobs =
+        driver::gridJobs("t", g, 5000, 3);
+    ASSERT_EQ(jobs.size(), 4u);
+    // Same (workload-major) order as matrixJobs: the reporting
+    // contract scenario reports rebuild their grids from.
+    EXPECT_EQ(jobs[0].workload, "gzip");
+    EXPECT_EQ(jobs[1].workload, "gzip");
+    EXPECT_EQ(jobs[1].config.name, "CPR");
+    EXPECT_EQ(jobs[2].workload, "gcc");
+    EXPECT_EQ(jobs[0].maxInsts, 5000u);
+    EXPECT_EQ(jobs[0].seed, 3u);        // campaign seed: no axis bound
+    EXPECT_EQ(jobs[0].scenario, "t");
+
+    const grid::Grid seeded = grid::expand(
+        R"({"axes": [{"keys": {"workload.name": ["gzip"]}},
+                     {"keys": {"workload.seed": [11]}},
+                     {"keys": {"base": ["cpr"]}}]})");
+    EXPECT_EQ(driver::gridJobs("t", seeded, 0, 3)[0].seed, 11u);
+}
+
+TEST(GridJobs, UnboundGridRefusesJobConstruction)
+{
+    const grid::Grid g = grid::expand(
+        R"({"axes": [{"keys": {"base": ["cpr"]}}]})");
+    EXPECT_THROW(driver::gridJobs("t", g), SpecError);
+}
+
+// ---- shipped documents -----------------------------------------------------
+
+TEST(GridDocs, ShippedFilesMatchEmbeddedScenarios)
+{
+    // examples/grids/<name>.json is the same document the scenario
+    // embeds — byte for byte, so the files users edit and the sweeps
+    // the binaries run can never drift apart.
+    for (const auto &s : driver::scenarios()) {
+        ASSERT_FALSE(s.gridJson.empty()) << s.name;
+        const std::string path = std::string(MSP_SOURCE_DIR) +
+                                 "/examples/grids/" + s.name + ".json";
+        std::ifstream f(path, std::ios::binary);
+        ASSERT_TRUE(f.good()) << "missing " << path;
+        std::ostringstream body;
+        body << f.rdbuf();
+        EXPECT_EQ(body.str(), s.gridJson) << path;
+    }
+}
+
+// ---- golden equivalence ----------------------------------------------------
+
+TEST(GridGolden, Fig6ExpansionMatchesLegacyBuilder)
+{
+    // The legacy hand-coded fig6 builder: SPECint x the Table I
+    // ladder, workload-major. Its grid document must reproduce that
+    // job list exactly — same specs, names, workloads and order.
+    const std::vector<CampaignJob> legacy = driver::matrixJobs(
+        "fig6", spec::intBenchmarks(),
+        driver::figureLadder(PredictorKind::Gshare), 4000);
+    const driver::Scenario *s = driver::findScenario("fig6");
+    ASSERT_NE(s, nullptr);
+    const std::vector<CampaignJob> fromGrid = s->build(4000);
+    ASSERT_EQ(fromGrid.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(fromGrid[i].workload, legacy[i].workload) << i;
+        EXPECT_EQ(fromGrid[i].config.name, legacy[i].config.name) << i;
+        EXPECT_TRUE(sameSpec(fromGrid[i].config, legacy[i].config)) << i;
+        EXPECT_EQ(fromGrid[i].seed, legacy[i].seed) << i;
+        EXPECT_EQ(fromGrid[i].maxInsts, legacy[i].maxInsts) << i;
+    }
+}
+
+TEST(GridGolden, ScenarioReportsByteIdenticalAcrossThreads)
+{
+    // End to end: the grid-built ablation-lcs campaign renders the
+    // same JSON report single-threaded and multi-threaded.
+    const driver::Scenario *s = driver::findScenario("ablation-lcs");
+    ASSERT_NE(s, nullptr);
+    std::string docs[2];
+    const unsigned threads[2] = {1, 2};
+    for (int t = 0; t < 2; ++t) {
+        SimCampaign campaign(threads[t]);
+        for (CampaignJob &j : s->build(400))
+            campaign.add(std::move(j));
+        docs[t] = driver::toJson(campaign.run());
+    }
+    EXPECT_FALSE(docs[0].empty());
+    EXPECT_EQ(docs[0], docs[1]);
+}
+
+} // anonymous namespace
+} // namespace msp

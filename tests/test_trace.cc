@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Trace-ingestion tests (workload/trace.{hh,cc}): bit-exact
+ * toJsonl()/fromJsonl() round-trips over every registry workload, the
+ * strict malformed-document error paths (each naming its 1-based
+ * line), geometry validation, and the registry's "trace:FILE" and
+ * grid "workload.trace" plumbing end to end through a simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "driver/report.hh"
+#include "functional/executor.hh"
+#include "sim/grid.hh"
+#include "sim/machine.hh"
+#include "workload/registry.hh"
+#include "workload/trace.hh"
+
+namespace msp {
+namespace {
+
+/** fromJsonl() must throw a TraceError that contains @p want. */
+void
+expectTraceError(const std::string &doc, const std::string &want)
+{
+    try {
+        trace::fromJsonl(doc);
+        FAIL() << "expected TraceError containing '" << want << "'";
+    } catch (const trace::TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find(want), std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+bool
+sameProgram(const Program &a, const Program &b)
+{
+    if (a.name != b.name || a.memWords != b.memWords ||
+        a.entry != b.entry || a.codeBase != b.codeBase ||
+        a.initData != b.initData || a.code.size() != b.code.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.code.size(); ++i) {
+        if (a.code[i].op != b.code[i].op || a.code[i].rd != b.code[i].rd ||
+            a.code[i].rs1 != b.code[i].rs1 ||
+            a.code[i].rs2 != b.code[i].rs2 ||
+            a.code[i].imm != b.code[i].imm) {
+            return false;
+        }
+    }
+    return true;
+}
+
+const char *header =
+    "{\"format\": \"msp-trace-v1\", \"name\": \"t\", \"mem_words\": 64, "
+    "\"entry\": 0, \"code_base\": 67108864, \"init_data\": []}\n";
+
+// ---- round trips -----------------------------------------------------------
+
+TEST(Trace, RoundTripsEveryRegistryWorkload)
+{
+    for (const std::string &name : workload::registeredNames()) {
+        const Program prog = workload::build(name, 2);
+        const std::string doc = trace::toJsonl(prog);
+        const Program back = trace::fromJsonl(doc);
+        EXPECT_TRUE(sameProgram(prog, back)) << name;
+        // And the serialisation itself is a fixed point.
+        EXPECT_EQ(trace::toJsonl(back), doc) << name;
+    }
+}
+
+TEST(Trace, RoundTripsInitDataAndGeometry)
+{
+    Program p;
+    p.name = "geom";
+    p.memWords = 128;
+    p.entry = 1;
+    p.codeBase = 0x8000;
+    p.initData = {0, ~std::uint64_t{0}, 0x123456789abcdef0ull};
+    p.code.push_back({});            // default instruction
+    p.code.push_back({});
+    const Program back = trace::fromJsonl(trace::toJsonl(p));
+    EXPECT_TRUE(sameProgram(p, back));
+}
+
+// ---- malformed documents ---------------------------------------------------
+
+TEST(Trace, RejectsEmptyAndHeaderlessDocuments)
+{
+    expectTraceError("", "trace line 1: empty trace");
+    expectTraceError("\n  \n", "trace line 1: empty trace");
+    expectTraceError("[\"halt\", -1, -1, -1, 0]\n",
+                     "trace line 1: expected the header object");
+    expectTraceError("{\"format\": \"not-this\"}\n",
+                     "unsupported format 'not-this'");
+}
+
+TEST(Trace, RejectsBadGeometry)
+{
+    expectTraceError(
+        "{\"format\": \"msp-trace-v1\", \"name\": \"t\", "
+        "\"mem_words\": 48}\n[\"halt\", -1, -1, -1, 0]\n",
+        "mem_words 48 is not a power of two");
+    expectTraceError(
+        "{\"format\": \"msp-trace-v1\", \"name\": \"t\", "
+        "\"mem_words\": 33554432}\n[\"halt\", -1, -1, -1, 0]\n",
+        "implausibly large");
+    expectTraceError(
+        "{\"format\": \"msp-trace-v1\", \"name\": \"t\", "
+        "\"mem_words\": 2, \"init_data\": [\"0\", \"1\", \"2\"]}\n"
+        "[\"halt\", -1, -1, -1, 0]\n",
+        "init_data (3 words) exceeds mem_words (2)");
+    expectTraceError(
+        "{\"format\": \"msp-trace-v1\", \"name\": \"t\", "
+        "\"init_data\": [\"xyzzy\"]}\n[\"halt\", -1, -1, -1, 0]\n",
+        "non-hexadecimal init_data word 'xyzzy'");
+    expectTraceError(
+        "{\"format\": \"msp-trace-v1\", \"name\": \"t\", "
+        "\"entry\": 5}\n[\"halt\", -1, -1, -1, 0]\n",
+        "entry 5 is past the last instruction");
+    expectTraceError(std::string(header),
+                     "trace carries no instruction records");
+}
+
+TEST(Trace, MalformedRecordsNameTheirLine)
+{
+    // Line numbers are physical (1-based), counting blank lines too.
+    expectTraceError(std::string(header) + "[\"frobnicate\", 1, 2, 3, 4]\n",
+                     "trace line 2: unknown opcode mnemonic 'frobnicate'");
+    expectTraceError(std::string(header) +
+                         "[\"addi\", 1, 1, -1, 1]\n\n[\"addi\", 1, 1]\n",
+                     "trace line 4: malformed operand 2");
+    expectTraceError(std::string(header) + "[\"addi\"]\n",
+                     "trace line 2: instruction record has fewer than "
+                     "4 operands");
+    expectTraceError(std::string(header) + "[\"addi\", 1, one, -1, 4]\n",
+                     "trace line 2: non-numeric operand 2");
+    expectTraceError(std::string(header) + "[\"addi\", 99, 1, -1, 4]\n",
+                     "register operand 99 out of range");
+    expectTraceError(std::string(header) + "[\"addi\", 1, 1, -1, 4, 9]\n",
+                     "trace line 2");
+    expectTraceError(std::string(header) + "\"addi\", 1, 1, -1, 4]\n",
+                     "expected an instruction tuple starting with '['");
+}
+
+// ---- file plumbing ---------------------------------------------------------
+
+TEST(Trace, LoadPrefixesThePathAndRegistryRoutesTraceNames)
+{
+    const std::string path = "/tmp/msp_test_trace.jsonl";
+    const Program prog = workload::build("prodcons", 5);
+    driver::writeFile(path, trace::toJsonl(prog));
+
+    // load() and the registry's trace: prefix see the same program.
+    EXPECT_TRUE(sameProgram(trace::load(path), prog));
+    EXPECT_TRUE(sameProgram(workload::build("trace:" + path, 1), prog));
+
+    try {
+        trace::load("/tmp/msp_test_no_such_trace.jsonl");
+        FAIL() << "expected TraceError";
+    } catch (const trace::TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "cannot read trace file "
+                      "/tmp/msp_test_no_such_trace.jsonl"),
+                  std::string::npos);
+    }
+    driver::writeFile(path, "[\"halt\", -1, -1, -1, 0]\n");
+    try {
+        trace::load(path);
+        FAIL() << "expected TraceError";
+    } catch (const trace::TraceError &e) {
+        // Parse errors carry the path and the line.
+        EXPECT_NE(std::string(e.what()).find(
+                      path + ": trace line 1: expected the header object"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+// ---- workload registry -----------------------------------------------------
+
+TEST(Registry, NamesCoverSpecMicroAndNewFamilies)
+{
+    const std::vector<std::string> names = workload::registeredNames();
+    for (const char *want :
+         {"gzip", "mcf", "swim", "ammp", "tight-loop", "ptrchase",
+          "prodcons", "interp"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), want),
+                  names.end()) << want;
+        EXPECT_TRUE(workload::known(want)) << want;
+    }
+    EXPECT_FALSE(workload::known("frobnicate"));
+    // trace: names are known when a path follows the prefix.
+    EXPECT_TRUE(workload::known("trace:/tmp/x.jsonl"));
+    EXPECT_FALSE(workload::known("trace:"));
+}
+
+TEST(Registry, BuildIsAPureFunctionOfNameAndSeed)
+{
+    for (const char *name : {"ptrchase", "prodcons", "interp", "gzip"}) {
+        const Program a = workload::build(name, 7);
+        const Program b = workload::build(name, 7);
+        const Program c = workload::build(name, 8);
+        EXPECT_TRUE(sameProgram(a, b)) << name;
+        if (std::string(name) != "gzip")   // seed varies the program
+            EXPECT_FALSE(sameProgram(a, c)) << name;
+        EXPECT_FALSE(a.code.empty()) << name;
+    }
+}
+
+TEST(Registry, NewFamiliesHaltUnderTheFunctionalModel)
+{
+    // Every generated program must HALT (the differential oracle
+    // treats no-halt-within-budget as a divergence for fuzzed runs).
+    for (const char *name : {"ptrchase", "prodcons", "interp"}) {
+        const Program prog = workload::build(name, 3);
+        FunctionalExecutor ex(prog);
+        while (!ex.halted() && ex.instCount() < (1u << 22))
+            ex.step();
+        EXPECT_TRUE(ex.halted()) << name;
+    }
+}
+
+TEST(Registry, UnknownNameListsTheOptions)
+{
+    try {
+        workload::build("frobnicate", 1);
+        FAIL() << "expected WorkloadError";
+    } catch (const workload::WorkloadError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown workload 'frobnicate'"),
+                  std::string::npos) << msg;
+        EXPECT_NE(msg.find("trace:FILE"), std::string::npos) << msg;
+    }
+    EXPECT_THROW(workload::build("trace:", 1), workload::WorkloadError);
+}
+
+TEST(Trace, GridWorkloadTraceAxisRunsTheFile)
+{
+    const std::string path = "/tmp/msp_test_trace_axis.jsonl";
+    driver::writeFile(path, trace::toJsonl(workload::build("interp", 3)));
+    const grid::Grid g = grid::expand(
+        "{\"axes\": [{\"keys\": {\"workload.trace\": [\"" + path +
+        "\"]}}, {\"keys\": {\"base\": [\"cpr\"]}}]}");
+    ASSERT_EQ(g.points.size(), 1u);
+    EXPECT_EQ(g.points[0].workload, "trace:" + path);
+
+    const Program prog = workload::build(g.points[0].workload, 1);
+    Machine m(g.points[0].machine, prog);
+    const RunResult r = m.run(2000);
+    EXPECT_GT(r.committed, 0u);
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace msp

@@ -30,6 +30,7 @@
 #endif
 
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "driver/bench.hh"
 #include "driver/campaign.hh"
@@ -37,12 +38,15 @@
 #include "driver/report.hh"
 #include "driver/scenario.hh"
 #include "driver/state.hh"
+#include "sim/grid.hh"
 #include "sim/presets.hh"
 #include "sim/spec.hh"
 #include "verify/corpus.hh"
 #include "verify/diff_campaign.hh"
 #include "verify/report.hh"
 #include "verify/shrink.hh"
+#include "workload/registry.hh"
+#include "workload/trace.hh"
 
 namespace {
 
@@ -81,7 +85,10 @@ printUsage(std::FILE *to)
     std::fputs(
         "usage: msp_sim <scenario> [options]\n"
         "       msp_sim matrix --workloads A,B --configs C,D [options]\n"
+        "       msp_sim matrix --grid FILE [options]\n"
         "       msp_sim verify [--seeds N] [--mixes M,N] [options]\n"
+        "       msp_sim verify (--workloads A,B | --grid FILE) [options]\n"
+        "       msp_sim trace --workloads NAME [--seed N] [--json FILE]\n"
         "       msp_sim bench [--reps N] [--baseline FILE] [options]\n"
         "       msp_sim spec (--configs P | --machine FILE) [--set k=v]\n"
         "       msp_sim merge SHARD.json... [--json FILE]\n"
@@ -135,12 +142,30 @@ printUsage(std::FILE *to)
         "  the file round-trips through --machine bit-identically\n"
         "\n"
         "matrix mode:\n"
-        "  --workloads    comma-separated spec benchmarks "
-        "(e.g. gzip,gcc,swim)\n"
+        "  --workloads    comma-separated workload-registry names:\n"
+        "                 SPEC benchmarks (gzip, gcc, swim, ...),\n"
+        "                 tight-loop, ptrchase, prodcons, interp, or\n"
+        "                 trace:FILE (a JSONL trace; see trace mode)\n"
         "  --configs      comma-separated presets: baseline, cpr, ideal,\n"
         "                 <n>sp (e.g. 16sp), <n>sp-noarb\n"
         "  --predictor    gshare (default) or tage\n"
         "  --seed N       workload-synthesis seed (default 1)\n"
+        "  --grid FILE    expand a grid document (named axes of dotted\n"
+        "                 spec keys, crossed or zipped) into the job\n"
+        "                 list; the per-figure documents ship in\n"
+        "                 examples/grids/. A grid with a workload.name\n"
+        "                 or workload.trace axis is a complete campaign;\n"
+        "                 one without is a machine list crossed with\n"
+        "                 --workloads. Composes with --set (applied on\n"
+        "                 top of every point), --shard, --checkpoint/\n"
+        "                 --resume and merge\n"
+        "\n"
+        "trace mode (dump a registry workload as an editable trace):\n"
+        "  --workloads NAME   the workload to dump (one name)\n"
+        "  --seed N           synthesis seed (default 1)\n"
+        "  --json FILE        write the JSONL trace (default: stdout);\n"
+        "                     re-ingest it with workload trace:FILE or\n"
+        "                     a workload.trace grid axis\n"
         "\n"
         "bench mode (simulator throughput, MInstr/s per config):\n"
         "  --configs      presets to time (default: baseline, cpr,\n"
@@ -173,6 +198,13 @@ printUsage(std::FILE *to)
         "                 ladder incl. Baseline and CPR)\n"
         "  --predictor    gshare (default) or tage\n"
         "  --seed N       base seed for program generation (default 1)\n"
+        "  --workloads A,B\n"
+        "                 verify named registry workloads instead of\n"
+        "                 fuzzed programs: each workload runs on each\n"
+        "                 selected machine under the differential\n"
+        "                 oracle, sequentially (exit 1 on divergence)\n"
+        "  --grid FILE    verify every point of a workload-binding grid\n"
+        "                 document (point machine x point workload)\n"
         "  --snapshot-every N\n"
         "                 compare architectural state against the\n"
         "                 functional model every N commits, localising\n"
@@ -346,29 +378,99 @@ runBench(const CliOptions &o)
     return 0;
 }
 
+/** Read and expand --grid FILE (grammar errors become CliError). */
+grid::Grid
+loadGrid(const CliOptions &o)
+{
+    std::string doc;
+    if (!driver::tryReadFile(o.gridPath, doc)) {
+        throw CliError(csprintf("cannot read grid spec %s",
+                                o.gridPath.c_str()));
+    }
+    try {
+        // --predictor seeds the document like it seeds --machine
+        // files; a grid that sets its own "predictor" keeps it.
+        return grid::expand(doc, o.predictor);
+    } catch (const SpecError &e) {
+        throw CliError(csprintf("%s: %s", o.gridPath.c_str(), e.what()));
+    }
+}
+
 std::vector<JobResult>
 runMatrix(const CliOptions &o)
 {
-    const std::vector<MachineConfig> configs = resolveMachines(o);
-
     SimCampaign campaign(o.threads);
-    campaign.addMatrix(o.workloads, configs, o.instrs, o.seed, "matrix");
+    std::string headline;   ///< header sentence, sans the job count
+    std::string specDiffs;  ///< non-preset machines, as preset diffs
+    if (!o.gridPath.empty()) {
+        grid::Grid g = loadGrid(o);
+        // --set applies on top of every expanded point, the same
+        // precedence it has over presets and --machine files; a point
+        // whose spec actually changed is relabelled with its
+        // describeSpec() identity so the grid label cannot lie.
+        if (!o.sets.empty()) {
+            std::vector<MachineConfig> machines;
+            machines.reserve(g.points.size());
+            for (const grid::GridPoint &pt : g.points)
+                machines.push_back(pt.machine);
+            applySpecSets(machines, o.sets);
+            for (std::size_t i = 0; i < machines.size(); ++i)
+                g.points[i].machine = machines[i];
+        }
+        const bool bound =
+            !g.points.empty() && !g.points.front().workload.empty();
+        if (bound && !o.workloads.empty()) {
+            throw CliError(csprintf("grid '%s' binds its own workloads; "
+                                    "--workloads does not combine with "
+                                    "it", g.name.c_str()));
+        }
+        if (!bound && o.workloads.empty()) {
+            throw CliError(csprintf("grid '%s' binds no workloads; add "
+                                    "a workload.name/workload.trace "
+                                    "axis or pass --workloads",
+                                    g.name.c_str()));
+        }
+        const std::string scen = g.name.empty() ? "matrix" : g.name;
+        if (bound) {
+            for (CampaignJob &j : gridJobs(scen, g, o.instrs, o.seed))
+                campaign.add(std::move(j));
+        } else {
+            std::vector<MachineConfig> configs;
+            configs.reserve(g.points.size());
+            for (const grid::GridPoint &pt : g.points)
+                configs.push_back(pt.machine);
+            campaign.addMatrix(o.workloads, configs, o.instrs, o.seed,
+                               scen);
+        }
+        headline = csprintf("Grid '%s': %zu point(s)%s.",
+                            g.name.c_str(), g.points.size(),
+                            bound ? ""
+                                  : csprintf(" x %zu workload(s)",
+                                             o.workloads.size())
+                                        .c_str());
+    } else {
+        const std::vector<MachineConfig> configs = resolveMachines(o);
+        campaign.addMatrix(o.workloads, configs, o.instrs, o.seed,
+                           "matrix");
+        headline = csprintf("Custom matrix: %zu workload(s) x %zu "
+                            "config(s) (%s).",
+                            o.workloads.size(), configs.size(),
+                            predictorName(o.predictor));
+        // Custom machines print as a diff against their preset
+        // baseline, so a report reader sees exactly what was ablated.
+        for (const MachineConfig &cfg : configs)
+            if (presetNameFor(cfg).empty())
+                specDiffs += specDiffReport(cfg);
+    }
     if (o.shardCount)
         campaign.restrictToShard(o.shardIndex, o.shardCount);
     CampaignState state;
     configureState(state, o);
     campaign.attachState(&state);
     if (!o.quiet) {
-        std::printf("Custom matrix: %zu workload(s) x %zu config(s) "
-                    "(%s). Jobs: %zu on %u thread(s).\n",
-                    o.workloads.size(), configs.size(),
-                    predictorName(o.predictor), campaign.size(),
-                    campaign.effectiveThreads());
-        // Custom machines print as a diff against their preset
-        // baseline, so a report reader sees exactly what was ablated.
-        for (const MachineConfig &cfg : configs)
-            if (presetNameFor(cfg).empty())
-                std::fputs(specDiffReport(cfg).c_str(), stdout);
+        std::printf("%s Jobs: %zu on %u thread(s).\n", headline.c_str(),
+                    campaign.size(), campaign.effectiveThreads());
+        std::fputs(specDiffs.c_str(), stdout);
         std::printf("\n");
         std::fflush(stdout);
     }
@@ -511,11 +613,95 @@ runRepro(const CliOptions &o)
     return verify::countDivergences(outcomes) == 0 ? 0 : 1;
 }
 
+/**
+ * Deterministic named-workload verification (verify --workloads or a
+ * workload-binding --grid): each (workload, machine) pair runs once
+ * under the differential oracle, sequentially — there is no fuzzing,
+ * shrinking or campaign state, just the plain divergence check.
+ */
+int
+runVerifyNamed(const CliOptions &o)
+{
+    struct NamedJob
+    {
+        std::string workload;
+        std::uint64_t seed;
+        MachineConfig config;
+    };
+    std::vector<NamedJob> jobs;
+    if (!o.gridPath.empty()) {
+        const grid::Grid g = loadGrid(o);
+        for (const grid::GridPoint &pt : g.points) {
+            if (pt.workload.empty()) {
+                throw CliError(csprintf("grid '%s' binds no workloads; "
+                                        "verify --grid needs a "
+                                        "workload.name or "
+                                        "workload.trace axis",
+                                        g.name.c_str()));
+            }
+            jobs.push_back({pt.workload, pt.hasSeed ? pt.seed : o.seed,
+                            pt.machine});
+        }
+    } else {
+        std::vector<MachineConfig> configs;
+        if (o.configNames.empty() && o.machinePath.empty()) {
+            configs = figureLadder(o.predictor);
+            applySpecSets(configs, o.sets);
+        } else {
+            configs = resolveMachines(o);
+        }
+        for (const std::string &w : o.workloads)
+            for (const MachineConfig &cfg : configs)
+                jobs.push_back({w, o.seed, cfg});
+    }
+
+    if (!o.quiet) {
+        std::printf("Differential verification: %zu named workload "
+                    "job(s), sequential.\n", jobs.size());
+        std::fflush(stdout);
+    }
+    std::vector<verify::DiffOutcome> outcomes;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const NamedJob &j = jobs[i];
+        const Program prog = workload::build(j.workload, j.seed);
+        verify::DiffOptions dopt;
+        dopt.maxInsts = o.instrs ? o.instrs : (1u << 20);
+        dopt.snapshotEvery = o.snapshotEvery;
+        // Registry workloads include unbounded IPC loops (the SPEC
+        // synthetics); verify them over the budget-bounded prefix.
+        dopt.boundedOk = true;
+        verify::DiffOutcome out = verify::diffRun(prog, j.config, dopt);
+        out.mix = "";   // named runs have no fuzz mix (see DiffOutcome)
+        out.seed = j.seed;
+        if (!o.quiet) {
+            std::printf("  [%zu/%zu] %s on %s seed=%llu -> %s\n",
+                        i + 1, jobs.size(), j.workload.c_str(),
+                        j.config.name.c_str(),
+                        static_cast<unsigned long long>(j.seed),
+                        out.ok() ? "clean"
+                                 : out.divergences[0].kind.c_str());
+        }
+        printDivergences(out, i + 1, jobs.size());
+        outcomes.push_back(std::move(out));
+    }
+
+    if (!o.jsonPath.empty())
+        driver::writeFile(o.jsonPath, verify::toJson(outcomes));
+    const std::size_t divergences = verify::countDivergences(outcomes);
+    if (!o.quiet) {
+        std::printf("\n%zu run(s), %zu divergence(s).\n",
+                    outcomes.size(), divergences);
+    }
+    return divergences == 0 ? 0 : 1;
+}
+
 int
 runVerify(const CliOptions &o)
 {
     if (!o.reproPath.empty())
         return runRepro(o);
+    if (!o.workloads.empty() || !o.gridPath.empty())
+        return runVerifyNamed(o);
 
     // Machine selection: named presets and/or a --machine spec file,
     // defaulting to the full Table I ladder; --set overrides apply on
@@ -934,6 +1120,38 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (o.mode == "trace") {
+        try {
+            const Program prog =
+                workload::build(o.workloads.front(), o.seed);
+            const std::string doc = trace::toJsonl(prog);
+            // Round-trip guard: what is written must re-ingest as the
+            // exact same program, or the dump is not a usable trace.
+            if (trace::toJsonl(trace::fromJsonl(doc)) != doc) {
+                std::fprintf(stderr, "msp_sim: internal error: trace "
+                                     "round-trip mismatch\n");
+                return 2;
+            }
+            if (o.jsonPath.empty()) {
+                std::fputs(doc.c_str(), stdout);
+            } else {
+                driver::writeFile(o.jsonPath, doc);
+                if (!o.quiet) {
+                    std::printf("Wrote %s: %zu static instr(s), "
+                                "%zu mem word(s).\n",
+                                o.jsonPath.c_str(), prog.code.size(),
+                                prog.memWords);
+                }
+            }
+            return 0;
+        } catch (const workload::WorkloadError &e) {
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        } catch (const trace::TraceError &e) {
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        }
+    }
     if (o.mode == "verify") {
         try {
             return runVerify(o);
@@ -954,6 +1172,14 @@ main(int argc, char **argv)
             // zeros.
             std::fprintf(stderr, "msp_sim: %s\n", e.what());
             return 2;
+        } catch (const workload::WorkloadError &e) {
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
+        } catch (const trace::TraceError &e) {
+            // A missing or malformed trace file behind a trace:FILE
+            // workload (or workload.trace grid axis).
+            std::fprintf(stderr, "msp_sim: %s\n", e.what());
+            return 2;
         } catch (const json::JsonError &e) {
             std::fprintf(stderr, "msp_sim: %s\n", e.what());
             return 2;
@@ -970,6 +1196,17 @@ main(int argc, char **argv)
         std::fprintf(stderr, "msp_sim: %s\n", e.what());
         return 2;
     } catch (const CheckpointError &e) {
+        std::fprintf(stderr, "msp_sim: %s\n", e.what());
+        return 2;
+    } catch (const SpecError &e) {
+        // A grid document that fails spec-level validation (bad axis
+        // value, unknown preset) past the CLI grammar check.
+        std::fprintf(stderr, "msp_sim: %s\n", e.what());
+        return 2;
+    } catch (const workload::WorkloadError &e) {
+        std::fprintf(stderr, "msp_sim: %s\n", e.what());
+        return 2;
+    } catch (const trace::TraceError &e) {
         std::fprintf(stderr, "msp_sim: %s\n", e.what());
         return 2;
     } catch (const json::JsonError &e) {
